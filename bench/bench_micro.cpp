@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the computational substrates:
+// FFT, rasterization, aerial imaging, squish encoding and policy inference.
+#include <benchmark/benchmark.h>
+
+#include "core/graph.hpp"
+#include "core/modulator.hpp"
+#include "core/policy.hpp"
+#include "core/squish.hpp"
+#include "litho/aerial.hpp"
+#include "litho/simulator.hpp"
+#include "opc/sraf.hpp"
+
+namespace {
+
+using namespace camo;
+
+void BM_Fft2d(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    std::vector<litho::Complex> grid(static_cast<std::size_t>(n) * n, {0.5F, 0.0F});
+    for (auto _ : state) {
+        litho::fft2d_forward(grid, n);
+        benchmark::DoNotOptimize(grid.data());
+    }
+}
+BENCHMARK(BM_Fft2d)->Arg(256)->Arg(512);
+
+void BM_RasterizeClip(benchmark::State& state) {
+    std::vector<geo::Polygon> polys;
+    for (int i = 0; i < 6; ++i) {
+        const int x = 300 + i * 250;
+        polys.push_back(geo::Polygon::from_rect({x, 600, x + 70, 670}));
+    }
+    geo::Raster raster(512, 4.0);
+    for (auto _ : state) {
+        raster.rasterize(polys);
+        benchmark::DoNotOptimize(raster.data().data());
+    }
+}
+BENCHMARK(BM_RasterizeClip);
+
+litho::LithoSim& shared_sim() {
+    static litho::LithoSim sim = [] {
+        litho::LithoConfig cfg;
+        cfg.grid = 256;
+        cfg.pixel_nm = 4.0;
+        cfg.kernels_nominal = 6;
+        cfg.kernels_defocus = 5;
+        cfg.cache_dir = "data";
+        return litho::LithoSim(cfg);
+    }();
+    return sim;
+}
+
+void BM_AerialImage(benchmark::State& state) {
+    litho::LithoSim& sim = shared_sim();
+    geo::Raster mask(256, 4.0);
+    mask.add_polygon(geo::Polygon::from_rect({460, 460, 540, 540}));
+    for (auto _ : state) {
+        const geo::Raster aerial = sim.aerial_nominal(mask);
+        benchmark::DoNotOptimize(aerial.data().data());
+    }
+}
+BENCHMARK(BM_AerialImage);
+
+void BM_FullEvaluate(benchmark::State& state) {
+    litho::LithoSim& sim = shared_sim();
+    const int lo = 500 - 35;
+    geo::SegmentedLayout layout({geo::Polygon::from_rect({lo, lo, lo + 70, lo + 70})},
+                                {geo::FragmentStyle::kVia, 60}, {}, 1000);
+    const std::vector<int> offsets(4, 3);
+    for (auto _ : state) {
+        const litho::SimMetrics m = sim.evaluate(layout, offsets);
+        benchmark::DoNotOptimize(m.sum_abs_epe);
+    }
+}
+BENCHMARK(BM_FullEvaluate);
+
+void BM_SquishEncode(benchmark::State& state) {
+    const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({465, 465, 535, 535})};
+    std::vector<geo::Polygon> mask = {geo::Polygon::from_rect({462, 462, 538, 538})};
+    const auto srafs = opc::insert_srafs(targets);
+    mask.insert(mask.end(), srafs.begin(), srafs.end());
+    const core::SquishOptions opt{500, static_cast<int>(state.range(0))};
+    for (auto _ : state) {
+        const nn::Tensor t = core::encode_squish_window(mask, targets, {500.0, 465.0}, opt);
+        benchmark::DoNotOptimize(t.data().data());
+    }
+}
+BENCHMARK(BM_SquishEncode)->Arg(32)->Arg(64);
+
+void BM_PolicyForward(benchmark::State& state) {
+    core::PolicyConfig cfg;
+    cfg.squish_size = 32;
+    core::PolicyNetwork net(cfg);
+    const int n = static_cast<int>(state.range(0));
+    core::Graph g;
+    g.n = n;
+    g.neighbors.assign(static_cast<std::size_t>(n), {});
+    for (int i = 0; i + 1 < n; ++i) {
+        g.neighbors[static_cast<std::size_t>(i)].push_back(i + 1);
+        g.neighbors[static_cast<std::size_t>(i + 1)].push_back(i);
+    }
+    std::vector<nn::Tensor> feats;
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+        nn::Tensor t({6, 32, 32});
+        for (float& v : t.data()) v = static_cast<float>(rng.uniform(0, 1));
+        feats.push_back(std::move(t));
+    }
+    for (auto _ : state) {
+        const nn::Tensor logits = net.forward(feats, g);
+        benchmark::DoNotOptimize(logits.data().data());
+    }
+}
+BENCHMARK(BM_PolicyForward)->Arg(8)->Arg(24);
+
+void BM_Modulator(benchmark::State& state) {
+    double epe = -8.0;
+    for (auto _ : state) {
+        const auto p = core::modulation_vector(epe, {});
+        benchmark::DoNotOptimize(p[0]);
+        epe = epe >= 8.0 ? -8.0 : epe + 0.5;
+    }
+}
+BENCHMARK(BM_Modulator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Shared table formatting for the paper-style benchmark output.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace camo::bench {
+
+/// One engine's results for one design row.
+struct Cell {
+    double epe = 0.0;
+    double pvb = 0.0;
+    double rt = 0.0;
+};
+
+/// Accumulates per-design rows for several engines and prints a table in
+/// the layout of the paper's Table 1 / Table 2, including Sum and Ratio
+/// rows (ratios are relative to the last engine, which is CAMO/"Ours").
+class ResultTable {
+public:
+    ResultTable(std::string title, std::vector<std::string> engines,
+                std::string aux_header = "")
+        : title_(std::move(title)), engines_(std::move(engines)),
+          aux_header_(std::move(aux_header)) {}
+
+    void add_row(const std::string& design, int aux, const std::vector<Cell>& cells) {
+        rows_.push_back({design, aux, cells});
+    }
+
+    void print() const {
+        std::printf("\n=== %s ===\n", title_.c_str());
+        std::printf("%-8s", "Design");
+        if (!aux_header_.empty()) std::printf(" %8s", aux_header_.c_str());
+        for (const auto& e : engines_) std::printf(" | %22s", e.c_str());
+        std::printf("\n");
+        std::printf("%-8s", "");
+        if (!aux_header_.empty()) std::printf(" %8s", "");
+        for (std::size_t e = 0; e < engines_.size(); ++e) {
+            std::printf(" | %6s %9s %5s", "EPE", "PVB", "RT");
+        }
+        std::printf("\n");
+
+        std::vector<Cell> sums(engines_.size());
+        for (const Row& r : rows_) {
+            std::printf("%-8s", r.design.c_str());
+            if (!aux_header_.empty()) std::printf(" %8d", r.aux);
+            for (std::size_t e = 0; e < engines_.size(); ++e) {
+                const Cell& c = r.cells[e];
+                std::printf(" | %6.0f %9.0f %5.2f", std::round(c.epe), c.pvb, c.rt);
+                sums[e].epe += c.epe;
+                sums[e].pvb += c.pvb;
+                sums[e].rt += c.rt;
+            }
+            std::printf("\n");
+        }
+
+        std::printf("%-8s", "Sum");
+        int aux_sum = 0;
+        for (const Row& r : rows_) aux_sum += r.aux;
+        if (!aux_header_.empty()) std::printf(" %8d", aux_sum);
+        for (const Cell& s : sums) std::printf(" | %6.0f %9.0f %5.1f", s.epe, s.pvb, s.rt);
+        std::printf("\n");
+
+        const Cell& ours = sums.back();
+        std::printf("%-8s", "Ratio");
+        if (!aux_header_.empty()) std::printf(" %8s", "");
+        for (const Cell& s : sums) {
+            std::printf(" | %6.2f %9.2f %5.2f", safe_div(s.epe, ours.epe),
+                        safe_div(s.pvb, ours.pvb), safe_div(s.rt, ours.rt));
+        }
+        std::printf("\n");
+    }
+
+private:
+    struct Row {
+        std::string design;
+        int aux = 0;
+        std::vector<Cell> cells;
+    };
+
+    static double safe_div(double a, double b) { return b != 0.0 ? a / b : 0.0; }
+
+    std::string title_;
+    std::vector<std::string> engines_;
+    std::string aux_header_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace camo::bench

@@ -1,0 +1,36 @@
+// GDSII interchange: generate a metal clip, write it as a GDSII stream,
+// read it back and verify geometry survived the roundtrip — the workflow
+// for interfacing this library with external EDA tools.
+//
+// Build & run:  ./build/examples/gds_roundtrip
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "layout/gdsii.hpp"
+
+int main() {
+    using namespace camo;
+
+    const auto clips = layout::metal_test_set(core::Experiment::kDatasetSeed);
+    const layout::Clip& clip = clips[0];  // M1
+
+    layout::GdsLibrary lib;
+    lib.name = "CAMO_METAL";
+    lib.structure = clip.name;
+    lib.layers[1] = clip.targets;
+    layout::write_gds("metal_clip.gds", lib);
+
+    const layout::GdsLibrary back = layout::read_gds("metal_clip.gds");
+    double area_out = 0.0;
+    double area_in = 0.0;
+    for (const auto& p : clip.targets) area_out += p.area();
+    for (const auto& p : back.layers.at(1)) area_in += p.area();
+
+    std::printf("wrote %zu wires of %s to metal_clip.gds\n", clip.targets.size(),
+                clip.name.c_str());
+    std::printf("read back %zu polygons, structure '%s'\n", back.layers.at(1).size(),
+                back.structure.c_str());
+    std::printf("total area: written %.0f nm^2, read %.0f nm^2 -> %s\n", area_out, area_in,
+                area_out == area_in ? "exact match" : "MISMATCH");
+    return area_out == area_in ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// Pixel-based inverse lithography (ILT) on a via clip — the free-form
+// alternative to segment-based OPC that the paper cites as related work.
+// Prints the contour-error trajectory and writes the optimized gray mask.
+//
+// Build & run:  ./build/examples/ilt_demo
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "layout/render.hpp"
+#include "opc/ilt.hpp"
+
+int main() {
+    using namespace camo;
+
+    litho::LithoSim sim(core::Experiment::litho_config());
+    const auto clips = layout::via_test_set(core::Experiment::kDatasetSeed);
+    const auto layouts = core::fragment_via_clips({clips[2]});  // V3: 3 vias
+
+    opc::IltEngine ilt({.iterations = 15, .step = 4.0, .mask_steepness = 4.0,
+                        .resist_steepness = 40.0});
+    const opc::IltResult res = ilt.optimize(layouts[0], sim);
+
+    std::printf("ILT on %s:\n", clips[2].name.c_str());
+    for (std::size_t i = 0; i < res.loss_history.size(); ++i) {
+        std::printf("  iter %2zu: contour L2 error = %.1f\n", i, res.loss_history[i]);
+    }
+    std::printf("loss %.1f -> %.1f, sum|EPE| at measure points = %.1f nm, %.2f s\n",
+                res.initial_loss, res.final_loss, res.sum_abs_epe, res.runtime_s);
+
+    layout::write_ppm_gray("ilt_mask.ppm", res.mask);
+    const geo::Raster printed = sim.printed(sim.aerial_nominal(res.mask));
+    layout::write_ppm_gray("ilt_printed.ppm", printed);
+    std::printf("gray mask -> ilt_mask.ppm, printed contour -> ilt_printed.ppm\n");
+    return 0;
+}

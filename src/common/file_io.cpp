@@ -1,0 +1,65 @@
+#include "common/file_io.hpp"
+
+#include "common/logging.hpp"
+
+namespace camo {
+
+LogLevel& log_level_ref() {
+    static LogLevel level = LogLevel::kQuiet;
+    return level;
+}
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+    if (!out_) throw std::runtime_error("cannot open for writing: " + path);
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) { write_bytes(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { write_bytes(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { write_bytes(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { write_bytes(&v, sizeof v); }
+
+void BinaryWriter::write_bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+    if (!in_) throw std::runtime_error("cannot open for reading: " + path);
+}
+
+std::uint32_t BinaryReader::read_u32() {
+    std::uint32_t v = 0;
+    read_bytes(&v, sizeof v);
+    return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+    std::uint64_t v = 0;
+    read_bytes(&v, sizeof v);
+    return v;
+}
+
+double BinaryReader::read_f64() {
+    double v = 0;
+    read_bytes(&v, sizeof v);
+    return v;
+}
+
+float BinaryReader::read_f32() {
+    float v = 0;
+    read_bytes(&v, sizeof v);
+    return v;
+}
+
+void BinaryReader::read_bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!in_) throw std::runtime_error("unexpected end of file");
+}
+
+bool file_exists(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    return static_cast<bool>(f);
+}
+
+}  // namespace camo

@@ -1,0 +1,65 @@
+// Binary serialization helpers shared by the kernel cache and the neural
+// network weight files. All files begin with a caller-chosen magic tag and a
+// version so stale caches are detected rather than misread.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace camo {
+
+class BinaryWriter {
+public:
+    explicit BinaryWriter(const std::string& path);
+
+    void write_u32(std::uint32_t v);
+    void write_u64(std::uint64_t v);
+    void write_f64(double v);
+    void write_f32(float v);
+    void write_bytes(const void* data, std::size_t n);
+
+    template <typename T>
+    void write_vector(const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write_u64(v.size());
+        write_bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+private:
+    std::ofstream out_;
+};
+
+class BinaryReader {
+public:
+    explicit BinaryReader(const std::string& path);
+
+    std::uint32_t read_u32();
+    std::uint64_t read_u64();
+    double read_f64();
+    float read_f32();
+    void read_bytes(void* data, std::size_t n);
+
+    template <typename T>
+    std::vector<T> read_vector() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t n = read_u64();
+        std::vector<T> v(n);
+        read_bytes(v.data(), n * sizeof(T));
+        return v;
+    }
+
+    [[nodiscard]] bool ok() const { return static_cast<bool>(in_); }
+
+private:
+    std::ifstream in_;
+};
+
+/// True if the file exists and is readable.
+bool file_exists(const std::string& path);
+
+}  // namespace camo

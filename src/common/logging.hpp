@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr. The library is quiet by default;
+// set_log_level(LogLevel::kInfo) enables progress reporting in long runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace camo {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+LogLevel& log_level_ref();
+
+inline void set_log_level(LogLevel lvl) { log_level_ref() = lvl; }
+inline LogLevel log_level() { return log_level_ref(); }
+
+inline void log_info(const std::string& msg) {
+    if (log_level() >= LogLevel::kInfo) std::fprintf(stderr, "[camo] %s\n", msg.c_str());
+}
+
+inline void log_debug(const std::string& msg) {
+    if (log_level() >= LogLevel::kDebug) std::fprintf(stderr, "[camo:debug] %s\n", msg.c_str());
+}
+
+}  // namespace camo

@@ -1,0 +1,25 @@
+// Wall-clock timing used by the benchmark harness (runtime columns of the
+// paper's tables are wall seconds).
+#pragma once
+
+#include <chrono>
+
+namespace camo {
+
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace camo

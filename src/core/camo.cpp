@@ -1,0 +1,266 @@
+#include "core/camo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "nn/softmax.hpp"
+
+namespace camo::core {
+namespace {
+
+void apply_actions(std::vector<int>& offsets, const std::vector<int>& actions, int bound) {
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        offsets[i] = std::clamp(offsets[i] + rl::action_to_move(actions[i]), -bound, bound);
+    }
+}
+
+std::array<double, rl::kNumActions> node_probs(const nn::Tensor& logits, int node) {
+    std::array<float, rl::kNumActions> row{};
+    for (int a = 0; a < rl::kNumActions; ++a) row[static_cast<std::size_t>(a)] = logits.at(node, a);
+    const auto p = nn::softmax(std::span<const float>(row.data(), row.size()));
+    std::array<double, rl::kNumActions> out{};
+    for (int a = 0; a < rl::kNumActions; ++a) out[static_cast<std::size_t>(a)] = p[static_cast<std::size_t>(a)];
+    return out;
+}
+
+}  // namespace
+
+CamoConfig make_rlopc_config(const CamoConfig& base) {
+    CamoConfig cfg = base;
+    cfg.policy.use_gnn = false;
+    cfg.policy.use_rnn = false;
+    cfg.modulator.enabled = false;
+    cfg.name = "rl-opc";
+    return cfg;
+}
+
+CamoEngine::CamoEngine(CamoConfig cfg)
+    : cfg_(std::move(cfg)), policy_(cfg_.policy), sample_rng_(cfg_.seed ^ 0x5A17ULL) {
+    if (cfg_.squish.size != cfg_.policy.squish_size) {
+        throw std::invalid_argument("CamoEngine: squish.size != policy.squish_size");
+    }
+    if (cfg_.optimizer == CamoConfig::Optimizer::kAdam) {
+        adam_.emplace(policy_.params(), nn::Adam::Options{.lr = cfg_.lr,
+                                                          .clip_norm = cfg_.clip_norm,
+                                                          .weight_decay = cfg_.weight_decay});
+    } else {
+        sgd_.emplace(policy_.params(), nn::Sgd::Options{.lr = cfg_.lr,
+                                                        .momentum = cfg_.momentum,
+                                                        .clip_norm = cfg_.clip_norm,
+                                                        .weight_decay = cfg_.weight_decay});
+    }
+}
+
+void CamoEngine::optimizer_step() {
+    if (adam_) {
+        adam_->step();
+    } else {
+        sgd_->step();
+    }
+}
+
+std::vector<nn::Tensor> CamoEngine::encode_state(const geo::SegmentedLayout& layout,
+                                                 std::span<const int> offsets) const {
+    const auto mask_polys = layout.reconstruct_mask(offsets);
+    std::vector<geo::Polygon> all_mask = mask_polys;
+    all_mask.insert(all_mask.end(), layout.srafs().begin(), layout.srafs().end());
+
+    std::vector<nn::Tensor> feats;
+    feats.reserve(static_cast<std::size_t>(layout.num_segments()));
+    for (const geo::Segment& s : layout.segments()) {
+        feats.push_back(encode_squish_window(all_mask, layout.targets(), s.control(), cfg_.squish));
+    }
+    return feats;
+}
+
+std::vector<int> CamoEngine::select_actions(const nn::Tensor& logits,
+                                            const std::vector<double>& epe_segment,
+                                            bool stochastic) {
+    const int n = logits.dim(0);
+    std::vector<int> actions(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+        auto probs = node_probs(logits, i);
+        probs = modulate_probs(probs, epe_segment[static_cast<std::size_t>(i)], cfg_.modulator);
+        if (stochastic) {
+            actions[static_cast<std::size_t>(i)] = sample_rng_.sample_weighted(probs);
+        } else {
+            actions[static_cast<std::size_t>(i)] = static_cast<int>(
+                std::max_element(probs.begin(), probs.end()) - probs.begin());
+        }
+    }
+    return actions;
+}
+
+opc::EngineResult CamoEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                       const opc::OpcOptions& opt) {
+    Timer timer;
+    opc::EngineResult res;
+    const Graph graph = build_segment_graph(layout, cfg_.graph_threshold_nm);
+
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
+                             opt.initial_bias_nm);
+    litho::SimMetrics m = sim.evaluate(layout, offsets);
+    res.epe_history.push_back(m.sum_abs_epe);
+    res.pvb_history.push_back(m.pvband_nm2);
+
+    const int features = static_cast<int>(layout.targets().size());
+    const int points = static_cast<int>(m.epe.size());
+
+    for (int it = 0; it < opt.max_iterations; ++it) {
+        if (opc::should_exit_early(m.sum_abs_epe, features, points, opt)) break;
+
+        const auto feats = encode_state(layout, offsets);
+        const nn::Tensor logits = policy_.forward(feats, graph);
+        const auto actions = select_actions(logits, m.epe_segment, /*stochastic=*/false);
+
+        apply_actions(offsets, actions, opt.max_total_offset_nm);
+        m = sim.evaluate(layout, offsets);
+        res.epe_history.push_back(m.sum_abs_epe);
+        res.pvb_history.push_back(m.pvband_nm2);
+        ++res.iterations;
+    }
+
+    res.final_offsets = std::move(offsets);
+    res.final_metrics = std::move(m);
+    res.runtime_s = timer.seconds();
+    return res;
+}
+
+TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
+                             litho::LithoSim& sim, const opc::OpcOptions& opt) {
+    TrainStats stats;
+
+    // ---- Phase 1: imitate rule-engine trajectories. ----------------------
+    struct Sample {
+        int clip = 0;
+        std::vector<nn::Tensor> features;
+        std::vector<int> actions;
+    };
+    std::vector<Sample> samples;
+    std::vector<Graph> graphs;
+    graphs.reserve(clips.size());
+
+    std::vector<int> biases = cfg_.teacher_biases;
+    if (biases.empty()) biases.push_back(opt.initial_bias_nm);
+
+    opc::RuleEngine teacher({.gain = 0.6, .max_step_nm = 2, .early_exit = false});
+    for (std::size_t c = 0; c < clips.size(); ++c) {
+        graphs.push_back(build_segment_graph(clips[c], cfg_.graph_threshold_nm));
+        for (int bias : biases) {
+            opc::OpcOptions teacher_opt = opt;
+            teacher_opt.initial_bias_nm = bias;
+            const rl::Trajectory traj =
+                teacher.record_trajectory(clips[c], sim, teacher_opt, cfg_.teacher_steps);
+            for (const rl::StepRecord& step : traj.steps) {
+                Sample s;
+                s.clip = static_cast<int>(c);
+                s.features = encode_state(clips[c], step.offsets_before);
+                s.actions = step.actions;
+                samples.push_back(std::move(s));
+            }
+        }
+    }
+
+    // Teacher data is heavily skewed toward the no-move action once its
+    // trajectory converges; inverse-frequency weights keep the rare +/-1
+    // and +/-2 corrections from being drowned out.
+    std::array<long long, rl::kNumActions> action_count{};
+    long long action_total = 0;
+    for (const Sample& s : samples) {
+        for (int a : s.actions) {
+            ++action_count[static_cast<std::size_t>(a)];
+            ++action_total;
+        }
+    }
+    std::array<float, rl::kNumActions> action_weight{};
+    for (int a = 0; a < rl::kNumActions; ++a) {
+        const long long cnt = std::max(1LL, action_count[static_cast<std::size_t>(a)]);
+        const double w = static_cast<double>(action_total) /
+                         (static_cast<double>(rl::kNumActions) * static_cast<double>(cnt));
+        action_weight[static_cast<std::size_t>(a)] = static_cast<float>(std::min(w, 20.0));
+    }
+
+    for (int epoch = 0; epoch < cfg_.phase1_epochs; ++epoch) {
+        double total_nll = 0.0;
+        long long total_nodes = 0;
+        for (const Sample& s : samples) {
+            const nn::Tensor logits = policy_.forward(s.features, graphs[static_cast<std::size_t>(s.clip)]);
+            const int n = logits.dim(0);
+            nn::Tensor dlogits({n, rl::kNumActions});
+            for (int i = 0; i < n; ++i) {
+                std::array<float, rl::kNumActions> row{};
+                for (int a = 0; a < rl::kNumActions; ++a) row[static_cast<std::size_t>(a)] = logits.at(i, a);
+                const std::span<const float> row_span(row.data(), row.size());
+                const int act = s.actions[static_cast<std::size_t>(i)];
+                total_nll -= nn::log_prob(row_span, act);
+                // coef = -w/n: gradient DEscent on class-weighted mean NLL.
+                const float coef = -action_weight[static_cast<std::size_t>(act)] /
+                                   static_cast<float>(n);
+                const auto g = nn::policy_logit_grad(row_span, act, coef);
+                for (int a = 0; a < rl::kNumActions; ++a) dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
+            }
+            total_nodes += n;
+            policy_.backward(dlogits);
+            optimizer_step();
+        }
+        stats.phase1_loss.push_back(total_nll / static_cast<double>(std::max(1LL, total_nodes)));
+        if (epoch % 10 == 0) {
+            log_info(cfg_.name + " phase1 epoch " + std::to_string(epoch) + " nll=" +
+                     std::to_string(stats.phase1_loss.back()));
+        }
+    }
+
+    // ---- Phase 2: modulated REINFORCE. -----------------------------------
+    for (int ep = 0; ep < cfg_.phase2_episodes; ++ep) {
+        double reward_sum = 0.0;
+        int reward_count = 0;
+        for (std::size_t c = 0; c < clips.size(); ++c) {
+            const geo::SegmentedLayout& layout = clips[c];
+            std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
+                                     opt.initial_bias_nm);
+            litho::SimMetrics m = sim.evaluate(layout, offsets);
+            const int features_count = static_cast<int>(layout.targets().size());
+            const int points = static_cast<int>(m.epe.size());
+
+            for (int t = 0; t < opt.max_iterations; ++t) {
+                if (opc::should_exit_early(m.sum_abs_epe, features_count, points, opt)) break;
+
+                const auto feats = encode_state(layout, offsets);
+                const nn::Tensor logits = policy_.forward(feats, graphs[c]);
+                const auto actions = select_actions(logits, m.epe_segment, /*stochastic=*/true);
+
+                apply_actions(offsets, actions, opt.max_total_offset_nm);
+                const litho::SimMetrics m2 = sim.evaluate(layout, offsets);
+                const double r = rl::step_reward(m.sum_abs_epe, m2.sum_abs_epe, m.pvband_nm2,
+                                                 m2.pvband_nm2, cfg_.reward);
+                reward_sum += r;
+                ++reward_count;
+
+                // Eq. (7): gradient ascent on r * log pi(a|s), computed on
+                // the unmodulated policy output.
+                const int n = logits.dim(0);
+                nn::Tensor dlogits({n, rl::kNumActions});
+                for (int i = 0; i < n; ++i) {
+                    std::array<float, rl::kNumActions> row{};
+                    for (int a = 0; a < rl::kNumActions; ++a) row[static_cast<std::size_t>(a)] = logits.at(i, a);
+                    const auto g = nn::policy_logit_grad(
+                        std::span<const float>(row.data(), row.size()),
+                        actions[static_cast<std::size_t>(i)],
+                        cfg_.phase2_lr_scale * static_cast<float>(-r) / static_cast<float>(n));
+                    for (int a = 0; a < rl::kNumActions; ++a) dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
+                }
+                policy_.backward(dlogits);
+                optimizer_step();
+                m = m2;
+            }
+        }
+        stats.phase2_reward.push_back(reward_sum / std::max(1, reward_count));
+        log_info(cfg_.name + " phase2 episode " + std::to_string(ep) + " mean reward=" +
+                 std::to_string(stats.phase2_reward.back()));
+    }
+    return stats;
+}
+
+}  // namespace camo::core

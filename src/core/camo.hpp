@@ -1,0 +1,119 @@
+// CamoEngine: the paper's OPC system, tying together squish encoding, the
+// segment graph, the correlation-aware policy network, the OPC-inspired
+// modulator and REINFORCE training.
+//
+// Training is two-phase (paper Algorithm 1):
+//   Phase 1 imitates 5-step trajectories recorded from the rule-based
+//   engine (the Calibre stand-in): a cross-entropy / policy-gradient update
+//   toward the teacher's actions.
+//   Phase 2 runs modulated RL: actions are sampled from the elementwise
+//   product of the policy output and the modulation vector, the reward is
+//   Eq. (3), and the update is Eq. (7) on the *unmodulated* policy output.
+//
+// Inference picks argmax of the modulated probability per segment and stops
+// on the paper's early-exit rules.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/modulator.hpp"
+#include "core/policy.hpp"
+#include "core/squish.hpp"
+#include "nn/adam.hpp"
+#include "nn/sgd.hpp"
+#include "opc/engine.hpp"
+#include "opc/rule_engine.hpp"
+#include "rl/reward.hpp"
+
+namespace camo::core {
+
+struct CamoConfig {
+    PolicyConfig policy;
+    ModulatorConfig modulator;
+    rl::RewardConfig reward;
+    SquishOptions squish;  ///< squish.size must equal policy.squish_size
+    double graph_threshold_nm = 250.0;
+
+    /// Optimizer choice. The paper uses SGD (lr 3e-4) over 500 GPU epochs;
+    /// Adam reaches the same imitation accuracy in far fewer CPU epochs
+    /// because it rescales the small discriminative gradient component.
+    enum class Optimizer { kAdam, kSgd };
+    Optimizer optimizer = Optimizer::kAdam;
+
+    float lr = 1e-3F;        ///< Adam default; use 3e-4 with kSgd (paper)
+    float momentum = 0.9F;   ///< SGD only
+    float clip_norm = 5.0F;  ///< global gradient-norm bound
+    float weight_decay = 1e-4F;
+
+    int phase1_epochs = 60;   ///< paper: 500 (quick default for CPU runs)
+    int teacher_steps = 5;    ///< paper: five-step Calibre trajectories
+    int phase2_episodes = 4;  ///< RL fine-tuning episodes over the train set
+
+    /// Step-size multiplier for the REINFORCE phase. The per-step global
+    /// reward gives poor per-segment credit assignment, so full-size
+    /// updates can erase a good imitation policy in a few noisy episodes.
+    float phase2_lr_scale = 0.2F;
+
+    /// Initial biases for teacher trajectory collection. Multiple starts
+    /// cover both over- and under-printed states (a single +3 nm start
+    /// never visits negative-EPE states, leaving the policy blind there).
+    /// Empty = use OpcOptions::initial_bias_nm only.
+    std::vector<int> teacher_biases;
+
+    std::string name = "camo";
+    std::uint64_t seed = 1;
+};
+
+struct TrainStats {
+    std::vector<double> phase1_loss;     ///< mean NLL per epoch
+    std::vector<double> phase2_reward;   ///< mean step reward per episode
+};
+
+class CamoEngine : public opc::Engine {
+public:
+    explicit CamoEngine(CamoConfig cfg);
+
+    [[nodiscard]] std::string name() const override { return cfg_.name; }
+
+    opc::EngineResult optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                               const opc::OpcOptions& opt) override;
+
+    /// Two-phase training on a set of fragmented clips.
+    TrainStats train(const std::vector<geo::SegmentedLayout>& clips, litho::LithoSim& sim,
+                     const opc::OpcOptions& opt);
+
+    /// Toggle the modulator (paper Section 4.4 / Figure 5 ablation).
+    void set_modulator_enabled(bool enabled) { cfg_.modulator.enabled = enabled; }
+    [[nodiscard]] bool modulator_enabled() const { return cfg_.modulator.enabled; }
+
+    void save_weights(const std::string& path) { policy_.save(path); }
+    [[nodiscard]] bool load_weights(const std::string& path) { return policy_.load(path); }
+
+    [[nodiscard]] PolicyNetwork& policy() { return policy_; }
+    [[nodiscard]] const CamoConfig& config() const { return cfg_; }
+
+    /// Per-node squish features of the mask state given by `offsets`.
+    [[nodiscard]] std::vector<nn::Tensor> encode_state(const geo::SegmentedLayout& layout,
+                                                       std::span<const int> offsets) const;
+
+private:
+    CamoConfig cfg_;
+    PolicyNetwork policy_;
+    std::optional<nn::Adam> adam_;
+    std::optional<nn::Sgd> sgd_;
+    Rng sample_rng_;
+
+    void optimizer_step();
+
+    /// Sample or argmax one action per node from (optionally modulated)
+    /// policy probabilities.
+    std::vector<int> select_actions(const nn::Tensor& logits,
+                                    const std::vector<double>& epe_segment, bool stochastic);
+};
+
+/// The RL-OPC baseline [12]: same training scheme, but per-segment
+/// independent decisions (no GNN fusion, no RNN) and no modulator.
+CamoConfig make_rlopc_config(const CamoConfig& base);
+
+}  // namespace camo::core

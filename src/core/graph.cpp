@@ -1,0 +1,24 @@
+#include "core/graph.hpp"
+
+namespace camo::core {
+
+Graph build_segment_graph(const geo::SegmentedLayout& layout, double threshold_nm) {
+    Graph g;
+    g.n = layout.num_segments();
+    g.neighbors.assign(static_cast<std::size_t>(g.n), {});
+
+    const auto& segs = layout.segments();
+    for (int i = 0; i < g.n; ++i) {
+        for (int j = i + 1; j < g.n; ++j) {
+            const double d = geo::distance(segs[static_cast<std::size_t>(i)].control(),
+                                           segs[static_cast<std::size_t>(j)].control());
+            if (d < threshold_nm) {
+                g.neighbors[static_cast<std::size_t>(i)].push_back(j);
+                g.neighbors[static_cast<std::size_t>(j)].push_back(i);
+            }
+        }
+    }
+    return g;
+}
+
+}  // namespace camo::core

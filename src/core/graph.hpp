@@ -1,0 +1,31 @@
+// Segment graph construction (paper Section 3.2, "Graph Construction").
+//
+// Nodes are boundary segments; an undirected edge connects two segments
+// whose control points are closer than a threshold (paper: 250 nm). The
+// node set and edge set are fixed for the whole OPC run because control
+// points live on the target boundary.
+#pragma once
+
+#include <vector>
+
+#include "geometry/layout.hpp"
+
+namespace camo::core {
+
+struct Graph {
+    int n = 0;
+    std::vector<std::vector<int>> neighbors;  ///< adjacency lists, no self loops
+
+    [[nodiscard]] int degree(int v) const {
+        return static_cast<int>(neighbors[static_cast<std::size_t>(v)].size());
+    }
+    [[nodiscard]] int edge_count() const {
+        int total = 0;
+        for (const auto& adj : neighbors) total += static_cast<int>(adj.size());
+        return total / 2;
+    }
+};
+
+Graph build_segment_graph(const geo::SegmentedLayout& layout, double threshold_nm = 250.0);
+
+}  // namespace camo::core

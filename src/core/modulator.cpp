@@ -1,0 +1,49 @@
+#include "core/modulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camo::core {
+
+std::array<double, rl::kNumActions> modulation_vector(double epe, const ModulatorConfig& cfg) {
+    // Sample x1 > x2 > ... > x5 evenly covering [0, EPE].
+    std::array<double, rl::kNumActions> x{};
+    for (int i = 0; i < rl::kNumActions; ++i) {
+        const double frac = static_cast<double>(rl::kNumActions - 1 - i) / (rl::kNumActions - 1);
+        x[static_cast<std::size_t>(i)] = epe >= 0.0 ? epe * frac : epe * (1.0 - frac);
+    }
+
+    std::array<double, rl::kNumActions> p{};
+    for (int i = 0; i < rl::kNumActions; ++i) {
+        p[static_cast<std::size_t>(i)] =
+            cfg.k * std::pow(x[static_cast<std::size_t>(i)], cfg.n) + cfg.b;
+    }
+
+    // Softmax.
+    const double pmax = *std::max_element(p.begin(), p.end());
+    double sum = 0.0;
+    for (double& v : p) {
+        v = std::exp(v - pmax);
+        sum += v;
+    }
+    for (double& v : p) v /= sum;
+    return p;
+}
+
+std::array<double, rl::kNumActions> modulate_probs(
+    const std::array<double, rl::kNumActions>& probs, double epe, const ModulatorConfig& cfg) {
+    if (!cfg.enabled) return probs;
+    const auto mod = modulation_vector(epe, cfg);
+    std::array<double, rl::kNumActions> out{};
+    double sum = 0.0;
+    for (int i = 0; i < rl::kNumActions; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            probs[static_cast<std::size_t>(i)] * mod[static_cast<std::size_t>(i)];
+        sum += out[static_cast<std::size_t>(i)];
+    }
+    if (sum <= 0.0) return probs;
+    for (double& v : out) v /= sum;
+    return out;
+}
+
+}  // namespace camo::core

@@ -1,0 +1,35 @@
+// OPC-inspired action modulator (paper Section 3.2 and Figure 4).
+//
+// Given a segment's signed EPE, five points are sampled evenly on [0, EPE]
+// with x1 > x2 > ... > x5, projected through f(x) = k x^n + b and softmax
+// normalized. The result is a preference vector over the movements
+// {m1..m5} = {-2,-1,0,+1,+2} nm:
+//   * positive EPE (contour outside the target) peaks at m1 (inward),
+//   * negative EPE peaks at m5 (outward),
+//   * near-zero EPE yields a nearly uniform vector.
+// f is flat near zero and steep for large |EPE|, so the preference is only
+// decisive when the lithographic evidence is strong.
+#pragma once
+
+#include <array>
+
+#include "rl/trajectory.hpp"
+
+namespace camo::core {
+
+struct ModulatorConfig {
+    double k = 0.02;  ///< paper: f(x) = 0.02 x^4 + 1
+    int n = 4;        ///< positive even exponent
+    double b = 1.0;
+    bool enabled = true;
+};
+
+/// Softmax-normalized preference over the 5 movements for a signed EPE.
+std::array<double, rl::kNumActions> modulation_vector(double epe, const ModulatorConfig& cfg);
+
+/// Elementwise product of policy probabilities with the modulation vector,
+/// renormalized. With cfg.enabled == false, returns `probs` unchanged.
+std::array<double, rl::kNumActions> modulate_probs(
+    const std::array<double, rl::kNumActions>& probs, double epe, const ModulatorConfig& cfg);
+
+}  // namespace camo::core

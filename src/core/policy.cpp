@@ -1,0 +1,212 @@
+#include "core/policy.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/serialize.hpp"
+#include "rl/trajectory.hpp"
+
+namespace camo::core {
+namespace {
+
+int conv_out_size(int s) { return s / 8; }  // three stride-2 stages
+
+}  // namespace
+
+PolicyNetwork::PolicyNetwork(const PolicyConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), head_(cfg.rnn_hidden, rl::kNumActions, rng_) {
+    const int c1 = cfg_.conv_base;
+    cnn_.emplace<nn::Conv2d>(6, c1, 3, 2, 1, rng_);
+    cnn_.emplace<nn::ReLU>();
+    cnn_.emplace<nn::Conv2d>(c1, c1 * 2, 3, 2, 1, rng_);
+    cnn_.emplace<nn::ReLU>();
+    cnn_.emplace<nn::Conv2d>(c1 * 2, c1 * 4, 3, 2, 1, rng_);
+    cnn_.emplace<nn::ReLU>();
+
+    const int flat = c1 * 4 * conv_out_size(cfg_.squish_size) * conv_out_size(cfg_.squish_size);
+    cnn_.emplace<nn::Linear>(flat, cfg_.embed_dim, rng_);
+    cnn_.emplace<nn::ReLU>();
+
+    if (cfg_.use_gnn) {
+        sage_ = std::make_unique<nn::Sequential>();
+        sage_->emplace<nn::Linear>(2 * cfg_.embed_dim, cfg_.embed_dim, rng_);
+        sage_->emplace<nn::ReLU>();
+    }
+    if (cfg_.use_rnn) {
+        rnn_ = std::make_unique<nn::Rnn>(cfg_.embed_dim, cfg_.rnn_hidden, cfg_.rnn_layers, rng_);
+    } else {
+        proj_ = std::make_unique<nn::Sequential>();
+        proj_->emplace<nn::Linear>(cfg_.embed_dim, cfg_.rnn_hidden, rng_);
+        proj_->emplace<nn::ReLU>();
+    }
+}
+
+nn::Tensor PolicyNetwork::forward(const std::vector<nn::Tensor>& features, const Graph& graph) {
+    const int n = static_cast<int>(features.size());
+    if (n == 0) throw std::invalid_argument("PolicyNetwork: empty node set");
+    if (graph.n != n) throw std::invalid_argument("PolicyNetwork: graph/feature size mismatch");
+
+    cache_ = Cache{};
+    cache_.graph = graph;
+    cache_.n = n;
+    cache_.cnn_tapes.resize(static_cast<std::size_t>(n));
+    cache_.embeds.resize(static_cast<std::size_t>(n));
+    cache_.head_tapes.resize(static_cast<std::size_t>(n));
+
+    // Shared CNN encoder per node. The flatten is a pure reshape.
+    for (int i = 0; i < n; ++i) {
+        const nn::Tensor& f = features[static_cast<std::size_t>(i)];
+        cache_.embeds[static_cast<std::size_t>(i)] =
+            cnn_.forward(f, cache_.cnn_tapes[static_cast<std::size_t>(i)]);
+    }
+
+    // GraphSAGE: h_i = ReLU(W [e_i ; mean_{j in N(i)} e_j]).
+    std::vector<nn::Tensor> fused(static_cast<std::size_t>(n));
+    if (cfg_.use_gnn) {
+        cache_.sage_tapes.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            nn::Tensor cat({2 * cfg_.embed_dim});
+            const auto& e = cache_.embeds[static_cast<std::size_t>(i)];
+            for (int d = 0; d < cfg_.embed_dim; ++d) cat[static_cast<std::size_t>(d)] = e[static_cast<std::size_t>(d)];
+            const auto& nbrs = graph.neighbors[static_cast<std::size_t>(i)];
+            if (!nbrs.empty()) {
+                const float inv = 1.0F / static_cast<float>(nbrs.size());
+                for (int j : nbrs) {
+                    const auto& ej = cache_.embeds[static_cast<std::size_t>(j)];
+                    for (int d = 0; d < cfg_.embed_dim; ++d) {
+                        cat[static_cast<std::size_t>(cfg_.embed_dim + d)] += inv * ej[static_cast<std::size_t>(d)];
+                    }
+                }
+            }
+            fused[static_cast<std::size_t>(i)] =
+                sage_->forward(cat, cache_.sage_tapes[static_cast<std::size_t>(i)]);
+        }
+    } else {
+        for (int i = 0; i < n; ++i) fused[static_cast<std::size_t>(i)] = cache_.embeds[static_cast<std::size_t>(i)].reshaped({cfg_.embed_dim});
+    }
+
+    // Sequential decision context.
+    std::vector<nn::Tensor> ctx(static_cast<std::size_t>(n));
+    if (cfg_.use_rnn) {
+        nn::Tensor seq({n, cfg_.embed_dim});
+        for (int i = 0; i < n; ++i) {
+            for (int d = 0; d < cfg_.embed_dim; ++d) {
+                seq.at(i, d) = fused[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)];
+            }
+        }
+        const nn::Tensor hidden = rnn_->forward(seq, cache_.rnn_tape);
+        for (int i = 0; i < n; ++i) {
+            nn::Tensor h({cfg_.rnn_hidden});
+            for (int d = 0; d < cfg_.rnn_hidden; ++d) h[static_cast<std::size_t>(d)] = hidden.at(i, d);
+            ctx[static_cast<std::size_t>(i)] = std::move(h);
+        }
+    } else {
+        cache_.proj_tapes.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            ctx[static_cast<std::size_t>(i)] = proj_->forward(
+                fused[static_cast<std::size_t>(i)], cache_.proj_tapes[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    nn::Tensor logits({n, rl::kNumActions});
+    for (int i = 0; i < n; ++i) {
+        const nn::Tensor o =
+            head_.forward(ctx[static_cast<std::size_t>(i)], cache_.head_tapes[static_cast<std::size_t>(i)]);
+        for (int a = 0; a < rl::kNumActions; ++a) logits.at(i, a) = o[static_cast<std::size_t>(a)];
+    }
+    cache_.valid = true;
+    return logits;
+}
+
+void PolicyNetwork::backward(const nn::Tensor& dlogits) {
+    if (!cache_.valid) throw std::logic_error("PolicyNetwork::backward without forward");
+    const int n = cache_.n;
+
+    // Head backward per node.
+    std::vector<nn::Tensor> dctx(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        nn::Tensor g({rl::kNumActions});
+        for (int a = 0; a < rl::kNumActions; ++a) g[static_cast<std::size_t>(a)] = dlogits.at(i, a);
+        dctx[static_cast<std::size_t>(i)] =
+            head_.backward(g, cache_.head_tapes[static_cast<std::size_t>(i)]);
+    }
+
+    // RNN (or projection) backward.
+    std::vector<nn::Tensor> dfused(static_cast<std::size_t>(n));
+    if (cfg_.use_rnn) {
+        nn::Tensor gseq({n, cfg_.rnn_hidden});
+        for (int i = 0; i < n; ++i) {
+            for (int d = 0; d < cfg_.rnn_hidden; ++d) {
+                gseq.at(i, d) = dctx[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)];
+            }
+        }
+        const nn::Tensor gx = rnn_->backward(gseq, cache_.rnn_tape);
+        for (int i = 0; i < n; ++i) {
+            nn::Tensor g({cfg_.embed_dim});
+            for (int d = 0; d < cfg_.embed_dim; ++d) g[static_cast<std::size_t>(d)] = gx.at(i, d);
+            dfused[static_cast<std::size_t>(i)] = std::move(g);
+        }
+    } else {
+        for (int i = 0; i < n; ++i) {
+            dfused[static_cast<std::size_t>(i)] = proj_->backward(
+                dctx[static_cast<std::size_t>(i)], cache_.proj_tapes[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    // SAGE backward: distribute into d(embeds).
+    std::vector<nn::Tensor> dembed(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) dembed[static_cast<std::size_t>(i)] = nn::Tensor({cfg_.embed_dim});
+    if (cfg_.use_gnn) {
+        for (int i = n - 1; i >= 0; --i) {
+            const nn::Tensor gcat = sage_->backward(dfused[static_cast<std::size_t>(i)],
+                                                    cache_.sage_tapes[static_cast<std::size_t>(i)]);
+            for (int d = 0; d < cfg_.embed_dim; ++d) {
+                dembed[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] += gcat[static_cast<std::size_t>(d)];
+            }
+            const auto& nbrs = cache_.graph.neighbors[static_cast<std::size_t>(i)];
+            if (!nbrs.empty()) {
+                const float inv = 1.0F / static_cast<float>(nbrs.size());
+                for (int j : nbrs) {
+                    for (int d = 0; d < cfg_.embed_dim; ++d) {
+                        dembed[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] +=
+                            inv * gcat[static_cast<std::size_t>(cfg_.embed_dim + d)];
+                    }
+                }
+            }
+        }
+    } else {
+        for (int i = 0; i < n; ++i) dembed[static_cast<std::size_t>(i)] = std::move(dfused[static_cast<std::size_t>(i)]);
+    }
+
+    // Shared CNN backward per node (gradients accumulate in the weights).
+    for (int i = n - 1; i >= 0; --i) {
+        (void)cnn_.backward(dembed[static_cast<std::size_t>(i)],
+                            cache_.cnn_tapes[static_cast<std::size_t>(i)]);
+    }
+    cache_.valid = false;
+}
+
+std::vector<nn::Parameter*> PolicyNetwork::params() {
+    std::vector<nn::Parameter*> out = cnn_.params();
+    if (sage_) {
+        auto p = sage_->params();
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    if (rnn_) {
+        auto p = rnn_->params();
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    if (proj_) {
+        auto p = proj_->params();
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    auto p = head_.params();
+    out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+void PolicyNetwork::save(const std::string& path) { nn::save_params(path, params()); }
+
+bool PolicyNetwork::load(const std::string& path) { return nn::load_params(path, params()); }
+
+}  // namespace camo::core

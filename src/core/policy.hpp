@@ -1,0 +1,80 @@
+// CAMO's correlation-aware policy network (paper Section 3.2).
+//
+// Per node (segment): a shared CNN encodes the [6,S,S] squish tensor into a
+// 256-d feature. A GraphSAGE step fuses each node's feature with the mean
+// of its graph neighbours' features (capturing spatial correlation among
+// nearby segments). A 3-layer Elman RNN then sweeps the node sequence so
+// each decision is conditioned on the segments already processed, and a
+// final 64x5 linear head emits movement logits.
+//
+// The RL-OPC baseline [12] is this same class with use_gnn = use_rnn =
+// false: per-segment independent decisions from local features only.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/graph.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/rnn.hpp"
+#include "nn/sequential.hpp"
+
+namespace camo::core {
+
+struct PolicyConfig {
+    int squish_size = 32;  ///< S; paper uses 128 (via) / 64 (metal)
+    int embed_dim = 256;   ///< GNN output and RNN input width (paper: 256)
+    int rnn_hidden = 64;   ///< paper: 64
+    int rnn_layers = 3;    ///< paper: 3
+    int conv_base = 8;     ///< first conv width; doubles per stage
+    bool use_gnn = true;
+    bool use_rnn = true;
+    std::uint64_t seed = 1;
+};
+
+class PolicyNetwork {
+public:
+    explicit PolicyNetwork(const PolicyConfig& cfg);
+
+    /// Forward the whole node set; features[i] is node i's [6,S,S] squish
+    /// tensor. Returns logits [n, 5]. Caches activations for one backward.
+    nn::Tensor forward(const std::vector<nn::Tensor>& features, const Graph& graph);
+
+    /// Backward from d(logits) [n, 5]; accumulates parameter gradients.
+    /// Must follow the matching forward().
+    void backward(const nn::Tensor& dlogits);
+
+    std::vector<nn::Parameter*> params();
+
+    void save(const std::string& path);
+    [[nodiscard]] bool load(const std::string& path);
+
+    [[nodiscard]] const PolicyConfig& config() const { return cfg_; }
+
+private:
+    PolicyConfig cfg_;
+    Rng rng_;
+
+    nn::Sequential cnn_;                    // shared encoder -> embed_dim
+    std::unique_ptr<nn::Sequential> sage_;  // Linear(2*embed -> embed) + ReLU
+    std::unique_ptr<nn::Rnn> rnn_;          // embed -> rnn_hidden
+    std::unique_ptr<nn::Sequential> proj_;  // no-RNN path: embed -> rnn_hidden
+    nn::Linear head_;                       // rnn_hidden -> 5
+
+    struct Cache {
+        Graph graph;
+        std::vector<nn::Tape> cnn_tapes;
+        std::vector<nn::Tensor> embeds;  // e_i, kept for SAGE backward
+        std::vector<nn::Tape> sage_tapes;
+        nn::Tape rnn_tape;
+        std::vector<nn::Tape> proj_tapes;
+        std::vector<nn::Tape> head_tapes;
+        int n = 0;
+        bool valid = false;
+    };
+    Cache cache_;
+};
+
+}  // namespace camo::core

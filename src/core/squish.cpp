@@ -1,0 +1,202 @@
+#include "core/squish.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace camo::core {
+namespace {
+
+struct SquishGrid {
+    std::vector<double> dx;             // column widths (nm)
+    std::vector<double> dy;             // row heights (nm)
+    std::vector<std::vector<float>> m;  // occupancy [row][col]
+
+    [[nodiscard]] int cols() const { return static_cast<int>(dx.size()); }
+    [[nodiscard]] int rows() const { return static_cast<int>(dy.size()); }
+};
+
+// Collect sorted unique scanline coordinates within [lo, hi] from the given
+// polygon sets' edges perpendicular to the axis.
+std::vector<double> scanlines(std::span<const geo::Polygon* const> sources, double lo, double hi,
+                              bool vertical) {
+    std::vector<double> lines{lo, hi};
+    for (const geo::Polygon* poly : sources) {
+        const auto& v = poly->vertices();
+        const int n = static_cast<int>(v.size());
+        for (int i = 0; i < n; ++i) {
+            const geo::Point& a = v[static_cast<std::size_t>(i)];
+            const geo::Point& b = v[static_cast<std::size_t>((i + 1) % n)];
+            double coord = 0.0;
+            if (vertical && a.x == b.x) {
+                coord = a.x;  // vertical edge -> x scanline
+            } else if (!vertical && a.y == b.y) {
+                coord = a.y;  // horizontal edge -> y scanline
+            } else {
+                continue;
+            }
+            if (coord > lo && coord < hi) lines.push_back(coord);
+        }
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+bool covered(std::span<const geo::Polygon> polys, geo::FPoint p) {
+    for (const geo::Polygon& poly : polys) {
+        if (poly.contains(p)) return true;
+    }
+    return false;
+}
+
+// Occupancy of the mask alone (targets empty), or — when `targets` is given
+// — a signed movement map: where mask and target coverage differ, the cell
+// holds sign * (1 + log1p(sliver width in nm)), with + for mask growth and
+// - for recession. This is what "highlighting the edge movements" (paper
+// Sec. 3.2) needs in a learnable form: both the direction and the magnitude
+// of each segment's accumulated movement are first-class pixel values. A
+// plain mask-occupancy second grid would differ from the first one by a few
+// 1e-2-scale spacing entries only, which SGD amplifies far too slowly.
+SquishGrid build_grid(std::span<const geo::Polygon> mask, std::span<const geo::Polygon> targets,
+                      const std::vector<double>& xs, const std::vector<double>& ys) {
+    SquishGrid g;
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) g.dx.push_back(xs[i + 1] - xs[i]);
+    for (std::size_t j = 0; j + 1 < ys.size(); ++j) g.dy.push_back(ys[j + 1] - ys[j]);
+
+    g.m.assign(static_cast<std::size_t>(g.rows()),
+               std::vector<float>(static_cast<std::size_t>(g.cols()), 0.0F));
+    for (int r = 0; r < g.rows(); ++r) {
+        const double cy = 0.5 * (ys[static_cast<std::size_t>(r)] + ys[static_cast<std::size_t>(r) + 1]);
+        const double cell_h = g.dy[static_cast<std::size_t>(r)];
+        for (int c = 0; c < g.cols(); ++c) {
+            const double cx = 0.5 * (xs[static_cast<std::size_t>(c)] + xs[static_cast<std::size_t>(c) + 1]);
+            const bool in_mask = covered(mask, {cx, cy});
+            float v = in_mask ? 1.0F : 0.0F;
+            if (!targets.empty()) {
+                const bool in_target = covered(targets, {cx, cy});
+                if (in_mask == in_target) {
+                    v = in_mask ? 1.0F : 0.0F;
+                } else {
+                    const double cell_w = g.dx[static_cast<std::size_t>(c)];
+                    const double sliver = std::min(cell_w, cell_h);
+                    const float mag = 2.0F * (1.0F + static_cast<float>(std::log1p(sliver)));
+                    v = in_mask ? mag : -mag;
+                }
+            }
+            g.m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = v;
+        }
+    }
+    return g;
+}
+
+// Resize the columns (axis=true) or rows to exactly `target` entries:
+// split the widest cell while short, merge the narrowest adjacent pair
+// while long. Occupancy is duplicated on split and OR-merged on merge.
+void adapt_axis(SquishGrid& g, int target, bool columns) {
+    auto& d = columns ? g.dx : g.dy;
+
+    while (static_cast<int>(d.size()) < target) {
+        const auto it = std::max_element(d.begin(), d.end());
+        const auto idx = static_cast<std::size_t>(it - d.begin());
+        const double half = *it / 2.0;
+        d[idx] = half;
+        d.insert(d.begin() + static_cast<std::ptrdiff_t>(idx), half);
+        if (columns) {
+            for (auto& row : g.m) {
+                row.insert(row.begin() + static_cast<std::ptrdiff_t>(idx), row[idx]);
+            }
+        } else {
+            g.m.insert(g.m.begin() + static_cast<std::ptrdiff_t>(idx), g.m[idx]);
+        }
+    }
+
+    while (static_cast<int>(d.size()) > target) {
+        std::size_t best = 0;
+        double best_sum = 1e300;
+        for (std::size_t i = 0; i + 1 < d.size(); ++i) {
+            const double s = d[i] + d[i + 1];
+            if (s < best_sum) {
+                best_sum = s;
+                best = i;
+            }
+        }
+        // Merged occupancy keeps the stronger-magnitude value so signed
+        // movement cells (+/-1) survive merging with empty cells.
+        auto merge = [](float a, float b) { return std::abs(a) >= std::abs(b) ? a : b; };
+        d[best] += d[best + 1];
+        d.erase(d.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+        if (columns) {
+            for (auto& row : g.m) {
+                row[best] = merge(row[best], row[best + 1]);
+                row.erase(row.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+            }
+        } else {
+            for (std::size_t c = 0; c < g.m[best].size(); ++c) {
+                g.m[best][c] = merge(g.m[best][c], g.m[best + 1][c]);
+            }
+            g.m.erase(g.m.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+        }
+    }
+}
+
+// Write one 3-channel squish block into `out` starting at channel `ch0`.
+// Spacings use a log scale: OPC decisions hinge on few-nm slivers between
+// mask and target scanlines, which a linear delta / window encoding would
+// map to values of order 1e-3 the CNN could barely amplify.
+void emit_channels(nn::Tensor& out, const SquishGrid& g, int ch0, double window_nm) {
+    const int s = out.dim(1);
+    const double norm = std::log1p(window_nm);
+    for (int r = 0; r < s; ++r) {
+        for (int c = 0; c < s; ++c) {
+            out.at(ch0, r, c) = g.m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+            out.at(ch0 + 1, r, c) =
+                static_cast<float>(std::log1p(g.dx[static_cast<std::size_t>(c)]) / norm);
+            out.at(ch0 + 2, r, c) =
+                static_cast<float>(std::log1p(g.dy[static_cast<std::size_t>(r)]) / norm);
+        }
+    }
+}
+
+}  // namespace
+
+nn::Tensor encode_squish_window(std::span<const geo::Polygon> mask,
+                                std::span<const geo::Polygon> targets, geo::FPoint center,
+                                const SquishOptions& opt) {
+    const double half = opt.window_nm / 2.0;
+    const double xlo = center.x - half;
+    const double xhi = center.x + half;
+    const double ylo = center.y - half;
+    const double yhi = center.y + half;
+
+    // Pointers to the polygons that supply scanlines for each variant.
+    std::vector<const geo::Polygon*> mask_only;
+    for (const geo::Polygon& p : mask) mask_only.push_back(&p);
+    std::vector<const geo::Polygon*> with_targets = mask_only;
+    for (const geo::Polygon& p : targets) with_targets.push_back(&p);
+
+    nn::Tensor out({6, opt.size, opt.size});
+
+    // Channels 0-2: mask-geometry scanlines, plain mask occupancy.
+    {
+        const auto xs = scanlines(mask_only, xlo, xhi, true);
+        const auto ys = scanlines(mask_only, ylo, yhi, false);
+        SquishGrid g = build_grid(mask, {}, xs, ys);
+        adapt_axis(g, opt.size, true);
+        adapt_axis(g, opt.size, false);
+        emit_channels(out, g, 0, opt.window_nm);
+    }
+    // Channels 3-5: extra scanlines at target edges, signed mask-minus-
+    // target occupancy highlighting every segment's movement.
+    {
+        const auto xs = scanlines(with_targets, xlo, xhi, true);
+        const auto ys = scanlines(with_targets, ylo, yhi, false);
+        SquishGrid g = build_grid(mask, targets, xs, ys);
+        adapt_axis(g, opt.size, true);
+        adapt_axis(g, opt.size, false);
+        emit_channels(out, g, 3, opt.window_nm);
+    }
+    return out;
+}
+
+}  // namespace camo::core

@@ -1,0 +1,34 @@
+// Adaptive squish-pattern encoding of a control point's neighborhood
+// (paper Figure 3, following Yang et al. ASPDAC'19).
+//
+// A window centred on the control point is cut into a topology grid by
+// scanlines at the geometry edges; the grid occupancy matrix M plus the
+// spacing vectors (dx, dy) losslessly describe the window. The grid is then
+// adaptively resized to a fixed size x size shape (splitting the widest
+// cells / merging the narrowest) so a CNN can consume it.
+//
+// CAMO's node feature doubles the encoding: channels 0-2 use scanlines from
+// the *current mask* geometry only; channels 3-5 add scanlines at the
+// *target* pattern edges, highlighting how far segments have moved. Both
+// occupancy channels mark current-mask geometry.
+#pragma once
+
+#include <span>
+
+#include "geometry/polygon.hpp"
+#include "nn/tensor.hpp"
+
+namespace camo::core {
+
+struct SquishOptions {
+    int window_nm = 500;  ///< neighborhood window (paper: 500 nm)
+    int size = 32;        ///< output grid edge (paper: 128 via / 64 metal)
+};
+
+/// Encode one control-point window into a [6, size, size] tensor.
+/// `mask` = current mask polygons incl. SRAFs; `targets` = design polygons.
+nn::Tensor encode_squish_window(std::span<const geo::Polygon> mask,
+                                std::span<const geo::Polygon> targets, geo::FPoint center,
+                                const SquishOptions& opt);
+
+}  // namespace camo::core

@@ -1,0 +1,92 @@
+#include "geometry/fragment.hpp"
+
+#include <stdexcept>
+
+namespace camo::geo {
+namespace {
+
+struct EdgeInfo {
+    Axis axis;
+    int line;
+    int t0;
+    int t1;
+    int outward;
+};
+
+// Outward normal for a CCW polygon is the right-hand side of travel.
+EdgeInfo classify_edge(const Point& a, const Point& b) {
+    EdgeInfo e{};
+    if (a.y == b.y) {
+        e.axis = Axis::kHorizontal;
+        e.line = a.y;
+        e.t0 = a.x;
+        e.t1 = b.x;
+        // Travelling east (+x): right-hand side is -y; west: +y.
+        e.outward = (b.x > a.x) ? -1 : +1;
+    } else {
+        e.axis = Axis::kVertical;
+        e.line = a.x;
+        e.t0 = a.y;
+        e.t1 = b.y;
+        // Travelling north (+y): right-hand side is +x; south: -x.
+        e.outward = (b.y > a.y) ? +1 : -1;
+    }
+    return e;
+}
+
+// Split positions along [0, len] for a measured metal edge: k measure points
+// at `pitch` spacing centred on the edge, segment boundaries at midpoints
+// between points, remainder absorbed by the end segments.
+std::vector<int> metal_cut_positions(int len, int pitch) {
+    const int k = std::max(1, len / pitch);
+    std::vector<int> cuts;  // interior cut positions, strictly inside (0,len)
+    if (k == 1) return cuts;
+    const int r = len - k * pitch;
+    const double first_point = 0.5 * r + 0.5 * pitch;
+    for (int i = 0; i + 1 < k; ++i) {
+        const double boundary = first_point + pitch * i + 0.5 * pitch;
+        cuts.push_back(static_cast<int>(boundary + 0.5));
+    }
+    return cuts;
+}
+
+}  // namespace
+
+std::vector<Segment> fragment_polygon(const Polygon& poly, const FragmentOptions& opt,
+                                      int poly_index) {
+    if (!poly.is_rectilinear()) throw std::invalid_argument("fragment: non-rectilinear polygon");
+    if (poly.signed_area2() <= 0) throw std::invalid_argument("fragment: polygon must be CCW");
+
+    std::vector<Segment> segs;
+    const auto& v = poly.vertices();
+    const int nv = static_cast<int>(v.size());
+
+    for (int i = 0; i < nv; ++i) {
+        const EdgeInfo e = classify_edge(v[i], v[(i + 1) % nv]);
+        const int len = std::abs(e.t1 - e.t0);
+        const int dir = (e.t1 > e.t0) ? 1 : -1;
+
+        const bool split = opt.style == FragmentStyle::kMetal && e.axis == Axis::kHorizontal;
+        std::vector<int> cuts;  // distances from t0 along travel
+        if (split) cuts = metal_cut_positions(len, opt.measure_pitch_nm);
+
+        int prev = 0;
+        cuts.push_back(len);
+        for (int cut : cuts) {
+            Segment s{};
+            s.axis = e.axis;
+            s.line = e.line;
+            s.t0 = e.t0 + dir * prev;
+            s.t1 = e.t0 + dir * cut;
+            s.outward = e.outward;
+            s.poly = poly_index;
+            s.edge = i;
+            s.measured = opt.style == FragmentStyle::kVia || split;
+            segs.push_back(s);
+            prev = cut;
+        }
+    }
+    return segs;
+}
+
+}  // namespace camo::geo

@@ -1,0 +1,32 @@
+// Boundary fragmentation policies.
+//
+// Via layers: each polygon edge is one segment, measured at its center (the
+// paper's "edges are regarded as segments and no fragmentation is needed").
+//
+// Metal layers: edges along the primary (horizontal) direction are split so
+// that measure points sit at 60 nm pitch centred on the edge, each point at
+// the centre of its segment, with the division remainder absorbed by the two
+// end segments; perpendicular edges (line ends) become single unmeasured
+// segments that OPC may still move.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/segment.hpp"
+
+namespace camo::geo {
+
+enum class FragmentStyle { kVia, kMetal };
+
+struct FragmentOptions {
+    FragmentStyle style = FragmentStyle::kVia;
+    int measure_pitch_nm = 60;  ///< measure-point spacing for metal edges
+};
+
+/// Fragment one polygon; segments come out in CCW boundary order.
+/// `poly_index` is recorded into each segment.
+std::vector<Segment> fragment_polygon(const Polygon& poly, const FragmentOptions& opt,
+                                      int poly_index);
+
+}  // namespace camo::geo

@@ -1,0 +1,77 @@
+// Basic integer-nanometer geometry types.
+//
+// All layout coordinates in this library are integers in nanometers with a
+// y-up axis convention. Counter-clockwise polygon orientation encloses
+// positive area; the interior lies on the left of the direction of travel,
+// so the outward normal is the right-hand side of travel.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace camo::geo {
+
+/// Integer point in nanometers.
+struct Point {
+    int x = 0;
+    int y = 0;
+
+    friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Floating-point location in nanometers (sub-pixel results, control points).
+struct FPoint {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend bool operator==(const FPoint&, const FPoint&) = default;
+};
+
+inline double distance(const FPoint& a, const FPoint& b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Closed axis-aligned rectangle [xlo, xhi] x [ylo, yhi].
+struct Rect {
+    int xlo = 0;
+    int ylo = 0;
+    int xhi = 0;
+    int yhi = 0;
+
+    [[nodiscard]] int width() const { return xhi - xlo; }
+    [[nodiscard]] int height() const { return yhi - ylo; }
+    [[nodiscard]] bool empty() const { return xhi <= xlo || yhi <= ylo; }
+    [[nodiscard]] long long area() const {
+        return empty() ? 0LL
+                       : static_cast<long long>(width()) * static_cast<long long>(height());
+    }
+    [[nodiscard]] FPoint center() const {
+        return {0.5 * (xlo + xhi), 0.5 * (ylo + yhi)};
+    }
+    [[nodiscard]] bool contains(const Point& p) const {
+        return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+    }
+    [[nodiscard]] bool intersects(const Rect& o) const {
+        return xlo < o.xhi && o.xlo < xhi && ylo < o.yhi && o.ylo < yhi;
+    }
+    [[nodiscard]] Rect expanded(int margin) const {
+        return {xlo - margin, ylo - margin, xhi + margin, yhi + margin};
+    }
+
+    friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Minimum separation between two rectangles along axes (0 if they overlap
+/// or touch in that axis). Useful for spacing-rule checks in generators.
+inline int rect_gap(const Rect& a, const Rect& b) {
+    const int dx = std::max({a.xlo - b.xhi, b.xlo - a.xhi, 0});
+    const int dy = std::max({a.ylo - b.yhi, b.ylo - a.yhi, 0});
+    // Chebyshev-style: diagonal neighbours are as far as the larger gap.
+    return std::max(dx, dy);
+}
+
+/// Axis of an edge or segment.
+enum class Axis : std::uint8_t { kHorizontal, kVertical };
+
+}  // namespace camo::geo

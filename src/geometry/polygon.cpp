@@ -1,0 +1,93 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace camo::geo {
+
+Polygon Polygon::from_rect(const Rect& r) {
+    return Polygon({{r.xlo, r.ylo}, {r.xhi, r.ylo}, {r.xhi, r.yhi}, {r.xlo, r.yhi}});
+}
+
+long long Polygon::signed_area2() const {
+    long long acc = 0;
+    const int n = size();
+    for (int i = 0; i < n; ++i) {
+        const Point& a = v_[i];
+        const Point& b = v_[(i + 1) % n];
+        acc += static_cast<long long>(a.x) * b.y - static_cast<long long>(b.x) * a.y;
+    }
+    return acc;
+}
+
+Rect Polygon::bbox() const {
+    if (v_.empty()) return {};
+    Rect r{std::numeric_limits<int>::max(), std::numeric_limits<int>::max(),
+           std::numeric_limits<int>::min(), std::numeric_limits<int>::min()};
+    for (const Point& p : v_) {
+        r.xlo = std::min(r.xlo, p.x);
+        r.ylo = std::min(r.ylo, p.y);
+        r.xhi = std::max(r.xhi, p.x);
+        r.yhi = std::max(r.yhi, p.y);
+    }
+    return r;
+}
+
+bool Polygon::is_rectilinear() const {
+    const int n = size();
+    if (n < 4) return false;
+    for (int i = 0; i < n; ++i) {
+        const Point& a = v_[i];
+        const Point& b = v_[(i + 1) % n];
+        const bool horizontal = (a.y == b.y) && (a.x != b.x);
+        const bool vertical = (a.x == b.x) && (a.y != b.y);
+        if (!horizontal && !vertical) return false;
+    }
+    return true;
+}
+
+bool Polygon::contains(const FPoint& p) const {
+    // Cast a ray upward (+y); accumulate winding from horizontal edges above
+    // the point whose x-span straddles p.x. Leftward edges (CCW tops) add +1.
+    int winding = 0;
+    const int n = size();
+    for (int i = 0; i < n; ++i) {
+        const Point& a = v_[i];
+        const Point& b = v_[(i + 1) % n];
+        if (a.y != b.y) continue;  // only horizontal edges cross an upward ray
+        if (static_cast<double>(a.y) < p.y) continue;
+        const double xlo = std::min(a.x, b.x);
+        const double xhi = std::max(a.x, b.x);
+        // Half-open span avoids double counting at shared vertices.
+        if (p.x >= xlo && p.x < xhi) winding += (b.x < a.x) ? 1 : -1;
+    }
+    return winding != 0;
+}
+
+void Polygon::normalize() {
+    if (v_.size() < 3) return;
+    if (signed_area2() < 0) std::reverse(v_.begin(), v_.end());
+
+    // Drop exact duplicates, then collinear middle vertices.
+    std::vector<Point> out;
+    out.reserve(v_.size());
+    for (const Point& p : v_) {
+        if (out.empty() || !(out.back() == p)) out.push_back(p);
+    }
+    if (out.size() > 1 && out.front() == out.back()) out.pop_back();
+
+    std::vector<Point> cleaned;
+    cleaned.reserve(out.size());
+    const int n = static_cast<int>(out.size());
+    for (int i = 0; i < n; ++i) {
+        const Point& prev = out[(i + n - 1) % n];
+        const Point& cur = out[i];
+        const Point& next = out[(i + 1) % n];
+        const bool collinear_x = (prev.x == cur.x && cur.x == next.x);
+        const bool collinear_y = (prev.y == cur.y && cur.y == next.y);
+        if (!collinear_x && !collinear_y) cleaned.push_back(cur);
+    }
+    v_ = std::move(cleaned);
+}
+
+}  // namespace camo::geo

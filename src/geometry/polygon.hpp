@@ -1,0 +1,51 @@
+// Rectilinear (axis-aligned) polygon with integer-nm vertices.
+#pragma once
+
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+namespace camo::geo {
+
+/// Closed rectilinear polygon. Vertices are listed without repeating the
+/// first one; consecutive vertices must differ in exactly one coordinate.
+/// normalize() enforces counter-clockwise orientation (positive area, y-up)
+/// and removes zero-length and collinear-redundant vertices.
+class Polygon {
+public:
+    Polygon() = default;
+    explicit Polygon(std::vector<Point> vertices) : v_(std::move(vertices)) {}
+
+    static Polygon from_rect(const Rect& r);
+
+    [[nodiscard]] const std::vector<Point>& vertices() const { return v_; }
+    [[nodiscard]] int size() const { return static_cast<int>(v_.size()); }
+    [[nodiscard]] bool empty() const { return v_.empty(); }
+
+    /// Twice the signed shoelace area (integer-exact). Positive = CCW.
+    [[nodiscard]] long long signed_area2() const;
+
+    /// Absolute area in nm^2.
+    [[nodiscard]] double area() const {
+        return 0.5 * static_cast<double>(std::abs(signed_area2()));
+    }
+
+    [[nodiscard]] Rect bbox() const;
+
+    /// True if every edge is axis-parallel and non-degenerate.
+    [[nodiscard]] bool is_rectilinear() const;
+
+    /// Non-zero winding containment test (points exactly on the boundary
+    /// count as inside for the upward-ray convention used here).
+    [[nodiscard]] bool contains(const FPoint& p) const;
+
+    /// Enforce CCW orientation and drop duplicate/collinear vertices.
+    void normalize();
+
+    friend bool operator==(const Polygon&, const Polygon&) = default;
+
+private:
+    std::vector<Point> v_;
+};
+
+}  // namespace camo::geo

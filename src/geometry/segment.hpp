@@ -1,0 +1,55 @@
+// Boundary segments: the movable unit of OPC correction.
+//
+// Fragmentation splits each polygon edge into one or more segments. A
+// segment lives on an axis-parallel line; moving it by `offset` nanometers
+// displaces that line along the outward normal (positive = outward, i.e.
+// the mask grows locally; negative = inward). Control points (segment
+// midpoints on the *target* boundary) are fixed for the whole OPC run, so
+// the segment graph and node count never change — matching the paper's
+// consistent fragmentation strategy.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/geometry.hpp"
+
+namespace camo::geo {
+
+struct Segment {
+    Axis axis = Axis::kHorizontal;  ///< direction the segment runs along
+    int line = 0;   ///< fixed coordinate of the target edge (y if horizontal)
+    int t0 = 0;     ///< start coordinate along the direction of travel (CCW)
+    int t1 = 0;     ///< end coordinate along the direction of travel
+    int outward = 1;  ///< outward normal sign along the fixed axis (+1/-1)
+    int poly = 0;     ///< owning polygon index within the layout
+    int edge = 0;     ///< owning edge index within the polygon
+    bool measured = false;  ///< whether an EPE measure point sits at its center
+
+    [[nodiscard]] int length() const { return t0 < t1 ? t1 - t0 : t0 - t1; }
+
+    /// Segment midpoint on the target boundary (fixed over the OPC run).
+    [[nodiscard]] FPoint control() const {
+        const double mid = 0.5 * (t0 + t1);
+        if (axis == Axis::kHorizontal) return {mid, static_cast<double>(line)};
+        return {static_cast<double>(line), mid};
+    }
+
+    /// Unit outward normal.
+    [[nodiscard]] FPoint normal() const {
+        if (axis == Axis::kHorizontal) return {0.0, static_cast<double>(outward)};
+        return {static_cast<double>(outward), 0.0};
+    }
+
+    /// Line coordinate after applying a perpendicular offset (nm, +=outward).
+    [[nodiscard]] int moved_line(int offset) const { return line + offset * outward; }
+};
+
+/// EPE measurement site: a location on the target boundary plus the outward
+/// normal along which the printed-contour displacement is measured.
+struct MeasurePoint {
+    FPoint pos;
+    FPoint normal;    ///< unit outward normal
+    int segment = 0;  ///< index of the owning segment in the layout
+};
+
+}  // namespace camo::geo

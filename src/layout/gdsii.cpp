@@ -1,0 +1,228 @@
+#include "layout/gdsii.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace camo::layout {
+namespace {
+
+// GDSII record types (subset).
+enum : std::uint8_t {
+    kHeader = 0x00,
+    kBgnLib = 0x01,
+    kLibName = 0x02,
+    kUnits = 0x03,
+    kEndLib = 0x04,
+    kBgnStr = 0x05,
+    kStrName = 0x06,
+    kEndStr = 0x07,
+    kBoundary = 0x08,
+    kLayer = 0x0D,
+    kDataType = 0x0E,
+    kXy = 0x10,
+    kEndEl = 0x11,
+};
+
+enum : std::uint8_t {
+    kNoData = 0x00,
+    kInt2 = 0x02,
+    kInt4 = 0x03,
+    kReal8 = 0x05,
+    kAscii = 0x06,
+};
+
+class RecordWriter {
+public:
+    explicit RecordWriter(const std::string& path) : out_(path, std::ios::binary) {
+        if (!out_) throw std::runtime_error("gds: cannot open " + path);
+    }
+
+    void record(std::uint8_t type, std::uint8_t dtype, const std::vector<std::uint8_t>& payload) {
+        const std::size_t len = 4 + payload.size();
+        put16(static_cast<std::uint16_t>(len));
+        out_.put(static_cast<char>(type));
+        out_.put(static_cast<char>(dtype));
+        out_.write(reinterpret_cast<const char*>(payload.data()),
+                   static_cast<std::streamsize>(payload.size()));
+    }
+
+    void record_i16(std::uint8_t type, std::initializer_list<std::int16_t> vals) {
+        std::vector<std::uint8_t> p;
+        for (std::int16_t v : vals) {
+            p.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+            p.push_back(static_cast<std::uint8_t>(v & 0xFF));
+        }
+        record(type, kInt2, p);
+    }
+
+    void record_i32(std::uint8_t type, const std::vector<std::int32_t>& vals) {
+        std::vector<std::uint8_t> p;
+        for (std::int32_t v : vals) {
+            p.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+            p.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+            p.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+            p.push_back(static_cast<std::uint8_t>(v & 0xFF));
+        }
+        record(type, kInt4, p);
+    }
+
+    void record_ascii(std::uint8_t type, const std::string& s) {
+        std::vector<std::uint8_t> p(s.begin(), s.end());
+        if (p.size() % 2 != 0) p.push_back(0);  // records are 16-bit padded
+        record(type, kAscii, p);
+    }
+
+    void record_real8(std::uint8_t type, std::initializer_list<double> vals) {
+        std::vector<std::uint8_t> p;
+        for (double v : vals) {
+            // GDSII excess-64 base-16 real format.
+            std::uint64_t bits = 0;
+            if (v != 0.0) {
+                const bool neg = v < 0.0;
+                double mant = neg ? -v : v;
+                int exp = 0;
+                while (mant >= 1.0) {
+                    mant /= 16.0;
+                    ++exp;
+                }
+                while (mant < 1.0 / 16.0) {
+                    mant *= 16.0;
+                    --exp;
+                }
+                const auto mant_bits = static_cast<std::uint64_t>(mant * 72057594037927936.0);
+                bits = (static_cast<std::uint64_t>(neg ? 1 : 0) << 63) |
+                       (static_cast<std::uint64_t>(exp + 64) << 56) | (mant_bits & ((1ULL << 56) - 1));
+            }
+            for (int b = 7; b >= 0; --b) p.push_back(static_cast<std::uint8_t>((bits >> (8 * b)) & 0xFF));
+        }
+        record(type, kReal8, p);
+    }
+
+private:
+    void put16(std::uint16_t v) {
+        out_.put(static_cast<char>((v >> 8) & 0xFF));
+        out_.put(static_cast<char>(v & 0xFF));
+    }
+
+    std::ofstream out_;
+};
+
+}  // namespace
+
+void write_gds(const std::string& path, const GdsLibrary& lib) {
+    RecordWriter w(path);
+    w.record_i16(kHeader, {600});
+    w.record_i16(kBgnLib, {2024, 1, 1, 0, 0, 0, 2024, 1, 1, 0, 0, 0});
+    w.record_ascii(kLibName, lib.name);
+    w.record_real8(kUnits, {1e-3, 1e-9});  // user unit, database unit (m)
+    w.record_i16(kBgnStr, {2024, 1, 1, 0, 0, 0, 2024, 1, 1, 0, 0, 0});
+    w.record_ascii(kStrName, lib.structure);
+
+    for (const auto& [layer, polys] : lib.layers) {
+        for (const geo::Polygon& poly : polys) {
+            w.record(kBoundary, kNoData, {});
+            w.record_i16(kLayer, {static_cast<std::int16_t>(layer)});
+            w.record_i16(kDataType, {0});
+            std::vector<std::int32_t> xy;
+            for (const geo::Point& p : poly.vertices()) {
+                xy.push_back(p.x);
+                xy.push_back(p.y);
+            }
+            // GDSII closes the loop explicitly.
+            if (!poly.vertices().empty()) {
+                xy.push_back(poly.vertices().front().x);
+                xy.push_back(poly.vertices().front().y);
+            }
+            w.record_i32(kXy, xy);
+            w.record(kEndEl, kNoData, {});
+        }
+    }
+    w.record(kEndStr, kNoData, {});
+    w.record(kEndLib, kNoData, {});
+}
+
+GdsLibrary read_gds(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("gds: cannot open " + path);
+
+    GdsLibrary lib;
+    lib.name.clear();
+    lib.structure.clear();
+
+    int cur_layer = 0;
+    std::vector<geo::Point> cur_pts;
+    bool in_boundary = false;
+
+    auto get16 = [&in]() -> int {
+        const int hi = in.get();
+        const int lo = in.get();
+        if (hi < 0 || lo < 0) return -1;
+        return (hi << 8) | lo;
+    };
+
+    while (true) {
+        const int len = get16();
+        if (len < 0) break;  // EOF
+        if (len < 4) throw std::runtime_error("gds: bad record length");
+        const int type = in.get();
+        const int dtype = in.get();
+        (void)dtype;
+        std::vector<std::uint8_t> payload(static_cast<std::size_t>(len - 4));
+        in.read(reinterpret_cast<char*>(payload.data()), len - 4);
+        if (!in) throw std::runtime_error("gds: truncated record");
+
+        auto i16_at = [&payload](std::size_t i) -> std::int16_t {
+            return static_cast<std::int16_t>((payload[i] << 8) | payload[i + 1]);
+        };
+        auto i32_at = [&payload](std::size_t i) -> std::int32_t {
+            return static_cast<std::int32_t>((static_cast<std::uint32_t>(payload[i]) << 24) |
+                                             (static_cast<std::uint32_t>(payload[i + 1]) << 16) |
+                                             (static_cast<std::uint32_t>(payload[i + 2]) << 8) |
+                                             static_cast<std::uint32_t>(payload[i + 3]));
+        };
+
+        switch (type) {
+            case kLibName:
+                lib.name.assign(payload.begin(), payload.end());
+                while (!lib.name.empty() && lib.name.back() == '\0') lib.name.pop_back();
+                break;
+            case kStrName:
+                lib.structure.assign(payload.begin(), payload.end());
+                while (!lib.structure.empty() && lib.structure.back() == '\0') lib.structure.pop_back();
+                break;
+            case kBoundary:
+                in_boundary = true;
+                cur_pts.clear();
+                cur_layer = 0;
+                break;
+            case kLayer:
+                if (in_boundary && payload.size() >= 2) cur_layer = i16_at(0);
+                break;
+            case kXy:
+                if (in_boundary) {
+                    for (std::size_t i = 0; i + 7 < payload.size(); i += 8) {
+                        cur_pts.push_back({i32_at(i), i32_at(i + 4)});
+                    }
+                    // Drop the explicit closing point.
+                    if (cur_pts.size() > 1 && cur_pts.front() == cur_pts.back()) cur_pts.pop_back();
+                }
+                break;
+            case kEndEl:
+                if (in_boundary && cur_pts.size() >= 3) {
+                    geo::Polygon poly(cur_pts);
+                    poly.normalize();
+                    lib.layers[cur_layer].push_back(std::move(poly));
+                }
+                in_boundary = false;
+                break;
+            case kEndLib:
+                return lib;
+            default:
+                break;  // records we do not interpret (header, units, dates)
+        }
+    }
+    return lib;
+}
+
+}  // namespace camo::layout

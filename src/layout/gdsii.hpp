@@ -1,0 +1,30 @@
+// Minimal GDSII stream-format writer/reader.
+//
+// Supports the subset a mask-optimization flow needs: one structure holding
+// BOUNDARY elements on integer-nm coordinates, with a layer number per
+// polygon set (targets, SRAFs and optimized masks go on separate layers).
+// Database unit is 1 nm (1e-9 m), user unit 1e-3 um.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+
+namespace camo::layout {
+
+struct GdsLibrary {
+    std::string name = "CAMO";
+    std::string structure = "TOP";
+    /// layer number -> polygons
+    std::map<int, std::vector<geo::Polygon>> layers;
+};
+
+void write_gds(const std::string& path, const GdsLibrary& lib);
+
+/// Parses the subset written by write_gds (and any stream file consisting of
+/// BOUNDARY elements). Throws std::runtime_error on malformed input.
+GdsLibrary read_gds(const std::string& path);
+
+}  // namespace camo::layout

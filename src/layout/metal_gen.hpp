@@ -1,0 +1,52 @@
+// Metal-layer clip generator.
+//
+// Substitutes the paper's metal dataset (1.5 um x 1.5 um clips sampled from
+// an OpenROAD/NanGate45 layout plus regular metal patterns). Wires run in
+// the primary (horizontal) direction; EPE measure points are placed at
+// 60 nm pitch on primary-direction edges, so a wire whose horizontal edge
+// holds k points contributes 2k measure points. Each benchmark case is
+// constructed to hit the paper's exact Table 2 measure-point count:
+// M1..M10 -> 64, 84, 88, 100, 106, 112, 116, 24, 72, 120.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "layout/via_gen.hpp"  // Clip
+
+namespace camo::layout {
+
+struct MetalGenOptions {
+    int clip_nm = 1500;
+    int margin_nm = 150;        ///< keep-out from clip borders
+    int measure_pitch_nm = 60;  ///< must match the fragmentation pitch
+    int min_width_nm = 50;
+    int max_width_nm = 90;
+    int min_gap_nm = 80;        ///< same-track wire-to-wire gap
+    int min_track_gap_nm = 60;  ///< vertical spacing between tracks
+    int max_points_per_wire = 6;
+};
+
+/// Random standard-cell-style clip whose horizontal edges carry exactly
+/// `point_quota` measure points in total (quota must be even).
+std::vector<geo::Polygon> generate_metal_clip(int point_quota, Rng& rng,
+                                              const MetalGenOptions& opt = {});
+
+/// Regular line/space array with exactly `point_quota` measure points
+/// (the paper's second metal category).
+std::vector<geo::Polygon> generate_regular_metal_clip(int point_quota, Rng& rng,
+                                                      const MetalGenOptions& opt = {});
+
+/// Measure points a polygon set will produce under metal fragmentation.
+int count_measure_points(const std::vector<geo::Polygon>& polys, int pitch_nm);
+
+/// The 10 test cases M1..M10 with the paper's measure-point counts. M8 and
+/// M9 use the regular-pattern generator; the rest are random clips.
+std::vector<Clip> metal_test_set(std::uint64_t seed, const MetalGenOptions& opt = {});
+
+/// Training clips for the metal policy (same generator, disjoint seeds).
+std::vector<Clip> metal_training_set(std::uint64_t seed, int count = 8,
+                                     const MetalGenOptions& opt = {});
+
+}  // namespace camo::layout

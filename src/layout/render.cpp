@@ -1,0 +1,94 @@
+#include "layout/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace camo::layout {
+namespace {
+
+void write_ppm(const std::string& path, int w, int h, const std::vector<Rgb>& pixels) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("ppm: cannot open " + path);
+    out << "P6\n" << w << " " << h << "\n255\n";
+    for (const Rgb& p : pixels) {
+        out.put(static_cast<char>(p.r));
+        out.put(static_cast<char>(p.g));
+        out.put(static_cast<char>(p.b));
+    }
+}
+
+// Raster rows are y-up; image rows are top-down, so flip vertically.
+std::vector<Rgb> raster_to_pixels(const geo::Raster& raster,
+                                  const std::vector<Rgb>& palette, bool indexed) {
+    const int n = raster.n();
+    std::vector<Rgb> px(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int row = 0; row < n; ++row) {
+        for (int col = 0; col < n; ++col) {
+            const float v = raster.at(n - 1 - row, col);
+            Rgb c;
+            if (indexed) {
+                const int idx = static_cast<int>(v + 0.5F);
+                if (idx > 0 && idx <= static_cast<int>(palette.size())) {
+                    c = palette[static_cast<std::size_t>(idx - 1)];
+                }
+            } else {
+                const auto g = static_cast<unsigned char>(std::clamp(v, 0.0F, 1.0F) * 255.0F);
+                c = {g, g, g};
+            }
+            px[static_cast<std::size_t>(row) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(col)] = c;
+        }
+    }
+    return px;
+}
+
+}  // namespace
+
+void write_ppm_gray(const std::string& path, const geo::Raster& raster) {
+    write_ppm(path, raster.n(), raster.n(), raster_to_pixels(raster, {}, false));
+}
+
+void write_ppm_indexed(const std::string& path, const geo::Raster& raster,
+                       const std::vector<Rgb>& palette) {
+    write_ppm(path, raster.n(), raster.n(), raster_to_pixels(raster, palette, true));
+}
+
+void render_fig6(const std::string& prefix, const Fig6Inputs& in) {
+    const int n = in.printed_nominal.n();
+    const double px = in.printed_nominal.pixel_nm();
+
+    auto polygons_to_raster = [&](const std::vector<geo::Polygon>& polys) {
+        geo::Raster r(n, px);
+        for (const geo::Polygon& p : polys) {
+            std::vector<geo::Point> v = p.vertices();
+            for (geo::Point& q : v) {
+                q.x += in.offset_nm;
+                q.y += in.offset_nm;
+            }
+            r.add_polygon(geo::Polygon(std::move(v)));
+        }
+        r.clamp01();
+        return r;
+    };
+
+    write_ppm_gray(prefix + "_target.ppm", polygons_to_raster(in.target));
+    write_ppm_gray(prefix + "_mask.ppm", polygons_to_raster(in.mask));
+    write_ppm_gray(prefix + "_contour.ppm", in.printed_nominal);
+
+    // PV band in amber on black, printed region in gray beneath.
+    geo::Raster overlay(n, px);
+    for (int row = 0; row < n; ++row) {
+        for (int col = 0; col < n; ++col) {
+            float v = 0.0F;
+            if (in.printed_nominal.at(row, col) > 0.5F) v = 1.0F;
+            if (in.pvband.at(row, col) > 0.5F) v = 2.0F;
+            overlay.at(row, col) = v;
+        }
+    }
+    write_ppm_indexed(prefix + "_pvband.ppm", overlay,
+                      {{120, 120, 120}, {255, 176, 32}});
+}
+
+}  // namespace camo::layout

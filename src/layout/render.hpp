@@ -1,0 +1,40 @@
+// PPM rendering of rasters and layout overlays (paper Figure 6 panels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/raster.hpp"
+
+namespace camo::layout {
+
+struct Rgb {
+    unsigned char r = 0;
+    unsigned char g = 0;
+    unsigned char b = 0;
+};
+
+/// Write a grayscale raster as a binary PPM (values clamped to [0,1]).
+void write_ppm_gray(const std::string& path, const geo::Raster& raster);
+
+/// Write a raster where each pixel value indexes a small palette (0 = black
+/// background, 1..n = palette colors). Values are rounded.
+void write_ppm_indexed(const std::string& path, const geo::Raster& raster,
+                       const std::vector<Rgb>& palette);
+
+/// The four Figure 6 panels: (a) target, (b) mask, (c) printed contour,
+/// (d) PV band. Files are written as <prefix>_target.ppm, _mask.ppm,
+/// _contour.ppm and _pvband.ppm.
+struct Fig6Inputs {
+    std::vector<geo::Polygon> target;
+    std::vector<geo::Polygon> mask;       ///< OPC'd mask incl. SRAFs
+    geo::Raster printed_nominal{1, 1.0};  ///< binary printed image
+    geo::Raster pvband{1, 1.0};           ///< binary PV band image
+    int clip_nm = 1500;
+    int offset_nm = 0;                    ///< clip offset inside the sim frame
+};
+
+void render_fig6(const std::string& prefix, const Fig6Inputs& in);
+
+}  // namespace camo::layout

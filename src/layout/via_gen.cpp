@@ -1,0 +1,74 @@
+#include "layout/via_gen.hpp"
+
+#include <stdexcept>
+
+namespace camo::layout {
+namespace {
+
+// Paper Table 1 via counts for V1..V13.
+constexpr int kTestViaCounts[] = {2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 6, 6, 6};
+// Training set: 11 clips with 2-5 vias.
+constexpr int kTrainViaCounts[] = {2, 2, 3, 3, 3, 4, 4, 4, 5, 5, 5};
+
+}  // namespace
+
+std::vector<geo::Polygon> generate_via_clip(int via_count, Rng& rng, const ViaGenOptions& opt) {
+    const int lo = opt.margin_nm;
+    const int hi = opt.clip_nm - opt.margin_nm - opt.via_nm;
+    if (hi <= lo) throw std::invalid_argument("via clip: margins leave no room");
+
+    std::vector<geo::Rect> placed;
+    int attempts = 0;
+    const int max_attempts = 20000;
+    while (static_cast<int>(placed.size()) < via_count && attempts < max_attempts) {
+        ++attempts;
+        const int snap = opt.grid_snap_nm;
+        const int x = lo + rng.uniform_int(0, (hi - lo) / snap) * snap;
+        const int y = lo + rng.uniform_int(0, (hi - lo) / snap) * snap;
+        const geo::Rect cand{x, y, x + opt.via_nm, y + opt.via_nm};
+
+        bool ok = true;
+        for (const geo::Rect& r : placed) {
+            if (geo::rect_gap(cand, r) < opt.min_spacing_nm) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) placed.push_back(cand);
+    }
+    if (static_cast<int>(placed.size()) < via_count) {
+        throw std::runtime_error("via clip: placement failed (spacing too tight)");
+    }
+
+    std::vector<geo::Polygon> out;
+    out.reserve(placed.size());
+    for (const geo::Rect& r : placed) out.push_back(geo::Polygon::from_rect(r));
+    return out;
+}
+
+std::vector<Clip> via_training_set(std::uint64_t seed, const ViaGenOptions& opt) {
+    std::vector<Clip> clips;
+    int idx = 1;
+    for (int count : kTrainViaCounts) {
+        Rng rng(seed + static_cast<std::uint64_t>(idx) * 7919ULL);
+        clips.push_back({"T" + std::to_string(idx), generate_via_clip(count, rng, opt),
+                         opt.clip_nm});
+        ++idx;
+    }
+    return clips;
+}
+
+std::vector<Clip> via_test_set(std::uint64_t seed, const ViaGenOptions& opt) {
+    std::vector<Clip> clips;
+    int idx = 1;
+    for (int count : kTestViaCounts) {
+        // Offset the stream so test clips never repeat training clips.
+        Rng rng(seed + 1000003ULL + static_cast<std::uint64_t>(idx) * 104729ULL);
+        clips.push_back({"V" + std::to_string(idx), generate_via_clip(count, rng, opt),
+                         opt.clip_nm});
+        ++idx;
+    }
+    return clips;
+}
+
+}  // namespace camo::layout

@@ -1,0 +1,44 @@
+// Via-layer clip generator.
+//
+// Substitutes the dataset of Liu et al. [17] used by the paper: 2 um x 2 um
+// clips containing 70 nm x 70 nm via patterns. The paper's training set has
+// 11 clips with 2-5 vias; the test set has 13 clips with 2-6 vias whose
+// per-case counts (Table 1) are reproduced exactly:
+// V1..V13 -> 2,2,3,3,4,4,5,5,6,6,6,6,6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/polygon.hpp"
+
+namespace camo::layout {
+
+struct ViaGenOptions {
+    int clip_nm = 2000;
+    int via_nm = 70;
+    int margin_nm = 400;       ///< keep-out from clip borders
+    int min_spacing_nm = 250;  ///< minimum edge-to-edge spacing between vias
+    int grid_snap_nm = 10;     ///< placement grid
+};
+
+/// A named benchmark clip.
+struct Clip {
+    std::string name;
+    std::vector<geo::Polygon> targets;
+    int clip_nm = 2000;
+};
+
+/// Random clip with exactly `via_count` vias satisfying the spacing rule.
+std::vector<geo::Polygon> generate_via_clip(int via_count, Rng& rng,
+                                            const ViaGenOptions& opt = {});
+
+/// 11 training clips with 2-5 vias (paper Section 4.1).
+std::vector<Clip> via_training_set(std::uint64_t seed, const ViaGenOptions& opt = {});
+
+/// 13 test clips V1..V13 with the paper's exact via counts.
+std::vector<Clip> via_test_set(std::uint64_t seed, const ViaGenOptions& opt = {});
+
+}  // namespace camo::layout

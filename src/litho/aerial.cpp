@@ -1,0 +1,54 @@
+#include "litho/aerial.hpp"
+
+#include <stdexcept>
+
+namespace camo::litho {
+
+std::vector<Complex> mask_spectrum(const geo::Raster& mask) {
+    const int n = mask.n();
+    std::vector<Complex> buf(static_cast<std::size_t>(n) * n);
+    const auto data = mask.data();
+    for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = Complex(data[i], 0.0F);
+    fft2d_forward(buf, n);
+    return buf;
+}
+
+KernelApplicator::KernelApplicator(KernelSet kernels, int grid)
+    : kernels_(std::move(kernels)), grid_(grid) {
+    if (!is_pow2(grid_)) throw std::invalid_argument("grid must be a power of two");
+    pos_.reserve(kernels_.support.size());
+    row_nonzero_.assign(static_cast<std::size_t>(grid_), 0);
+    for (const FreqIndex& f : kernels_.support) {
+        const int row = ((f.ky % grid_) + grid_) % grid_;
+        const int col = ((f.kx % grid_) + grid_) % grid_;
+        pos_.push_back(row * grid_ + col);
+        row_nonzero_[static_cast<std::size_t>(row)] = 1;
+    }
+}
+
+geo::Raster KernelApplicator::apply(std::span<const Complex> spectrum, double pixel_nm) const {
+    const int n = grid_;
+    if (static_cast<int>(spectrum.size()) != n * n) {
+        throw std::invalid_argument("spectrum size mismatch");
+    }
+
+    geo::Raster intensity(n, pixel_nm);
+    std::vector<Complex> field(static_cast<std::size_t>(n) * n);
+
+    for (int k = 0; k < kernels_.count(); ++k) {
+        std::fill(field.begin(), field.end(), Complex{});
+        const auto& coeff = kernels_.coeffs[static_cast<std::size_t>(k)];
+        for (std::size_t i = 0; i < pos_.size(); ++i) {
+            const auto p = static_cast<std::size_t>(pos_[i]);
+            field[p] = coeff[i] * spectrum[p];
+        }
+        fft2d_inverse_rowsparse(field, n, row_nonzero_);
+
+        const auto lambda = static_cast<float>(kernels_.eigenvalues[static_cast<std::size_t>(k)]);
+        auto out = intensity.data();
+        for (std::size_t i = 0; i < field.size(); ++i) out[i] += lambda * std::norm(field[i]);
+    }
+    return intensity;
+}
+
+}  // namespace camo::litho

@@ -1,0 +1,35 @@
+// Aerial-image computation: applies a SOCS kernel set to a mask spectrum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "litho/fft.hpp"
+#include "litho/tcc.hpp"
+
+namespace camo::litho {
+
+/// Forward-FFT a coverage raster into a mask spectrum (row-major n*n).
+std::vector<Complex> mask_spectrum(const geo::Raster& mask);
+
+/// Applies one kernel set to mask spectra. The applicator precomputes the
+/// wrapped lattice addresses of the kernel support and the set of occupied
+/// spectrum rows, so each kernel costs one row-sparse inverse FFT.
+class KernelApplicator {
+public:
+    KernelApplicator(KernelSet kernels, int grid);
+
+    /// I(x) = sum_k lambda_k |IFFT(Phi_k .* M)|^2, returned on the mask grid.
+    [[nodiscard]] geo::Raster apply(std::span<const Complex> spectrum, double pixel_nm) const;
+
+    [[nodiscard]] const KernelSet& kernels() const { return kernels_; }
+
+private:
+    KernelSet kernels_;
+    int grid_;
+    std::vector<int> pos_;                    // wrapped flat index per support entry
+    std::vector<std::uint8_t> row_nonzero_;   // rows containing any support entry
+};
+
+}  // namespace camo::litho

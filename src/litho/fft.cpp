@@ -1,0 +1,123 @@
+#include "litho/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace camo::litho {
+namespace {
+
+// Twiddle table for a given size and direction, cached across calls.
+// (The library runs single-threaded; a simple static cache suffices.)
+const std::vector<Complex>& twiddles(int n, bool inverse) {
+    static std::vector<Complex> fwd_cache;
+    static std::vector<Complex> inv_cache;
+    static int fwd_n = 0;
+    static int inv_n = 0;
+
+    std::vector<Complex>& cache = inverse ? inv_cache : fwd_cache;
+    int& cached_n = inverse ? inv_n : fwd_n;
+    if (cached_n != n) {
+        cache.resize(static_cast<std::size_t>(n) / 2);
+        const double sign = inverse ? 1.0 : -1.0;
+        for (int k = 0; k < n / 2; ++k) {
+            const double ang = sign * 2.0 * std::numbers::pi * k / n;
+            cache[static_cast<std::size_t>(k)] =
+                Complex(static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang)));
+        }
+        cached_n = n;
+    }
+    return cache;
+}
+
+void fft_core(std::span<Complex> a, bool inverse) {
+    const int n = static_cast<int>(a.size());
+    if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+    // Bit-reversal permutation.
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(j)]);
+    }
+
+    const auto& tw = twiddles(n, inverse);
+    for (int len = 2; len <= n; len <<= 1) {
+        const int step = n / len;
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; ++k) {
+                const Complex w = tw[static_cast<std::size_t>(k * step)];
+                Complex& u = a[static_cast<std::size_t>(i + k)];
+                Complex& v = a[static_cast<std::size_t>(i + k + len / 2)];
+                const Complex t = v * w;
+                v = u - t;
+                u = u + t;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_forward(std::span<Complex> data) { fft_core(data, false); }
+
+void fft_inverse(std::span<Complex> data) {
+    fft_core(data, true);
+    const float scale = 1.0F / static_cast<float>(data.size());
+    for (Complex& c : data) c *= scale;
+}
+
+namespace {
+
+void transform_rows(std::span<Complex> grid, int n, bool inverse,
+                    std::span<const std::uint8_t> row_mask) {
+    for (int r = 0; r < n; ++r) {
+        if (!row_mask.empty() && !row_mask[static_cast<std::size_t>(r)]) continue;
+        fft_core(grid.subspan(static_cast<std::size_t>(r) * static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)),
+                 inverse);
+    }
+}
+
+void transform_cols(std::span<Complex> grid, int n, bool inverse) {
+    std::vector<Complex> col(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+        for (int r = 0; r < n; ++r) {
+            col[static_cast<std::size_t>(r)] =
+                grid[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(c)];
+        }
+        fft_core(col, inverse);
+        for (int r = 0; r < n; ++r) {
+            grid[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(c)] = col[static_cast<std::size_t>(r)];
+        }
+    }
+}
+
+}  // namespace
+
+void fft2d_forward(std::span<Complex> grid, int n) {
+    transform_rows(grid, n, false, {});
+    transform_cols(grid, n, false);
+}
+
+void fft2d_inverse(std::span<Complex> grid, int n) {
+    transform_rows(grid, n, true, {});
+    transform_cols(grid, n, true);
+    const float scale = 1.0F / (static_cast<float>(n) * static_cast<float>(n));
+    for (Complex& c : grid) c *= scale;
+}
+
+void fft2d_inverse_rowsparse(std::span<Complex> grid, int n,
+                             std::span<const std::uint8_t> row_nonzero) {
+    transform_rows(grid, n, true, row_nonzero);
+    transform_cols(grid, n, true);
+    const float scale = 1.0F / (static_cast<float>(n) * static_cast<float>(n));
+    for (Complex& c : grid) c *= scale;
+}
+
+}  // namespace camo::litho

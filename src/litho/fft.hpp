@@ -1,0 +1,40 @@
+// Iterative radix-2 complex FFT (1D and 2D, power-of-two sizes).
+//
+// Conventions: forward() applies no scaling; inverse() scales by 1/N (1D)
+// or 1/N^2 (2D), so inverse(forward(x)) == x.
+//
+// fft2d_inverse_rowsparse() exploits that SOCS kernels occupy a small
+// frequency-domain support: the row pass is skipped for all-zero rows,
+// roughly halving the cost of each kernel convolution.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace camo::litho {
+
+using Complex = std::complex<float>;
+
+/// True iff n is a power of two (and > 0).
+bool is_pow2(int n);
+
+/// In-place forward FFT of length data.size() (power of two).
+void fft_forward(std::span<Complex> data);
+
+/// In-place inverse FFT (includes the 1/N scale).
+void fft_inverse(std::span<Complex> data);
+
+/// In-place forward 2D FFT of an n-by-n row-major grid.
+void fft2d_forward(std::span<Complex> grid, int n);
+
+/// In-place inverse 2D FFT (includes the 1/N^2 scale).
+void fft2d_inverse(std::span<Complex> grid, int n);
+
+/// Inverse 2D FFT that skips the row pass on all-zero rows; `row_nonzero`
+/// flags which rows contain any nonzero entry (nonzero byte = occupied).
+/// Result is identical to fft2d_inverse().
+void fft2d_inverse_rowsparse(std::span<Complex> grid, int n,
+                             std::span<const std::uint8_t> row_nonzero);
+
+}  // namespace camo::litho

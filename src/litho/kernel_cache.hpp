@@ -1,0 +1,30 @@
+// Disk cache for SOCS kernel sets. Building the TCC and extracting kernels
+// takes seconds at production grid sizes; the cache keys on a hash of every
+// physics-affecting configuration field so stale entries are never reused.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "litho/config.hpp"
+#include "litho/tcc.hpp"
+
+namespace camo::litho {
+
+struct CachedKernels {
+    KernelSet nominal;
+    KernelSet defocus;
+    double threshold = 0.0;
+};
+
+/// Path of the cache entry for this configuration.
+std::string kernel_cache_path(const LithoConfig& cfg);
+
+/// Load a cache entry; nullopt when missing or malformed.
+std::optional<CachedKernels> load_kernel_cache(const LithoConfig& cfg);
+
+/// Store a cache entry (creates the cache directory if needed). No-op when
+/// cfg.cache_dir is empty.
+void store_kernel_cache(const LithoConfig& cfg, const CachedKernels& kernels);
+
+}  // namespace camo::litho

@@ -1,0 +1,62 @@
+#include "litho/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace camo::litho {
+
+std::vector<double> jacobi_eig_symmetric(std::vector<double> a, int n, std::vector<double>& v) {
+    if (n <= 0 || static_cast<int>(a.size()) != n * n) {
+        throw std::invalid_argument("jacobi: bad dimensions");
+    }
+    auto A = [&a, n](int r, int c) -> double& { return a[static_cast<std::size_t>(r) * n + c]; };
+
+    v.assign(static_cast<std::size_t>(n) * n, 0.0);
+    auto V = [&v, n](int r, int c) -> double& { return v[static_cast<std::size_t>(r) * n + c]; };
+    for (int i = 0; i < n; ++i) V(i, i) = 1.0;
+
+    const int max_sweeps = 64;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (int p = 0; p < n; ++p)
+            for (int q = p + 1; q < n; ++q) off += A(p, q) * A(p, q);
+        if (off < 1e-24) break;
+
+        for (int p = 0; p < n; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                const double apq = A(p, q);
+                if (std::abs(apq) < 1e-300) continue;
+                const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (int k = 0; k < n; ++k) {
+                    const double akp = A(k, p);
+                    const double akq = A(k, q);
+                    A(k, p) = c * akp - s * akq;
+                    A(k, q) = s * akp + c * akq;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double apk = A(p, k);
+                    const double aqk = A(q, k);
+                    A(p, k) = c * apk - s * aqk;
+                    A(q, k) = s * apk + c * aqk;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double vkp = V(k, p);
+                    const double vkq = V(k, q);
+                    V(k, p) = c * vkp - s * vkq;
+                    V(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<double> eig(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) eig[static_cast<std::size_t>(i)] = A(i, i);
+    return eig;
+}
+
+}  // namespace camo::litho

@@ -1,0 +1,16 @@
+// Small dense linear-algebra routines for the SOCS decomposition. These
+// operate on matrices of at most a few dozen rows (the Rayleigh-Ritz
+// projection), so a classic cyclic Jacobi iteration is both simple and
+// accurate enough.
+#pragma once
+
+#include <vector>
+
+namespace camo::litho {
+
+/// Eigendecomposition of a real symmetric n-by-n matrix `a` (row-major,
+/// destroyed). Returns eigenvalues (unsorted); `v` receives the matching
+/// eigenvectors as columns (v[r * n + c] = component r of eigenvector c).
+std::vector<double> jacobi_eig_symmetric(std::vector<double> a, int n, std::vector<double>& v);
+
+}  // namespace camo::litho

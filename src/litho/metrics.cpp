@@ -1,0 +1,55 @@
+#include "litho/metrics.hpp"
+
+namespace camo::litho {
+
+double measure_epe(const geo::Raster& aerial, double threshold, geo::FPoint pos,
+                   geo::FPoint normal, double range_nm) {
+    const double step = 0.5;
+    auto g = [&](double d) {
+        return aerial.sample(pos.x + d * normal.x, pos.y + d * normal.y) - threshold;
+    };
+
+    const double g0 = g(0.0);
+    if (g0 >= 0.0) {
+        // Printed at the edge: contour lies at or beyond; search outward.
+        double prev = g0;
+        for (double d = step; d <= range_nm + 1e-9; d += step) {
+            const double cur = g(d);
+            if (cur < 0.0) {
+                const double t = prev / (prev - cur);
+                return d - step + t * step;
+            }
+            prev = cur;
+        }
+        return range_nm;
+    }
+    // Not printed at the edge: contour receded inside; search inward.
+    double prev = g0;
+    for (double d = -step; d >= -range_nm - 1e-9; d -= step) {
+        const double cur = g(d);
+        if (cur >= 0.0) {
+            // Crossing between d (printed) and d + step (not printed).
+            const double t = cur / (cur - prev);
+            return d + t * step;
+        }
+        prev = cur;
+    }
+    return -range_nm;
+}
+
+double pv_band_nm2(const geo::Raster& aerial_nominal, const geo::Raster& aerial_defocus,
+                   double threshold, double dose_min, double dose_max) {
+    const auto nom = aerial_nominal.data();
+    const auto def = aerial_defocus.data();
+    const double px = aerial_nominal.pixel_nm();
+
+    long long band = 0;
+    for (std::size_t i = 0; i < nom.size(); ++i) {
+        const bool outer = nom[i] * dose_max >= threshold;
+        const bool inner = def[i] * dose_min >= threshold;
+        if (outer && !inner) ++band;
+    }
+    return static_cast<double>(band) * px * px;
+}
+
+}  // namespace camo::litho

@@ -1,0 +1,36 @@
+// Lithography quality metrics: edge placement error and process-variation
+// band.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "geometry/segment.hpp"
+
+namespace camo::litho {
+
+/// Signed edge placement error at one measure point: the displacement from
+/// the target edge to the printed contour along the outward normal, found by
+/// a line search on the aerial image against the resist threshold.
+/// Positive = contour outside the target (over-exposed); negative = inside.
+/// Clamped to +/- range_nm when no contour crossing exists in range (e.g. a
+/// feature that fails to print at all).
+double measure_epe(const geo::Raster& aerial, double threshold, geo::FPoint pos,
+                   geo::FPoint normal, double range_nm);
+
+/// Process-variation band area (nm^2): pixels printed at the outer corner
+/// (dose_max, nominal focus) but not at the inner corner (dose_min,
+/// defocus). A pixel prints at dose d when I * d >= threshold.
+double pv_band_nm2(const geo::Raster& aerial_nominal, const geo::Raster& aerial_defocus,
+                   double threshold, double dose_min, double dose_max);
+
+/// Full per-clip metrics produced by one lithography evaluation.
+struct SimMetrics {
+    std::vector<double> epe;          ///< signed EPE per *measured* point
+    std::vector<double> epe_segment;  ///< signed EPE at every segment centre
+    double sum_abs_epe = 0.0;         ///< sum of |EPE| over measured points
+    double pvband_nm2 = 0.0;
+};
+
+}  // namespace camo::litho

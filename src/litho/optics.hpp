@@ -1,0 +1,44 @@
+// Illumination source sampling and pupil evaluation on the FFT lattice.
+//
+// Frequencies are indexed on the grid lattice: index k corresponds to the
+// physical spatial frequency k / (grid * pixel_nm) cycles per nm, with
+// negative indices for the upper half of the FFT range.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "litho/config.hpp"
+
+namespace camo::litho {
+
+/// Signed frequency lattice index.
+struct FreqIndex {
+    int kx = 0;
+    int ky = 0;
+};
+
+/// One source sample point on the frequency lattice with quadrature weight.
+struct SourcePoint {
+    FreqIndex f;
+    double weight = 1.0;
+};
+
+/// Lattice points inside the annulus sigma_in..sigma_out (scaled by NA /
+/// lambda). All weights are equal; they are normalized downstream.
+std::vector<SourcePoint> sample_annular_source(const LithoConfig& cfg);
+
+/// Pupil transmission at lattice frequency f: a hard circular aperture of
+/// radius NA / lambda with a paraxial defocus phase
+/// exp(-i * pi * lambda * defocus * |f|^2).
+std::complex<double> pupil_value(const LithoConfig& cfg, FreqIndex f, double defocus_nm);
+
+/// Largest lattice radius with nonzero TCC support: (1 + sigma_out) * NA /
+/// lambda in lattice units, rounded up.
+int tcc_support_radius(const LithoConfig& cfg);
+
+/// All lattice frequencies within the TCC support disk, in a deterministic
+/// (ky-major) order.
+std::vector<FreqIndex> tcc_support_freqs(const LithoConfig& cfg);
+
+}  // namespace camo::litho

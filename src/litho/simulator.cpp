@@ -1,0 +1,123 @@
+#include "litho/simulator.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "litho/kernel_cache.hpp"
+
+namespace camo::litho {
+
+LithoSim::LithoSim(LithoConfig cfg) : cfg_(std::move(cfg)) {
+    if (!is_pow2(cfg_.grid)) throw std::invalid_argument("LithoSim: grid must be a power of two");
+
+    if (auto cached = load_kernel_cache(cfg_)) {
+        nominal_ = std::make_unique<KernelApplicator>(std::move(cached->nominal), cfg_.grid);
+        defocus_ = std::make_unique<KernelApplicator>(std::move(cached->defocus), cfg_.grid);
+        threshold_ = cached->threshold;
+        return;
+    }
+
+    log_info("building SOCS kernels (one-time, cached afterwards)");
+    KernelSet nom = compute_socs_kernels(cfg_, 0.0, cfg_.kernels_nominal);
+    KernelSet def = compute_socs_kernels(cfg_, cfg_.defocus_nm, cfg_.kernels_defocus);
+    nominal_ = std::make_unique<KernelApplicator>(std::move(nom), cfg_.grid);
+    defocus_ = std::make_unique<KernelApplicator>(std::move(def), cfg_.grid);
+
+    if (cfg_.threshold > 0.0) {
+        threshold_ = cfg_.threshold;
+    } else {
+        calibrate_threshold();
+    }
+    store_kernel_cache(cfg_, {nominal_->kernels(), defocus_->kernels(), threshold_});
+}
+
+void LithoSim::calibrate_threshold() {
+    // Threshold = aerial intensity at the edge midpoint of a large isolated
+    // square, so large features print at size and small ones under-print.
+    const double span = cfg_.clip_span_nm();
+    const int feat = cfg_.calibration_feature_nm;
+    const int lo = static_cast<int>(span / 2) - feat / 2;
+    const int hi = lo + feat;
+
+    geo::Raster mask(cfg_.grid, cfg_.pixel_nm);
+    const geo::Polygon square = geo::Polygon::from_rect({lo, lo, hi, hi});
+    mask.add_polygon(square);
+    mask.clamp01();
+
+    const geo::Raster aerial = aerial_nominal(mask);
+    threshold_ = cfg_.calibration_fraction * aerial.sample(lo, span / 2.0);
+    log_info("calibrated resist threshold = " + std::to_string(threshold_));
+}
+
+int LithoSim::clip_offset_nm(int clip_size_nm) const {
+    return static_cast<int>((cfg_.clip_span_nm() - clip_size_nm) / 2.0);
+}
+
+geo::Raster LithoSim::rasterize(std::span<const geo::Polygon> mask,
+                                std::span<const geo::Polygon> srafs,
+                                int clip_size_nm) const {
+    const int off = clip_offset_nm(clip_size_nm);
+    geo::Raster raster(cfg_.grid, cfg_.pixel_nm);
+
+    auto add_translated = [&raster, off](const geo::Polygon& p) {
+        std::vector<geo::Point> verts = p.vertices();
+        for (geo::Point& v : verts) {
+            v.x += off;
+            v.y += off;
+        }
+        raster.add_polygon(geo::Polygon(std::move(verts)));
+    };
+
+    for (const geo::Polygon& p : mask) add_translated(p);
+    for (const geo::Polygon& p : srafs) add_translated(p);
+    raster.clamp01();
+    return raster;
+}
+
+geo::Raster LithoSim::aerial_nominal(const geo::Raster& mask) const {
+    return nominal_->apply(mask_spectrum(mask), cfg_.pixel_nm);
+}
+
+geo::Raster LithoSim::aerial_defocus(const geo::Raster& mask) const {
+    return defocus_->apply(mask_spectrum(mask), cfg_.pixel_nm);
+}
+
+SimMetrics LithoSim::evaluate(const geo::SegmentedLayout& layout,
+                              std::span<const int> offsets) const {
+    ++evaluate_count_;
+    const auto mask_polys = layout.reconstruct_mask(offsets);
+    const geo::Raster mask = rasterize(mask_polys, layout.srafs(), layout.clip_size_nm());
+
+    const std::vector<Complex> spectrum = mask_spectrum(mask);
+    const geo::Raster nom = nominal_->apply(spectrum, cfg_.pixel_nm);
+    const geo::Raster def = defocus_->apply(spectrum, cfg_.pixel_nm);
+
+    const double off = clip_offset_nm(layout.clip_size_nm());
+
+    SimMetrics m;
+    m.epe_segment.reserve(layout.segments().size());
+    for (const geo::Segment& s : layout.segments()) {
+        const geo::FPoint c = s.control();
+        const double epe = measure_epe(nom, threshold_, {c.x + off, c.y + off}, s.normal(),
+                                       cfg_.epe_range_nm);
+        m.epe_segment.push_back(epe);
+        if (s.measured) {
+            m.epe.push_back(epe);
+            m.sum_abs_epe += std::abs(epe);
+        }
+    }
+    m.pvband_nm2 = pv_band_nm2(nom, def, threshold_, cfg_.dose_min, cfg_.dose_max);
+    return m;
+}
+
+geo::Raster LithoSim::printed(const geo::Raster& aerial, double dose) const {
+    geo::Raster out(aerial.n(), aerial.pixel_nm());
+    const auto src = aerial.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = (src[i] * dose >= threshold_) ? 1.0F : 0.0F;
+    }
+    return out;
+}
+
+}  // namespace camo::litho

@@ -1,0 +1,65 @@
+// LithoSim: the facade every OPC engine talks to.
+//
+// Construction builds (or loads from cache) the SOCS kernels for the nominal
+// and defocus conditions and auto-calibrates the resist threshold. One
+// evaluate() call rasterizes the mask implied by per-segment offsets, images
+// it at both focus conditions, and returns EPE per measure point / segment
+// plus the PV band — exactly the quantities the paper's reward (Eq. 3) and
+// result tables consume.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "geometry/raster.hpp"
+#include "litho/aerial.hpp"
+#include "litho/config.hpp"
+#include "litho/metrics.hpp"
+
+namespace camo::litho {
+
+class LithoSim {
+public:
+    explicit LithoSim(LithoConfig cfg);
+
+    [[nodiscard]] const LithoConfig& config() const { return cfg_; }
+    [[nodiscard]] double threshold() const { return threshold_; }
+
+    /// Offset that centres a clip of `clip_size_nm` in the simulation frame.
+    [[nodiscard]] int clip_offset_nm(int clip_size_nm) const;
+
+    /// Rasterize mask polygons (clip coordinates) onto the simulation grid.
+    [[nodiscard]] geo::Raster rasterize(std::span<const geo::Polygon> mask,
+                                        std::span<const geo::Polygon> srafs,
+                                        int clip_size_nm) const;
+
+    /// Aerial images (intensity in open-frame units) of a rasterized mask.
+    [[nodiscard]] geo::Raster aerial_nominal(const geo::Raster& mask) const;
+    [[nodiscard]] geo::Raster aerial_defocus(const geo::Raster& mask) const;
+
+    /// Full evaluation of a segmented layout under per-segment offsets.
+    [[nodiscard]] SimMetrics evaluate(const geo::SegmentedLayout& layout,
+                                      std::span<const int> offsets) const;
+
+    /// Binary printed image at a dose (pixels with I * dose >= threshold).
+    [[nodiscard]] geo::Raster printed(const geo::Raster& aerial, double dose = 1.0) const;
+
+    /// Number of lithography evaluations performed (for runtime accounting).
+    [[nodiscard]] long long evaluate_count() const { return evaluate_count_; }
+
+    /// Nominal-focus SOCS kernels (used by the ILT engine's adjoint).
+    [[nodiscard]] const KernelSet& nominal_kernels() const { return nominal_->kernels(); }
+
+private:
+    LithoConfig cfg_;
+    double threshold_ = 0.0;
+    std::unique_ptr<KernelApplicator> nominal_;
+    std::unique_ptr<KernelApplicator> defocus_;
+    mutable long long evaluate_count_ = 0;
+
+    void calibrate_threshold();
+};
+
+}  // namespace camo::litho

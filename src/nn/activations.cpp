@@ -1,0 +1,108 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace camo::nn {
+
+Tensor ReLU::forward(const Tensor& x, Tape& tape) {
+    Tensor y(x.shape());
+    const auto xd = x.data();
+    auto yd = y.data();
+    for (std::size_t i = 0; i < xd.size(); ++i) yd[i] = xd[i] > 0.0F ? xd[i] : 0.0F;
+    tape.push(x.reshaped(x.shape()));
+    return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out, Tape& tape) {
+    const Tensor x = tape.pop();
+    Tensor gx(x.shape());
+    const auto xd = x.data();
+    const auto gd = grad_out.data();
+    auto gxd = gx.data();
+    for (std::size_t i = 0; i < xd.size(); ++i) gxd[i] = xd[i] > 0.0F ? gd[i] : 0.0F;
+    return gx;
+}
+
+Tensor Tanh::forward(const Tensor& x, Tape& tape) {
+    Tensor y(x.shape());
+    const auto xd = x.data();
+    auto yd = y.data();
+    for (std::size_t i = 0; i < xd.size(); ++i) yd[i] = std::tanh(xd[i]);
+    tape.push(y.reshaped(y.shape()));  // store the output: dtanh = 1 - y^2
+    return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out, Tape& tape) {
+    const Tensor y = tape.pop();
+    Tensor gx(y.shape());
+    const auto yd = y.data();
+    const auto gd = grad_out.data();
+    auto gxd = gx.data();
+    for (std::size_t i = 0; i < yd.size(); ++i) gxd[i] = gd[i] * (1.0F - yd[i] * yd[i]);
+    return gx;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, Tape& tape) {
+    if (x.rank() != 3 || x.dim(1) % window_ != 0 || x.dim(2) % window_ != 0) {
+        throw std::invalid_argument("MaxPool2d: shape not divisible by window");
+    }
+    const int c = x.dim(0);
+    const int oh = x.dim(1) / window_;
+    const int ow = x.dim(2) / window_;
+
+    Tensor y({c, oh, ow});
+    Tensor argmax({c, oh, ow});  // flat input index of each window max
+    for (int ch = 0; ch < c; ++ch) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float best = -1e30F;
+                int best_iy = 0;
+                int best_ix = 0;
+                for (int wy = 0; wy < window_; ++wy) {
+                    for (int wx = 0; wx < window_; ++wx) {
+                        const int iy = oy * window_ + wy;
+                        const int ix = ox * window_ + wx;
+                        const float v = x.at(ch, iy, ix);
+                        if (v > best) {
+                            best = v;
+                            best_iy = iy;
+                            best_ix = ix;
+                        }
+                    }
+                }
+                y.at(ch, oy, ox) = best;
+                argmax.at(ch, oy, ox) = static_cast<float>(best_iy * x.dim(2) + best_ix);
+            }
+        }
+    }
+    Tensor shape_token({3});
+    shape_token[0] = static_cast<float>(c);
+    shape_token[1] = static_cast<float>(x.dim(1));
+    shape_token[2] = static_cast<float>(x.dim(2));
+    tape.push(std::move(shape_token));
+    tape.push(std::move(argmax));
+    return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out, Tape& tape) {
+    const Tensor argmax = tape.pop();
+    const Tensor shape_token = tape.pop();
+    const int c = static_cast<int>(shape_token[0]);
+    const int h = static_cast<int>(shape_token[1]);
+    const int w = static_cast<int>(shape_token[2]);
+
+    Tensor gx({c, h, w});
+    const int oh = grad_out.dim(1);
+    const int ow = grad_out.dim(2);
+    for (int ch = 0; ch < c; ++ch) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const int flat = static_cast<int>(argmax.at(ch, oy, ox));
+                gx.at(ch, flat / w, flat % w) += grad_out.at(ch, oy, ox);
+            }
+        }
+    }
+    return gx;
+}
+
+}  // namespace camo::nn

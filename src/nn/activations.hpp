@@ -1,0 +1,33 @@
+// Elementwise activation layers and a 2x2-style max pooling layer.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+class ReLU : public Layer {
+public:
+    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor backward(const Tensor& grad_out, Tape& tape) override;
+};
+
+class Tanh : public Layer {
+public:
+    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor backward(const Tensor& grad_out, Tape& tape) override;
+};
+
+/// Max pooling over non-overlapping windows on a CHW tensor. Input height
+/// and width must be divisible by the window size.
+class MaxPool2d : public Layer {
+public:
+    explicit MaxPool2d(int window) : window_(window) {}
+
+    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor backward(const Tensor& grad_out, Tape& tape) override;
+
+private:
+    int window_;
+};
+
+}  // namespace camo::nn

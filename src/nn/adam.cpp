@@ -1,0 +1,55 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace camo::nn {
+
+Adam::Adam(std::vector<Parameter*> params, Options opt) : params_(std::move(params)), opt_(opt) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Parameter* p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void Adam::step() {
+    ++t_;
+    float scale = 1.0F;
+    if (opt_.clip_norm > 0.0F) {
+        double norm2 = 0.0;
+        for (Parameter* p : params_) {
+            for (float g : p->grad.data()) norm2 += static_cast<double>(g) * g;
+        }
+        const double norm = std::sqrt(norm2);
+        if (norm > opt_.clip_norm) scale = static_cast<float>(opt_.clip_norm / norm);
+    }
+
+    const auto t = static_cast<float>(t_);
+    const float bc1 = 1.0F - std::pow(opt_.beta1, t);
+    const float bc2 = 1.0F - std::pow(opt_.beta2, t);
+
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+        Parameter& p = *params_[pi];
+        auto g = p.grad.data();
+        auto w = p.value.data();
+        auto m = m_[pi].data();
+        auto v = v_[pi].data();
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            const float gi = g[i] * scale;
+            m[i] = opt_.beta1 * m[i] + (1.0F - opt_.beta1) * gi;
+            v[i] = opt_.beta2 * v[i] + (1.0F - opt_.beta2) * gi * gi;
+            const float mhat = m[i] / bc1;
+            const float vhat = v[i] / bc2;
+            w[i] -= opt_.lr * (mhat / (std::sqrt(vhat) + opt_.epsilon) +
+                               opt_.weight_decay * w[i]);
+        }
+        p.zero_grad();
+    }
+}
+
+void Adam::zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace camo::nn

@@ -1,0 +1,85 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/init.hpp"
+
+namespace camo::nn {
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int padding, Rng& rng)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      w_({out_ch, in_ch, kernel, kernel}),
+      b_({out_ch}) {
+    init_he(w_.value, in_ch * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x, Tape& tape) {
+    if (x.rank() != 3 || x.dim(0) != in_ch_) throw std::invalid_argument("Conv2d: input shape");
+    const int h = x.dim(1);
+    const int w = x.dim(2);
+    const int oh = out_size(h);
+    const int ow = out_size(w);
+
+    Tensor y({out_ch_, oh, ow});
+    for (int oc = 0; oc < out_ch_; ++oc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float acc = b_.value[static_cast<std::size_t>(oc)];
+                const int iy0 = oy * stride_ - pad_;
+                const int ix0 = ox * stride_ - pad_;
+                for (int ic = 0; ic < in_ch_; ++ic) {
+                    for (int ky = 0; ky < k_; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int kx = 0; kx < k_; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= w) continue;
+                            acc += w_.value.at(oc, ic, ky, kx) * x.at(ic, iy, ix);
+                        }
+                    }
+                }
+                y.at(oc, oy, ox) = acc;
+            }
+        }
+    }
+    tape.push(x.reshaped(x.shape()));
+    return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out, Tape& tape) {
+    const Tensor x = tape.pop();
+    const int h = x.dim(1);
+    const int w = x.dim(2);
+    const int oh = grad_out.dim(1);
+    const int ow = grad_out.dim(2);
+
+    Tensor gx(x.shape());
+    for (int oc = 0; oc < out_ch_; ++oc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const float go = grad_out.at(oc, oy, ox);
+                if (go == 0.0F) continue;
+                b_.grad[static_cast<std::size_t>(oc)] += go;
+                const int iy0 = oy * stride_ - pad_;
+                const int ix0 = ox * stride_ - pad_;
+                for (int ic = 0; ic < in_ch_; ++ic) {
+                    for (int ky = 0; ky < k_; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int kx = 0; kx < k_; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= w) continue;
+                            w_.grad.at(oc, ic, ky, kx) += go * x.at(ic, iy, ix);
+                            gx.at(ic, iy, ix) += go * w_.value.at(oc, ic, ky, kx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return gx;
+}
+
+}  // namespace camo::nn

@@ -1,0 +1,33 @@
+// 2D convolution over a single CHW sample.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+class Conv2d : public Layer {
+public:
+    Conv2d(int in_ch, int out_ch, int kernel, int stride, int padding, Rng& rng);
+
+    /// x: [in_ch, H, W] -> [out_ch, H', W'] with
+    /// H' = (H + 2*padding - kernel) / stride + 1.
+    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor backward(const Tensor& grad_out, Tape& tape) override;
+    std::vector<Parameter*> params() override { return {&w_, &b_}; }
+
+    [[nodiscard]] int out_size(int in_size) const {
+        return (in_size + 2 * pad_ - k_) / stride_ + 1;
+    }
+
+private:
+    int in_ch_;
+    int out_ch_;
+    int k_;
+    int stride_;
+    int pad_;
+    Parameter w_;  // [out_ch, in_ch, k, k]
+    Parameter b_;  // [out_ch]
+};
+
+}  // namespace camo::nn

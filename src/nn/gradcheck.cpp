@@ -1,0 +1,76 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camo::nn {
+namespace {
+
+double rel_error(double analytic, double numeric) {
+    // The floor keeps float32 forward noise on near-zero gradients from
+    // dominating: a genuine backward bug shows up on O(1) gradients.
+    const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-2});
+    return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckResult gradient_check(Layer& layer, const Tensor& input, Rng& rng, float epsilon) {
+    Tape tape;
+    const Tensor out0 = layer.forward(input, tape);
+
+    Tensor probe(out0.shape());
+    for (float& v : probe.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    auto loss_of = [&probe](const Tensor& out) {
+        double s = 0.0;
+        const auto od = out.data();
+        const auto pd = probe.data();
+        for (std::size_t i = 0; i < od.size(); ++i) {
+            s += static_cast<double>(od[i]) * static_cast<double>(pd[i]);
+        }
+        return s;
+    };
+
+    for (Parameter* p : layer.params()) p->zero_grad();
+    const Tensor gx = layer.backward(probe, tape);
+
+    GradCheckResult res;
+
+    // Input gradient via central differences.
+    Tensor x = input.reshaped(input.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const float orig = x[i];
+        x[i] = orig + epsilon;
+        Tape t1;
+        const double lp = loss_of(layer.forward(x, t1));
+        x[i] = orig - epsilon;
+        Tape t2;
+        const double lm = loss_of(layer.forward(x, t2));
+        x[i] = orig;
+        const double numeric = (lp - lm) / (2.0 * epsilon);
+        res.max_rel_error_input =
+            std::max(res.max_rel_error_input, rel_error(gx[i], numeric));
+    }
+
+    // Parameter gradients.
+    for (Parameter* p : layer.params()) {
+        auto vals = p->value.data();
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            const float orig = vals[i];
+            vals[i] = orig + epsilon;
+            Tape t1;
+            const double lp = loss_of(layer.forward(input, t1));
+            vals[i] = orig - epsilon;
+            Tape t2;
+            const double lm = loss_of(layer.forward(input, t2));
+            vals[i] = orig;
+            const double numeric = (lp - lm) / (2.0 * epsilon);
+            res.max_rel_error_params =
+                std::max(res.max_rel_error_params, rel_error(p->grad[i], numeric));
+        }
+    }
+    return res;
+}
+
+}  // namespace camo::nn

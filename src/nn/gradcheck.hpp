@@ -1,0 +1,26 @@
+// Finite-difference gradient verification used by the test suite: every
+// hand-derived backward pass in this library is checked against central
+// differences on random inputs.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+struct GradCheckResult {
+    double max_rel_error_input = 0.0;
+    double max_rel_error_params = 0.0;
+
+    [[nodiscard]] bool ok(double tol = 2e-2) const {
+        return max_rel_error_input < tol && max_rel_error_params < tol;
+    }
+};
+
+/// Compares analytic gradients of the scalar loss sum(output .* probe)
+/// against central differences, for both the layer input and every
+/// parameter. `probe` is a fixed random tensor; epsilon is float-friendly.
+GradCheckResult gradient_check(Layer& layer, const Tensor& input, Rng& rng,
+                               float epsilon = 1e-2F);
+
+}  // namespace camo::nn

@@ -1,0 +1,17 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace camo::nn {
+
+void init_he(Tensor& w, int fan_in, Rng& rng) {
+    const double stddev = std::sqrt(2.0 / fan_in);
+    for (float& v : w.data()) v = static_cast<float>(rng.normal(stddev));
+}
+
+void init_xavier(Tensor& w, int fan_in, int fan_out, Rng& rng) {
+    const double stddev = std::sqrt(2.0 / (fan_in + fan_out));
+    for (float& v : w.data()) v = static_cast<float>(rng.normal(stddev));
+}
+
+}  // namespace camo::nn

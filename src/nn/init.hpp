@@ -1,0 +1,16 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace camo::nn {
+
+/// He (Kaiming) normal init: stddev = sqrt(2 / fan_in). Suits ReLU stacks.
+void init_he(Tensor& w, int fan_in, Rng& rng);
+
+/// Xavier (Glorot) normal init: stddev = sqrt(2 / (fan_in + fan_out)).
+/// Suits tanh layers (the RNN).
+void init_xavier(Tensor& w, int fan_in, int fan_out, Rng& rng);
+
+}  // namespace camo::nn

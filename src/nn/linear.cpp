@@ -1,0 +1,42 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+namespace camo::nn {
+
+Linear::Linear(int in, int out, Rng& rng) : in_(in), out_(out), w_({out, in}), b_({out}) {
+    init_he(w_.value, in, rng);
+}
+
+Tensor Linear::forward(const Tensor& x, Tape& tape) {
+    if (static_cast<int>(x.numel()) != in_) throw std::invalid_argument("Linear: input size");
+    Tensor y({out_});
+    const auto xd = x.data();
+    for (int o = 0; o < out_; ++o) {
+        float acc = b_.value[static_cast<std::size_t>(o)];
+        const std::size_t row = static_cast<std::size_t>(o) * static_cast<std::size_t>(in_);
+        for (int i = 0; i < in_; ++i) {
+            acc += w_.value[row + static_cast<std::size_t>(i)] * xd[static_cast<std::size_t>(i)];
+        }
+        y[static_cast<std::size_t>(o)] = acc;
+    }
+    tape.push(x.reshaped({static_cast<int>(x.numel())}));
+    return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out, Tape& tape) {
+    const Tensor x = tape.pop();
+    Tensor gx({in_});
+    for (int o = 0; o < out_; ++o) {
+        const float go = grad_out[static_cast<std::size_t>(o)];
+        b_.grad[static_cast<std::size_t>(o)] += go;
+        const std::size_t row = static_cast<std::size_t>(o) * static_cast<std::size_t>(in_);
+        for (int i = 0; i < in_; ++i) {
+            w_.grad[row + static_cast<std::size_t>(i)] += go * x[static_cast<std::size_t>(i)];
+            gx[static_cast<std::size_t>(i)] += go * w_.value[row + static_cast<std::size_t>(i)];
+        }
+    }
+    return gx;
+}
+
+}  // namespace camo::nn

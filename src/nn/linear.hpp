@@ -1,0 +1,27 @@
+// Fully connected layer: y = W x + b for a rank-1 input [in].
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+class Linear : public Layer {
+public:
+    Linear(int in, int out, Rng& rng);
+
+    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor backward(const Tensor& grad_out, Tape& tape) override;
+    std::vector<Parameter*> params() override { return {&w_, &b_}; }
+
+    [[nodiscard]] int in_features() const { return in_; }
+    [[nodiscard]] int out_features() const { return out_; }
+
+private:
+    int in_;
+    int out_;
+    Parameter w_;  // [out, in]
+    Parameter b_;  // [out]
+};
+
+}  // namespace camo::nn

@@ -1,0 +1,129 @@
+#include "nn/rnn.hpp"
+
+#include <cmath>
+
+#include "nn/init.hpp"
+
+namespace camo::nn {
+
+Rnn::Rnn(int input, int hidden, int layers, Rng& rng)
+    : input_(input), hidden_(hidden), layers_(layers) {
+    for (int l = 0; l < layers_; ++l) {
+        const int in_l = (l == 0) ? input_ : hidden_;
+        u_.emplace_back(std::vector<int>{hidden_, in_l});
+        w_.emplace_back(std::vector<int>{hidden_, hidden_});
+        b_.emplace_back(std::vector<int>{hidden_});
+        init_xavier(u_.back().value, in_l, hidden_, rng);
+        init_xavier(w_.back().value, hidden_, hidden_, rng);
+    }
+}
+
+std::vector<Parameter*> Rnn::params() {
+    std::vector<Parameter*> out;
+    for (int l = 0; l < layers_; ++l) {
+        out.push_back(&u_[static_cast<std::size_t>(l)]);
+        out.push_back(&w_[static_cast<std::size_t>(l)]);
+        out.push_back(&b_[static_cast<std::size_t>(l)]);
+    }
+    return out;
+}
+
+Tensor Rnn::forward(const Tensor& x, Tape& tape) {
+    if (x.rank() != 2 || x.dim(1) != input_) throw std::invalid_argument("Rnn: input shape");
+    const int t_len = x.dim(0);
+
+    // hs[l] holds the hidden sequence of layer l: [T, hidden].
+    Tensor hs({layers_, t_len, hidden_});
+
+    for (int l = 0; l < layers_; ++l) {
+        const int in_l = (l == 0) ? input_ : hidden_;
+        const auto& u = u_[static_cast<std::size_t>(l)].value;
+        const auto& w = w_[static_cast<std::size_t>(l)].value;
+        const auto& b = b_[static_cast<std::size_t>(l)].value;
+        for (int t = 0; t < t_len; ++t) {
+            for (int h = 0; h < hidden_; ++h) {
+                float acc = b[static_cast<std::size_t>(h)];
+                for (int i = 0; i < in_l; ++i) {
+                    const float xin = (l == 0) ? x.at(t, i) : hs.at(l - 1, t, i);
+                    acc += u.at(h, i) * xin;
+                }
+                if (t > 0) {
+                    for (int i = 0; i < hidden_; ++i) acc += w.at(h, i) * hs.at(l, t - 1, i);
+                }
+                hs.at(l, t, h) = std::tanh(acc);
+            }
+        }
+    }
+
+    Tensor y({t_len, hidden_});
+    for (int t = 0; t < t_len; ++t) {
+        for (int h = 0; h < hidden_; ++h) y.at(t, h) = hs.at(layers_ - 1, t, h);
+    }
+    tape.push(x.reshaped(x.shape()));
+    tape.push(std::move(hs));
+    return y;
+}
+
+Tensor Rnn::backward(const Tensor& grad_out, Tape& tape) {
+    const Tensor hs = tape.pop();
+    const Tensor x = tape.pop();
+    const int t_len = x.dim(0);
+
+    // Gradient flowing into each layer's hidden outputs; start with the top
+    // layer receiving grad_out, lower layers receive via U^T as we descend.
+    Tensor gh_from_above({t_len, hidden_});
+    for (int t = 0; t < t_len; ++t) {
+        for (int h = 0; h < hidden_; ++h) gh_from_above.at(t, h) = grad_out.at(t, h);
+    }
+
+    Tensor gx({t_len, input_});
+
+    for (int l = layers_ - 1; l >= 0; --l) {
+        const int in_l = (l == 0) ? input_ : hidden_;
+        const auto& u = u_[static_cast<std::size_t>(l)].value;
+        const auto& w = w_[static_cast<std::size_t>(l)].value;
+        auto& gu = u_[static_cast<std::size_t>(l)].grad;
+        auto& gw = w_[static_cast<std::size_t>(l)].grad;
+        auto& gb = b_[static_cast<std::size_t>(l)].grad;
+
+        Tensor gh_below({t_len, in_l});           // gradient to the layer below (or input)
+        std::vector<float> carry(static_cast<std::size_t>(hidden_), 0.0F);  // dL/dh(t) via t+1
+
+        for (int t = t_len - 1; t >= 0; --t) {
+            // Total gradient at h_l(t), then through tanh.
+            std::vector<float> gpre(static_cast<std::size_t>(hidden_));
+            for (int h = 0; h < hidden_; ++h) {
+                const float ht = hs.at(l, t, h);
+                const float gtotal = gh_from_above.at(t, h) + carry[static_cast<std::size_t>(h)];
+                gpre[static_cast<std::size_t>(h)] = gtotal * (1.0F - ht * ht);
+            }
+            std::fill(carry.begin(), carry.end(), 0.0F);
+
+            for (int h = 0; h < hidden_; ++h) {
+                const float gp = gpre[static_cast<std::size_t>(h)];
+                if (gp == 0.0F) continue;
+                gb[static_cast<std::size_t>(h)] += gp;
+                for (int i = 0; i < in_l; ++i) {
+                    const float xin = (l == 0) ? x.at(t, i) : hs.at(l - 1, t, i);
+                    gu.at(h, i) += gp * xin;
+                    gh_below.at(t, i) += gp * u.at(h, i);
+                }
+                if (t > 0) {
+                    for (int i = 0; i < hidden_; ++i) {
+                        gw.at(h, i) += gp * hs.at(l, t - 1, i);
+                        carry[static_cast<std::size_t>(i)] += gp * w.at(h, i);
+                    }
+                }
+            }
+        }
+
+        if (l == 0) {
+            gx = std::move(gh_below);
+        } else {
+            gh_from_above = std::move(gh_below);
+        }
+    }
+    return gx;
+}
+
+}  // namespace camo::nn

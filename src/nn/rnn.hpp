@@ -1,0 +1,35 @@
+// Multi-layer Elman RNN over a node sequence.
+//
+// Layer l at step t: h_l(t) = tanh(U_l in_l(t) + W_l h_l(t-1) + b_l), where
+// in_0 = the input sequence and in_l = h_{l-1}. The output is the top
+// layer's hidden sequence. This is the paper's sequential-decision module:
+// the hidden state carries the context of previously decided segments so
+// neighbouring movements are coordinated.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+class Rnn : public Layer {
+public:
+    Rnn(int input, int hidden, int layers, Rng& rng);
+
+    /// x: [T, input] -> [T, hidden]. Full BPTT on backward.
+    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor backward(const Tensor& grad_out, Tape& tape) override;
+    std::vector<Parameter*> params() override;
+
+    [[nodiscard]] int hidden_size() const { return hidden_; }
+
+private:
+    int input_;
+    int hidden_;
+    int layers_;
+    std::vector<Parameter> u_;  // per layer: [hidden, in_l]
+    std::vector<Parameter> w_;  // per layer: [hidden, hidden]
+    std::vector<Parameter> b_;  // per layer: [hidden]
+};
+
+}  // namespace camo::nn

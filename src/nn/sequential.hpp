@@ -1,0 +1,49 @@
+// Sequential container of layers sharing one tape.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+class Sequential : public Layer {
+public:
+    Sequential() = default;
+
+    template <typename L, typename... Args>
+    L& emplace(Args&&... args) {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L& ref = *layer;
+        layers_.push_back(std::move(layer));
+        return ref;
+    }
+
+    Tensor forward(const Tensor& x, Tape& tape) override {
+        Tensor h = x.reshaped(x.shape());
+        for (auto& l : layers_) h = l->forward(h, tape);
+        return h;
+    }
+
+    Tensor backward(const Tensor& grad_out, Tape& tape) override {
+        Tensor g = grad_out.reshaped(grad_out.shape());
+        for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g, tape);
+        return g;
+    }
+
+    std::vector<Parameter*> params() override {
+        std::vector<Parameter*> out;
+        for (auto& l : layers_) {
+            auto p = l->params();
+            out.insert(out.end(), p.begin(), p.end());
+        }
+        return out;
+    }
+
+    [[nodiscard]] std::size_t size() const { return layers_.size(); }
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace camo::nn

@@ -1,0 +1,53 @@
+#include "nn/serialize.hpp"
+
+#include "common/file_io.hpp"
+
+namespace camo::nn {
+namespace {
+constexpr std::uint32_t kMagic = 0x434E4554U;  // "CNET"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_params(const std::string& path, const std::vector<Parameter*>& params) {
+    BinaryWriter w(path);
+    w.write_u32(kMagic);
+    w.write_u32(kVersion);
+    w.write_u64(params.size());
+    for (const Parameter* p : params) {
+        w.write_u64(p->value.shape().size());
+        for (int d : p->value.shape()) w.write_u32(static_cast<std::uint32_t>(d));
+        for (float v : p->value.data()) w.write_f32(v);
+    }
+}
+
+bool load_params(const std::string& path, const std::vector<Parameter*>& params) {
+    if (!file_exists(path)) return false;
+    try {
+        BinaryReader r(path);
+        if (r.read_u32() != kMagic || r.read_u32() != kVersion) return false;
+        if (r.read_u64() != params.size()) return false;
+
+        // First pass into temporaries so a mismatch cannot corrupt weights.
+        std::vector<std::vector<float>> values;
+        values.reserve(params.size());
+        for (const Parameter* p : params) {
+            const auto ndims = r.read_u64();
+            if (ndims != p->value.shape().size()) return false;
+            for (int d : p->value.shape()) {
+                if (r.read_u32() != static_cast<std::uint32_t>(d)) return false;
+            }
+            std::vector<float> vals(p->value.numel());
+            for (float& v : vals) v = r.read_f32();
+            values.push_back(std::move(vals));
+        }
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            auto dst = params[i]->value.data();
+            std::copy(values[i].begin(), values[i].end(), dst.begin());
+        }
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+}  // namespace camo::nn

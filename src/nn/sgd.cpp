@@ -1,0 +1,46 @@
+#include "nn/sgd.hpp"
+
+#include <cmath>
+
+namespace camo::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, Options opt) : params_(std::move(params)), opt_(opt) {
+    if (opt_.momentum > 0.0F) {
+        velocity_.reserve(params_.size());
+        for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+    }
+}
+
+void Sgd::step() {
+    float scale = 1.0F;
+    if (opt_.clip_norm > 0.0F) {
+        double norm2 = 0.0;
+        for (Parameter* p : params_) {
+            for (float g : p->grad.data()) norm2 += static_cast<double>(g) * g;
+        }
+        const double norm = std::sqrt(norm2);
+        if (norm > opt_.clip_norm) scale = static_cast<float>(opt_.clip_norm / norm);
+    }
+
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+        Parameter& p = *params_[pi];
+        auto g = p.grad.data();
+        auto v = p.value.data();
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            float gi = g[i] * scale + opt_.weight_decay * v[i];
+            if (opt_.momentum > 0.0F) {
+                auto vel = velocity_[pi].data();
+                vel[i] = opt_.momentum * vel[i] + gi;
+                gi = vel[i];
+            }
+            v[i] -= opt_.lr * gi;
+        }
+        p.zero_grad();
+    }
+}
+
+void Sgd::zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace camo::nn

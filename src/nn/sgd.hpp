@@ -1,0 +1,42 @@
+// Stochastic gradient descent with optional momentum and gradient clipping.
+// The paper trains with plain SGD at lr = 3e-4; clipping keeps REINFORCE
+// stable when a rare large reward appears.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace camo::nn {
+
+class Sgd {
+public:
+    struct Options {
+        float lr = 3e-4F;
+        float momentum = 0.0F;
+        /// Global gradient-norm bound across all parameters; 0 disables.
+        /// (Per-element clipping would erase the small discriminative
+        /// component of the gradient whenever the common mode saturates.)
+        float clip_norm = 0.0F;
+        /// L2 weight decay; keeps imitation logits from growing without
+        /// bound when only a subset of actions appears in the data.
+        float weight_decay = 0.0F;
+    };
+
+    Sgd(std::vector<Parameter*> params, Options opt);
+
+    /// Apply one update from the accumulated gradients, then zero them.
+    void step();
+
+    void zero_grad();
+
+    [[nodiscard]] const Options& options() const { return opt_; }
+    void set_lr(float lr) { opt_.lr = lr; }
+
+private:
+    std::vector<Parameter*> params_;
+    std::vector<Tensor> velocity_;
+    Options opt_;
+};
+
+}  // namespace camo::nn

@@ -1,0 +1,36 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camo::nn {
+
+std::vector<float> softmax(std::span<const float> logits) {
+    float max = -1e30F;
+    for (float v : logits) max = std::max(max, v);
+    std::vector<float> out(logits.size());
+    float sum = 0.0F;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - max);
+        sum += out[i];
+    }
+    for (float& v : out) v /= sum;
+    return out;
+}
+
+std::vector<float> policy_logit_grad(std::span<const float> logits, int action, float coef) {
+    std::vector<float> g = softmax(logits);
+    for (float& v : g) v *= -coef;
+    g[static_cast<std::size_t>(action)] += coef;
+    return g;
+}
+
+float log_prob(std::span<const float> logits, int action) {
+    float max = -1e30F;
+    for (float v : logits) max = std::max(max, v);
+    float sum = 0.0F;
+    for (float v : logits) sum += std::exp(v - max);
+    return logits[static_cast<std::size_t>(action)] - max - std::log(sum);
+}
+
+}  // namespace camo::nn

@@ -1,0 +1,25 @@
+// Softmax utilities and the REINFORCE logit gradient.
+//
+// These are free functions rather than layers: the policy head combines
+// softmax with external modulation and sampling, so composing at the call
+// site keeps the probability algebra explicit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace camo::nn {
+
+/// Numerically stable softmax.
+std::vector<float> softmax(std::span<const float> logits);
+
+/// d/dlogits of [coef * log softmax(logits)[action]]:
+///   coef * (onehot(action) - softmax(logits)).
+/// This single expression covers both REINFORCE (coef = reward * step size
+/// sign) and cross-entropy imitation (coef = 1 for the taken action).
+std::vector<float> policy_logit_grad(std::span<const float> logits, int action, float coef);
+
+/// log(softmax(logits)[action]) without materializing the full vector.
+float log_prob(std::span<const float> logits, int action);
+
+}  // namespace camo::nn

@@ -1,0 +1,55 @@
+// Common interface of the segment-based OPC engines compared in the paper's
+// tables (Calibre-proxy rule engine, DAMO-proxy one-shot, RL-OPC, CAMO).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "litho/simulator.hpp"
+
+namespace camo::opc {
+
+struct OpcOptions {
+    int max_iterations = 10;
+
+    /// Early exit when sum |EPE| / #target-polygons < this (paper's via rule:
+    /// EPE per via < 4 nm). 0 disables.
+    double exit_epe_per_feature = 0.0;
+
+    /// Early exit when sum |EPE| / #measure-points < this (paper's metal
+    /// rule: average EPE per point < 1 nm). 0 disables.
+    double exit_epe_per_point = 0.0;
+
+    /// Initial mask bias: every segment starts at this outward offset
+    /// (paper initializes via masks by moving each edge outward 3 nm).
+    int initial_bias_nm = 3;
+
+    /// Total per-segment offset is clamped into +/- this bound.
+    int max_total_offset_nm = 25;
+};
+
+struct EngineResult {
+    std::vector<int> final_offsets;
+    litho::SimMetrics final_metrics;
+    std::vector<double> epe_history;  ///< sum |EPE| per iteration, entry 0 = initial mask
+    std::vector<double> pvb_history;
+    int iterations = 0;
+    double runtime_s = 0.0;
+};
+
+class Engine {
+public:
+    virtual ~Engine() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    virtual EngineResult optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                  const OpcOptions& opt) = 0;
+};
+
+/// True when either early-exit rule fires.
+bool should_exit_early(double sum_abs_epe, int num_features, int num_points,
+                       const OpcOptions& opt);
+
+}  // namespace camo::opc

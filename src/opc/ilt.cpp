@@ -1,0 +1,131 @@
+#include "opc/ilt.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "litho/aerial.hpp"
+#include "litho/fft.hpp"
+
+namespace camo::opc {
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+IltResult IltEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim) const {
+    Timer timer;
+    const auto& cfg = sim.config();
+    const int n = cfg.grid;
+    const std::size_t n2 = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    const litho::KernelSet& kernels = sim.nominal_kernels();
+    const double thr = sim.threshold();
+
+    // Target image Z in the simulation frame.
+    geo::Raster target(n, cfg.pixel_nm);
+    const int off = sim.clip_offset_nm(layout.clip_size_nm());
+    for (const geo::Polygon& p : layout.targets()) {
+        std::vector<geo::Point> v = p.vertices();
+        for (geo::Point& q : v) {
+            q.x += off;
+            q.y += off;
+        }
+        target.add_polygon(geo::Polygon(std::move(v)));
+    }
+    target.clamp01();
+
+    // theta initialised from the target: inside -> +1, outside -> -1.
+    std::vector<double> theta(n2);
+    for (std::size_t i = 0; i < n2; ++i) theta[i] = target.data()[i] > 0.5F ? 1.0 : -1.0;
+
+    // Precompute wrapped kernel addresses.
+    std::vector<int> pos(kernels.support.size());
+    for (std::size_t i = 0; i < kernels.support.size(); ++i) {
+        const int row = ((kernels.support[i].ky % n) + n) % n;
+        const int col = ((kernels.support[i].kx % n) + n) % n;
+        pos[i] = row * n + col;
+    }
+
+    IltResult res;
+    res.mask = geo::Raster(n, cfg.pixel_nm);
+
+    std::vector<litho::Complex> spectrum(n2);
+    std::vector<litho::Complex> field(n2);
+    std::vector<litho::Complex> back(n2);
+    std::vector<std::vector<litho::Complex>> fields(kernels.coeffs.size(),
+                                                    std::vector<litho::Complex>(n2));
+
+    for (int it = 0; it <= opt_.iterations; ++it) {
+        // m = sigmoid(mask_steepness * theta)
+        auto mval = res.mask.data();
+        for (std::size_t i = 0; i < n2; ++i) {
+            mval[i] = static_cast<float>(sigmoid(opt_.mask_steepness * theta[i]));
+        }
+
+        // Aerial image via SOCS, keeping per-kernel fields for the adjoint.
+        for (std::size_t i = 0; i < n2; ++i) spectrum[i] = litho::Complex(mval[i], 0.0F);
+        litho::fft2d_forward(spectrum, n);
+
+        std::vector<double> intensity(n2, 0.0);
+        for (std::size_t k = 0; k < kernels.coeffs.size(); ++k) {
+            std::fill(field.begin(), field.end(), litho::Complex{});
+            for (std::size_t i = 0; i < pos.size(); ++i) {
+                field[static_cast<std::size_t>(pos[i])] =
+                    kernels.coeffs[k][i] * spectrum[static_cast<std::size_t>(pos[i])];
+            }
+            litho::fft2d_inverse(field, n);
+            const double lam = kernels.eigenvalues[k];
+            for (std::size_t i = 0; i < n2; ++i) intensity[i] += lam * std::norm(field[i]);
+            fields[k] = field;
+        }
+
+        // Soft-resist loss L = sum (sigmoid(rs*(I-thr)) - Z)^2.
+        double loss = 0.0;
+        std::vector<double> dl_di(n2);
+        for (std::size_t i = 0; i < n2; ++i) {
+            const double s = sigmoid(opt_.resist_steepness * (intensity[i] - thr));
+            const double diff = s - target.data()[i];
+            loss += diff * diff;
+            dl_di[i] = 2.0 * diff * opt_.resist_steepness * s * (1.0 - s);
+        }
+        res.loss_history.push_back(loss);
+        if (it == 0) res.initial_loss = loss;
+        res.final_loss = loss;
+        if (it == opt_.iterations) break;
+
+        // Adjoint: dL/dm = sum_k 2 lam Re{ C_k^H [ dL/dI .* f_k ] }.
+        std::vector<double> grad(n2, 0.0);
+        for (std::size_t k = 0; k < kernels.coeffs.size(); ++k) {
+            for (std::size_t i = 0; i < n2; ++i) {
+                back[i] = static_cast<float>(dl_di[i]) * fields[k][i];
+            }
+            litho::fft2d_forward(back, n);
+            std::vector<litho::Complex> filtered(n2);
+            for (std::size_t i = 0; i < pos.size(); ++i) {
+                const auto p = static_cast<std::size_t>(pos[i]);
+                filtered[p] = std::conj(kernels.coeffs[k][i]) * back[p];
+            }
+            litho::fft2d_inverse(filtered, n);
+            const double lam = kernels.eigenvalues[k];
+            for (std::size_t i = 0; i < n2; ++i) grad[i] += 2.0 * lam * filtered[i].real();
+        }
+
+        // Descend on theta through the mask sigmoid.
+        for (std::size_t i = 0; i < n2; ++i) {
+            const double m = mval[i];
+            theta[i] -= opt_.step * grad[i] * opt_.mask_steepness * m * (1.0 - m);
+        }
+    }
+
+    // EPE of the final mask at the layout's measure points.
+    const geo::Raster aerial = sim.aerial_nominal(res.mask);
+    for (const geo::MeasurePoint& mp : layout.measure_points()) {
+        const double epe = litho::measure_epe(aerial, thr, {mp.pos.x + off, mp.pos.y + off},
+                                              mp.normal, cfg.epe_range_nm);
+        res.sum_abs_epe += std::abs(epe);
+    }
+    res.runtime_s = timer.seconds();
+    return res;
+}
+
+}  // namespace camo::opc

@@ -1,0 +1,31 @@
+// One-shot OPC engine: this repo's stand-in for DAMO (a conditional-GAN
+// generative model). The defining behaviour the paper's Table 1 relies on is
+// preserved: a single inference produces the whole mask with no iterative
+// exploration, making it by far the fastest engine and the one with the
+// largest residual EPE. Here the inference is a closed-form correction
+// profile computed from one lithography evaluation of the initial mask.
+#pragma once
+
+#include "opc/engine.hpp"
+
+namespace camo::opc {
+
+struct OneShotOptions {
+    double gain = 0.8;       ///< aggressive single-shot correction
+    int max_correction = 8;  ///< clamp of the one-time move
+};
+
+class OneShotEngine : public Engine {
+public:
+    explicit OneShotEngine(OneShotOptions opt = {}) : opt_(opt) {}
+
+    [[nodiscard]] std::string name() const override { return "one-shot(damo-proxy)"; }
+
+    EngineResult optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                          const OpcOptions& opt) override;
+
+private:
+    OneShotOptions opt_;
+};
+
+}  // namespace camo::opc

@@ -1,0 +1,104 @@
+#include "opc/rule_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.hpp"
+
+namespace camo::opc {
+
+bool should_exit_early(double sum_abs_epe, int num_features, int num_points,
+                       const OpcOptions& opt) {
+    if (opt.exit_epe_per_feature > 0.0 && num_features > 0 &&
+        sum_abs_epe / num_features < opt.exit_epe_per_feature) {
+        return true;
+    }
+    if (opt.exit_epe_per_point > 0.0 && num_points > 0 &&
+        sum_abs_epe / num_points < opt.exit_epe_per_point) {
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+// One damped feedback step: returns the movement (nm) for each segment.
+std::vector<int> feedback_moves(const std::vector<double>& epe_segment, double gain,
+                                int max_step) {
+    std::vector<int> moves(epe_segment.size(), 0);
+    for (std::size_t i = 0; i < epe_segment.size(); ++i) {
+        // Positive EPE = contour outside the target -> move inward (negative).
+        const double desired = -gain * epe_segment[i];
+        const int step = static_cast<int>(std::lround(desired));
+        moves[i] = std::clamp(step, -max_step, max_step);
+    }
+    return moves;
+}
+
+void apply_moves(std::vector<int>& offsets, const std::vector<int>& moves, int bound) {
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        offsets[i] = std::clamp(offsets[i] + moves[i], -bound, bound);
+    }
+}
+
+}  // namespace
+
+EngineResult RuleEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                  const OpcOptions& opt) {
+    Timer timer;
+    EngineResult res;
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
+                             opt.initial_bias_nm);
+
+    litho::SimMetrics m = sim.evaluate(layout, offsets);
+    res.epe_history.push_back(m.sum_abs_epe);
+    res.pvb_history.push_back(m.pvband_nm2);
+
+    const int features = static_cast<int>(layout.targets().size());
+    const int points = static_cast<int>(m.epe.size());
+
+    for (int it = 0; it < opt.max_iterations; ++it) {
+        if (opt_.early_exit && should_exit_early(m.sum_abs_epe, features, points, opt)) break;
+        const auto moves = feedback_moves(m.epe_segment, opt_.gain, opt_.max_step_nm);
+        apply_moves(offsets, moves, opt.max_total_offset_nm);
+        m = sim.evaluate(layout, offsets);
+        res.epe_history.push_back(m.sum_abs_epe);
+        res.pvb_history.push_back(m.pvband_nm2);
+        ++res.iterations;
+    }
+
+    res.final_offsets = std::move(offsets);
+    res.final_metrics = std::move(m);
+    res.runtime_s = timer.seconds();
+    return res;
+}
+
+rl::Trajectory RuleEngine::record_trajectory(const geo::SegmentedLayout& layout,
+                                             litho::LithoSim& sim, const OpcOptions& opt,
+                                             int steps) const {
+    rl::Trajectory traj;
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
+                             opt.initial_bias_nm);
+    litho::SimMetrics m = sim.evaluate(layout, offsets);
+
+    for (int t = 0; t < steps; ++t) {
+        // Teacher moves clamped to the learned engines' action space.
+        const auto moves = feedback_moves(m.epe_segment, opt_.gain, 2);
+
+        rl::StepRecord rec;
+        rec.offsets_before = offsets;
+        rec.sum_abs_epe_before = m.sum_abs_epe;
+        rec.pvband_before = m.pvband_nm2;
+        rec.actions.reserve(moves.size());
+        for (int mv : moves) rec.actions.push_back(rl::move_to_action(mv));
+        traj.steps.push_back(std::move(rec));
+
+        apply_moves(offsets, moves, opt.max_total_offset_nm);
+        m = sim.evaluate(layout, offsets);
+    }
+    traj.final_sum_abs_epe = m.sum_abs_epe;
+    traj.final_pvband = m.pvband_nm2;
+    return traj;
+}
+
+}  // namespace camo::opc

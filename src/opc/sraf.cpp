@@ -1,0 +1,52 @@
+#include "opc/sraf.hpp"
+
+namespace camo::opc {
+
+std::vector<geo::Polygon> insert_srafs(const std::vector<geo::Polygon>& targets,
+                                       const SrafOptions& opt) {
+    std::vector<geo::Rect> main_rects;
+    main_rects.reserve(targets.size());
+    for (const geo::Polygon& t : targets) main_rects.push_back(t.bbox());
+
+    std::vector<geo::Rect> bars;
+    for (const geo::Rect& via : main_rects) {
+        const geo::FPoint c = via.center();
+        const int cx = static_cast<int>(c.x);
+        const int cy = static_cast<int>(c.y);
+        const int half_len = opt.bar_length_nm / 2;
+        const int half_w = opt.bar_width_nm / 2;
+        const int d = opt.center_offset_nm;
+
+        const geo::Rect candidates[4] = {
+            {cx - half_len, cy + d - half_w, cx + half_len, cy + d + half_w},  // north
+            {cx - half_len, cy - d - half_w, cx + half_len, cy - d + half_w},  // south
+            {cx + d - half_w, cy - half_len, cx + d + half_w, cy + half_len},  // east
+            {cx - d - half_w, cy - half_len, cx - d + half_w, cy + half_len},  // west
+        };
+
+        for (const geo::Rect& cand : candidates) {
+            bool ok = true;
+            for (const geo::Rect& m : main_rects) {
+                if (m == via) continue;
+                if (geo::rect_gap(cand, m) < opt.clearance_nm) {
+                    ok = false;
+                    break;
+                }
+            }
+            for (const geo::Rect& b : bars) {
+                if (geo::rect_gap(cand, b) < opt.clearance_nm) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) bars.push_back(cand);
+        }
+    }
+
+    std::vector<geo::Polygon> out;
+    out.reserve(bars.size());
+    for (const geo::Rect& b : bars) out.push_back(geo::Polygon::from_rect(b));
+    return out;
+}
+
+}  // namespace camo::opc

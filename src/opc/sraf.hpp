@@ -1,0 +1,27 @@
+// Rule-based sub-resolution assist feature (SRAF) insertion.
+//
+// The paper has Calibre insert SRAFs around via patterns before CAMO runs;
+// this is the classical scatter-bar recipe: one bar per side of each via at
+// a fixed distance, dropped when it would violate clearance to another main
+// feature or a previously placed bar. SRAFs are below the printing
+// threshold but steepen the image slope at the via edges and are included
+// in the squish encoding exactly as the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+
+namespace camo::opc {
+
+struct SrafOptions {
+    int bar_width_nm = 30;
+    int bar_length_nm = 70;     ///< matches the via size
+    int center_offset_nm = 110; ///< via centre to bar centre
+    int clearance_nm = 50;      ///< min gap to any main feature or other bar
+};
+
+std::vector<geo::Polygon> insert_srafs(const std::vector<geo::Polygon>& targets,
+                                       const SrafOptions& opt = {});
+
+}  // namespace camo::opc

@@ -1,0 +1,16 @@
+#include "rl/reward.hpp"
+
+#include <cmath>
+
+namespace camo::rl {
+
+double step_reward(double epe_before, double epe_after, double pvb_before, double pvb_after,
+                   const RewardConfig& cfg) {
+    const double epe_term =
+        (std::abs(epe_before) - std::abs(epe_after)) / (std::abs(epe_before) + cfg.epsilon);
+    double pvb_term = 0.0;
+    if (pvb_before > 0.0) pvb_term = cfg.beta * (pvb_before - pvb_after) / pvb_before;
+    return epe_term + pvb_term;
+}
+
+}  // namespace camo::rl

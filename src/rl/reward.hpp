@@ -1,0 +1,22 @@
+// Paper Equation (3): the per-step reward combining EPE and PV-band
+// improvement:
+//   r_t = (|EPE_t| - |EPE_{t+1}|) / (|EPE_t| + eps)
+//       + beta * (PVB_t - PVB_{t+1}) / PVB_t
+// with eps = 0.1 and beta = 1 in the paper's setup.
+#pragma once
+
+namespace camo::rl {
+
+struct RewardConfig {
+    double epsilon = 0.1;
+    double beta = 1.0;
+};
+
+/// `epe_*` are the summed |EPE| of the whole layout before/after the step;
+/// `pvb_*` the PV band areas. A zero PV band before the step contributes no
+/// PV term (the paper's formula would divide by zero; this situation means
+/// nothing printed yet, where EPE dominates anyway).
+double step_reward(double epe_before, double epe_after, double pvb_before, double pvb_after,
+                   const RewardConfig& cfg = {});
+
+}  // namespace camo::rl

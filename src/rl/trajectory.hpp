@@ -1,0 +1,33 @@
+// Trajectory records shared by the teacher (imitation phase) and the RL
+// phase.
+#pragma once
+
+#include <vector>
+
+namespace camo::rl {
+
+/// One environment step: the segment offsets *before* acting and the action
+/// index (0..4 for movements -2..+2 nm) chosen per segment.
+struct StepRecord {
+    std::vector<int> offsets_before;
+    std::vector<int> actions;
+    double sum_abs_epe_before = 0.0;
+    double pvband_before = 0.0;
+};
+
+struct Trajectory {
+    std::vector<StepRecord> steps;
+    double final_sum_abs_epe = 0.0;
+    double final_pvband = 0.0;
+};
+
+/// Movement action space of the paper: {-2,-1,0,+1,+2} nm.
+inline constexpr int kNumActions = 5;
+
+/// Action index -> movement in nm.
+inline int action_to_move(int action) { return action - 2; }
+
+/// Movement in nm -> action index (movement must be in [-2, 2]).
+inline int move_to_action(int move) { return move + 2; }
+
+}  // namespace camo::rl

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace camo::core {
+namespace {
+
+TEST(Experiment, ViaOptionsMatchPaperProtocol) {
+    const auto opt = Experiment::via_options();
+    EXPECT_EQ(opt.max_iterations, 10);
+    EXPECT_DOUBLE_EQ(opt.exit_epe_per_feature, 4.0);
+    EXPECT_DOUBLE_EQ(opt.exit_epe_per_point, 0.0);
+    EXPECT_EQ(opt.initial_bias_nm, 3);
+}
+
+TEST(Experiment, MetalOptionsMatchPaperProtocol) {
+    const auto opt = Experiment::metal_options();
+    EXPECT_EQ(opt.max_iterations, 15);
+    EXPECT_DOUBLE_EQ(opt.exit_epe_per_point, 1.0);
+    EXPECT_DOUBLE_EQ(opt.exit_epe_per_feature, 0.0);
+    EXPECT_EQ(opt.initial_bias_nm, 0);
+}
+
+TEST(Experiment, LithoConfigIsProductionScale) {
+    const auto cfg = Experiment::litho_config();
+    EXPECT_EQ(cfg.grid, 512);
+    EXPECT_DOUBLE_EQ(cfg.pixel_nm, 4.0);
+    EXPECT_DOUBLE_EQ(cfg.wavelength_nm, 193.0);
+    EXPECT_DOUBLE_EQ(cfg.na, 1.35);
+    // Full clip fits with wraparound margin.
+    EXPECT_GE(cfg.clip_span_nm(), 2000.0);
+}
+
+TEST(Experiment, CamoConfigsConsistent) {
+    for (const CamoConfig& cfg :
+         {Experiment::via_camo_config(), Experiment::metal_camo_config()}) {
+        EXPECT_EQ(cfg.squish.size, cfg.policy.squish_size);
+        EXPECT_TRUE(cfg.policy.use_gnn);
+        EXPECT_TRUE(cfg.policy.use_rnn);
+        EXPECT_TRUE(cfg.modulator.enabled);
+        EXPECT_FALSE(cfg.teacher_biases.empty());
+        EXPECT_GT(cfg.phase1_epochs, 0);
+    }
+}
+
+TEST(Experiment, RlOpcConfigsDisableCorrelation) {
+    for (const CamoConfig& cfg :
+         {Experiment::via_rlopc_config(), Experiment::metal_rlopc_config()}) {
+        EXPECT_FALSE(cfg.policy.use_gnn);
+        EXPECT_FALSE(cfg.policy.use_rnn);
+        EXPECT_FALSE(cfg.modulator.enabled);
+        EXPECT_EQ(cfg.name, "rl-opc");
+    }
+}
+
+TEST(Experiment, WeightsPathDistinguishesConfigs) {
+    const auto camo = Experiment::via_camo_config();
+    const auto rlopc = Experiment::via_rlopc_config();
+    EXPECT_NE(Experiment::weights_path(camo, "via"), Experiment::weights_path(rlopc, "via"));
+    EXPECT_NE(Experiment::weights_path(camo, "via"), Experiment::weights_path(camo, "metal"));
+
+    CamoConfig changed = camo;
+    changed.phase1_epochs += 1;
+    EXPECT_NE(Experiment::weights_path(camo, "via"), Experiment::weights_path(changed, "via"));
+}
+
+TEST(Experiment, FragmentViaClipsIncludesSrafs) {
+    const auto clips = layout::via_test_set(Experiment::kDatasetSeed);
+    const auto layouts = fragment_via_clips({clips[0]});
+    ASSERT_EQ(layouts.size(), 1U);
+    EXPECT_EQ(layouts[0].num_segments(), static_cast<int>(clips[0].targets.size()) * 4);
+    EXPECT_FALSE(layouts[0].srafs().empty());
+}
+
+TEST(Experiment, FragmentMetalClipsMatchesPointCounts) {
+    const auto clips = layout::metal_test_set(Experiment::kDatasetSeed);
+    const auto layouts = fragment_metal_clips(clips);
+    const int expected[] = {64, 84, 88, 100, 106, 112, 116, 24, 72, 120};
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(static_cast<int>(layouts[static_cast<std::size_t>(i)].measure_points().size()),
+                  expected[i])
+            << clips[static_cast<std::size_t>(i)].name;
+        EXPECT_TRUE(layouts[static_cast<std::size_t>(i)].srafs().empty());
+    }
+}
+
+}  // namespace
+}  // namespace camo::core

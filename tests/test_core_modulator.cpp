@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/modulator.hpp"
+
+namespace camo::core {
+namespace {
+
+double sum(const std::array<double, 5>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s;
+}
+
+TEST(Modulator, SumsToOne) {
+    const ModulatorConfig cfg;
+    for (double epe : {-12.0, -3.0, -0.5, 0.0, 0.5, 3.0, 12.0}) {
+        EXPECT_NEAR(sum(modulation_vector(epe, cfg)), 1.0, 1e-12) << epe;
+    }
+}
+
+TEST(Modulator, NearUniformForSmallEpe) {
+    // Paper property: "when EPE is small, the preferences should not be
+    // significantly biased".
+    const auto p = modulation_vector(0.5, {});
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_NEAR(p[static_cast<std::size_t>(i)], 0.2, 0.01);
+    }
+}
+
+TEST(Modulator, ZeroEpeExactlyUniform) {
+    const auto p = modulation_vector(0.0, {});
+    for (int i = 0; i < 5; ++i) EXPECT_NEAR(p[static_cast<std::size_t>(i)], 0.2, 1e-12);
+}
+
+TEST(Modulator, PositiveEpePrefersInward) {
+    // Positive EPE = contour outside -> m1 (-2 nm, inward) most preferred.
+    const auto p = modulation_vector(6.0, {});
+    EXPECT_GT(p[0], p[1]);
+    EXPECT_GT(p[1], p[2]);
+    EXPECT_GT(p[2], p[3]);
+    EXPECT_GT(p[3], p[4]);
+    EXPECT_GT(p[0], 0.5);
+}
+
+TEST(Modulator, NegativeEpePrefersOutward) {
+    const auto p = modulation_vector(-6.0, {});
+    EXPECT_LT(p[0], p[1]);
+    EXPECT_LT(p[1], p[2]);
+    EXPECT_LT(p[2], p[3]);
+    EXPECT_LT(p[3], p[4]);
+    EXPECT_GT(p[4], 0.5);
+}
+
+TEST(Modulator, SymmetricUnderSignFlip) {
+    const auto pos = modulation_vector(4.2, {});
+    const auto neg = modulation_vector(-4.2, {});
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_NEAR(pos[static_cast<std::size_t>(i)], neg[static_cast<std::size_t>(4 - i)], 1e-12);
+    }
+}
+
+TEST(Modulator, SharpnessGrowsWithEpe) {
+    // "flat when EPE is small and becomes sharp as EPE increases"
+    const double peak2 = modulation_vector(2.0, {})[0];
+    const double peak5 = modulation_vector(5.0, {})[0];
+    const double peak10 = modulation_vector(10.0, {})[0];
+    EXPECT_LT(peak2, peak5);
+    EXPECT_LT(peak5, peak10);
+    EXPECT_GT(peak10, 0.99);  // essentially one-hot for very large EPE
+}
+
+TEST(Modulator, ExponentSweepChangesSharpness) {
+    // Design-choice knob from DESIGN.md: a higher even exponent is flatter
+    // for |EPE| < 1 and steeper for large |EPE|.
+    ModulatorConfig n2{.k = 0.02, .n = 2, .b = 1.0, .enabled = true};
+    ModulatorConfig n6{.k = 0.02, .n = 6, .b = 1.0, .enabled = true};
+    EXPECT_GT(modulation_vector(0.8, n2)[0], modulation_vector(0.8, n6)[0]);
+    EXPECT_GT(modulation_vector(8.0, n6)[0], modulation_vector(8.0, n2)[0] - 1e-9);
+}
+
+TEST(Modulator, ModulateProbsRenormalizes) {
+    const std::array<double, 5> uniform{0.2, 0.2, 0.2, 0.2, 0.2};
+    const auto out = modulate_probs(uniform, 6.0, {});
+    EXPECT_NEAR(sum(out), 1.0, 1e-12);
+    EXPECT_GT(out[0], out[4]);  // modulation visible through uniform policy
+}
+
+TEST(Modulator, DisabledPassthrough) {
+    ModulatorConfig off;
+    off.enabled = false;
+    const std::array<double, 5> probs{0.1, 0.2, 0.3, 0.25, 0.15};
+    const auto out = modulate_probs(probs, 8.0, off);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], probs[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Modulator, PolicyStillMattersUnderModulation) {
+    // A strongly opinionated policy can override a weak modulation.
+    const std::array<double, 5> opinionated{0.96, 0.01, 0.01, 0.01, 0.01};
+    const auto out = modulate_probs(opinionated, -1.0, {});  // weak outward pref
+    EXPECT_GT(out[0], out[4]);
+}
+
+}  // namespace
+}  // namespace camo::core

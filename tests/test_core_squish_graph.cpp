@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "core/squish.hpp"
+
+namespace camo::core {
+namespace {
+
+TEST(Squish, OutputShape) {
+    const std::vector<geo::Polygon> mask = {geo::Polygon::from_rect({0, 0, 70, 70})};
+    const SquishOptions opt{.window_nm = 500, .size = 32};
+    const nn::Tensor t = encode_squish_window(mask, mask, {35.0, 35.0}, opt);
+    EXPECT_EQ(t.shape(), (std::vector<int>{6, 32, 32}));
+}
+
+TEST(Squish, EmptyWindowIsZeroOccupancy) {
+    const std::vector<geo::Polygon> none;
+    const nn::Tensor t = encode_squish_window(none, none, {1000.0, 1000.0},
+                                              {.window_nm = 500, .size = 16});
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 16; ++c) {
+            EXPECT_FLOAT_EQ(t.at(0, r, c), 0.0F);
+            EXPECT_FLOAT_EQ(t.at(3, r, c), 0.0F);
+        }
+    }
+}
+
+TEST(Squish, SpacingChannelsTileTheWindow) {
+    // The delta channels are log-scaled; invert the scale and the cell
+    // widths must tile the whole window.
+    const std::vector<geo::Polygon> mask = {geo::Polygon::from_rect({180, 180, 250, 250})};
+    const SquishOptions opt{.window_nm = 500, .size = 16};
+    const nn::Tensor t = encode_squish_window(mask, mask, {215.0, 215.0}, opt);
+    const double norm = std::log1p(500.0);
+    double dx_sum = 0.0;
+    double dy_sum = 0.0;
+    for (int c = 0; c < 16; ++c) dx_sum += std::expm1(t.at(1, 0, c) * norm);
+    for (int r = 0; r < 16; ++r) dy_sum += std::expm1(t.at(2, r, 0) * norm);
+    EXPECT_NEAR(dx_sum, 500.0, 0.5);
+    EXPECT_NEAR(dy_sum, 500.0, 0.5);
+}
+
+TEST(Squish, OccupiedFractionMatchesGeometry) {
+    // One 70 nm via centred in a 500 nm window: occupancy-weighted area
+    // (sum of occ * dx * dy, after inverting the log scale) must equal the
+    // via area.
+    const std::vector<geo::Polygon> mask = {geo::Polygon::from_rect({215, 215, 285, 285})};
+    const SquishOptions opt{.window_nm = 500, .size = 32};
+    const nn::Tensor t = encode_squish_window(mask, mask, {250.0, 250.0}, opt);
+    const double norm = std::log1p(500.0);
+    double area = 0.0;
+    for (int r = 0; r < 32; ++r) {
+        for (int c = 0; c < 32; ++c) {
+            area += t.at(0, r, c) * std::expm1(t.at(1, r, c) * norm) *
+                    std::expm1(t.at(2, r, c) * norm);
+        }
+    }
+    EXPECT_NEAR(area, 70.0 * 70.0, 2.0);
+}
+
+TEST(Squish, SmallSliversGetAmplifiedEncoding) {
+    // A 3 nm sliver must map to a value the CNN can see: log scaling gives
+    // log1p(3)/log1p(500) ~ 0.22 rather than 3/500 = 0.006.
+    const std::vector<geo::Polygon> target = {geo::Polygon::from_rect({215, 215, 285, 285})};
+    const std::vector<geo::Polygon> mask = {geo::Polygon::from_rect({212, 212, 288, 288})};
+    const SquishOptions opt{.window_nm = 500, .size = 32};
+    const nn::Tensor t = encode_squish_window(mask, target, {250.0, 215.0}, opt);
+    float min_nonzero = 1.0F;
+    for (int c = 0; c < 32; ++c) {
+        const float v = t.at(4, 0, c);
+        if (v > 0.0F) min_nonzero = std::min(min_nonzero, v);
+    }
+    EXPECT_GT(min_nonzero, 0.15F);  // the 3 nm sliver column
+    EXPECT_LT(min_nonzero, 0.30F);
+}
+
+TEST(Squish, TargetChannelsReactToMaskMovement) {
+    // When the mask differs from the target, the extra target scanlines must
+    // make channels 3-5 differ from 0-2 (that is their whole purpose).
+    const std::vector<geo::Polygon> target = {geo::Polygon::from_rect({215, 215, 285, 285})};
+    const std::vector<geo::Polygon> mask = {geo::Polygon::from_rect({209, 209, 291, 291})};
+    const SquishOptions opt{.window_nm = 500, .size = 32};
+    const nn::Tensor t = encode_squish_window(mask, target, {250.0, 215.0}, opt);
+
+    double diff = 0.0;
+    for (int r = 0; r < 32; ++r) {
+        for (int c = 0; c < 32; ++c) {
+            diff += std::abs(t.at(0, r, c) - t.at(3, r, c)) +
+                    std::abs(t.at(1, r, c) - t.at(4, r, c)) +
+                    std::abs(t.at(2, r, c) - t.at(5, r, c));
+        }
+    }
+    EXPECT_GT(diff, 0.1);
+}
+
+TEST(Squish, DenseGeometryStillFixedSize) {
+    // More scanlines than the grid size forces merging.
+    std::vector<geo::Polygon> mask;
+    for (int i = 0; i < 30; ++i) {
+        const int x = 10 + i * 16;
+        mask.push_back(geo::Polygon::from_rect({x, 100, x + 8, 400}));
+    }
+    const SquishOptions opt{.window_nm = 500, .size = 8};
+    const nn::Tensor t = encode_squish_window(mask, mask, {250.0, 250.0}, opt);
+    EXPECT_EQ(t.shape(), (std::vector<int>{6, 8, 8}));
+    const double norm = std::log1p(500.0);
+    double dx_sum = 0.0;
+    for (int c = 0; c < 8; ++c) dx_sum += std::expm1(t.at(1, 0, c) * norm);
+    EXPECT_NEAR(dx_sum, 500.0, 0.5);
+}
+
+TEST(Graph, EdgesRespectThreshold) {
+    // Two vias 300 nm apart (centre to centre), threshold 250: edges only
+    // within each via's own 4 segments (max control distance ~70 nm).
+    geo::SegmentedLayout layout({geo::Polygon::from_rect({0, 0, 70, 70}),
+                                 geo::Polygon::from_rect({300, 0, 370, 70})},
+                                {geo::FragmentStyle::kVia, 60}, {}, 2000);
+    const Graph g = build_segment_graph(layout, 250.0);
+    EXPECT_EQ(g.n, 8);
+    // Within-via: all 4 segments pairwise close -> degree >= 3.
+    for (int v = 0; v < 4; ++v) EXPECT_GE(g.degree(v), 3);
+    // Across vias: the leftmost segment of via 0 and rightmost of via 1 are
+    // ~335 nm apart -> never adjacent.
+    const Graph tight = build_segment_graph(layout, 100.0);
+    EXPECT_LT(tight.edge_count(), g.edge_count());
+}
+
+TEST(Graph, LargeThresholdConnectsAll) {
+    geo::SegmentedLayout layout({geo::Polygon::from_rect({0, 0, 70, 70}),
+                                 geo::Polygon::from_rect({300, 0, 370, 70})},
+                                {geo::FragmentStyle::kVia, 60}, {}, 2000);
+    const Graph g = build_segment_graph(layout, 10000.0);
+    EXPECT_EQ(g.edge_count(), 8 * 7 / 2);  // complete graph
+    for (int v = 0; v < g.n; ++v) {
+        for (int u : g.neighbors[static_cast<std::size_t>(v)]) EXPECT_NE(u, v);  // no self loops
+    }
+}
+
+TEST(Graph, SymmetricAdjacency) {
+    geo::SegmentedLayout layout({geo::Polygon::from_rect({0, 0, 200, 50})},
+                                {geo::FragmentStyle::kMetal, 60}, {}, 2000);
+    const Graph g = build_segment_graph(layout, 250.0);
+    for (int v = 0; v < g.n; ++v) {
+        for (int u : g.neighbors[static_cast<std::size_t>(v)]) {
+            const auto& back = g.neighbors[static_cast<std::size_t>(u)];
+            EXPECT_NE(std::find(back.begin(), back.end(), v), back.end());
+        }
+    }
+}
+
+}  // namespace
+}  // namespace camo::core

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "litho/fft.hpp"
+
+namespace camo::litho {
+namespace {
+
+std::vector<Complex> random_signal(int n, Rng& rng) {
+    std::vector<Complex> v(static_cast<std::size_t>(n));
+    for (auto& c : v) {
+        c = Complex(static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
+    }
+    return v;
+}
+
+TEST(Fft, IsPow2) {
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(1024));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+    std::vector<Complex> v(6);
+    EXPECT_THROW(fft_forward(v), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+    std::vector<Complex> v(16);
+    v[0] = Complex(1.0F, 0.0F);
+    fft_forward(v);
+    for (const Complex& c : v) {
+        EXPECT_NEAR(c.real(), 1.0F, 1e-5F);
+        EXPECT_NEAR(c.imag(), 0.0F, 1e-5F);
+    }
+}
+
+TEST(Fft, SingleToneLandsOnOneBin) {
+    const int n = 32;
+    const int tone = 5;
+    std::vector<Complex> v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const double ang = 2.0 * std::numbers::pi * tone * i / n;
+        v[static_cast<std::size_t>(i)] =
+            Complex(static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang)));
+    }
+    fft_forward(v);
+    for (int k = 0; k < n; ++k) {
+        const float mag = std::abs(v[static_cast<std::size_t>(k)]);
+        if (k == tone) {
+            EXPECT_NEAR(mag, static_cast<float>(n), 1e-3F);
+        } else {
+            EXPECT_NEAR(mag, 0.0F, 1e-3F);
+        }
+    }
+}
+
+class FftRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftRoundtrip, InverseRecoversInput) {
+    const int n = GetParam();
+    Rng rng(7);
+    const auto orig = random_signal(n, rng);
+    auto v = orig;
+    fft_forward(v);
+    fft_inverse(v);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(v[static_cast<std::size_t>(i)].real(), orig[static_cast<std::size_t>(i)].real(), 1e-4F);
+        EXPECT_NEAR(v[static_cast<std::size_t>(i)].imag(), orig[static_cast<std::size_t>(i)].imag(), 1e-4F);
+    }
+}
+
+TEST_P(FftRoundtrip, ParsevalHolds) {
+    const int n = GetParam();
+    Rng rng(11);
+    auto v = random_signal(n, rng);
+    double time_energy = 0.0;
+    for (const Complex& c : v) time_energy += std::norm(c);
+    fft_forward(v);
+    double freq_energy = 0.0;
+    for (const Complex& c : v) freq_energy += std::norm(c);
+    EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundtrip, ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Fft, Linearity) {
+    const int n = 64;
+    Rng rng(3);
+    const auto a = random_signal(n, rng);
+    const auto b = random_signal(n, rng);
+    std::vector<Complex> sum(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        sum[static_cast<std::size_t>(i)] =
+            2.0F * a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+    }
+    auto fa = a;
+    auto fb = b;
+    auto fs = sum;
+    fft_forward(fa);
+    fft_forward(fb);
+    fft_forward(fs);
+    for (int i = 0; i < n; ++i) {
+        const Complex expect = 2.0F * fa[static_cast<std::size_t>(i)] + fb[static_cast<std::size_t>(i)];
+        EXPECT_NEAR(std::abs(fs[static_cast<std::size_t>(i)] - expect), 0.0F, 2e-3F);
+    }
+}
+
+TEST(Fft2d, RoundtripAndParseval) {
+    const int n = 32;
+    Rng rng(5);
+    auto grid = random_signal(n * n, rng);
+    const auto orig = grid;
+    double te = 0.0;
+    for (const Complex& c : grid) te += std::norm(c);
+
+    fft2d_forward(grid, n);
+    double fe = 0.0;
+    for (const Complex& c : grid) fe += std::norm(c);
+    EXPECT_NEAR(fe / (static_cast<double>(n) * n), te, te * 1e-4);
+
+    fft2d_inverse(grid, n);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_NEAR(std::abs(grid[i] - orig[i]), 0.0F, 1e-3F);
+    }
+}
+
+TEST(Fft2d, RowSparseMatchesDense) {
+    const int n = 32;
+    Rng rng(9);
+    std::vector<Complex> grid(static_cast<std::size_t>(n) * n);
+    std::vector<std::uint8_t> row_mask(static_cast<std::size_t>(n), 0);
+    // Populate only a few rows (like a compact kernel support).
+    for (int r : {0, 1, 2, 30, 31}) {
+        row_mask[static_cast<std::size_t>(r)] = 1;
+        for (int c = 0; c < n; ++c) {
+            grid[static_cast<std::size_t>(r) * n + c] = Complex(
+                static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
+        }
+    }
+    auto dense = grid;
+    fft2d_inverse(dense, n);
+    auto sparse = grid;
+    fft2d_inverse_rowsparse(sparse, n, row_mask);
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        EXPECT_NEAR(std::abs(dense[i] - sparse[i]), 0.0F, 1e-5F);
+    }
+}
+
+TEST(Fft2d, DcComponentIsMean) {
+    const int n = 16;
+    std::vector<Complex> grid(static_cast<std::size_t>(n) * n, Complex(0.25F, 0.0F));
+    fft2d_forward(grid, n);
+    EXPECT_NEAR(grid[0].real(), 0.25F * n * n, 1e-3F);
+    for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_NEAR(std::abs(grid[i]), 0.0F, 1e-3F);
+}
+
+}  // namespace
+}  // namespace camo::litho

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "layout/gdsii.hpp"
+#include "layout/render.hpp"
+#include "layout/via_gen.hpp"
+
+namespace camo::layout {
+namespace {
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+TEST(Gdsii, RoundtripSingleRect) {
+    GdsLibrary lib;
+    lib.layers[1].push_back(geo::Polygon::from_rect({100, 200, 170, 270}));
+    const std::string path = temp_path("camo_single.gds");
+    write_gds(path, lib);
+
+    const GdsLibrary back = read_gds(path);
+    EXPECT_EQ(back.name, "CAMO");
+    EXPECT_EQ(back.structure, "TOP");
+    ASSERT_EQ(back.layers.count(1), 1U);
+    ASSERT_EQ(back.layers.at(1).size(), 1U);
+    EXPECT_EQ(back.layers.at(1)[0].bbox(), (geo::Rect{100, 200, 170, 270}));
+    EXPECT_DOUBLE_EQ(back.layers.at(1)[0].area(), 70.0 * 70.0);
+    std::remove(path.c_str());
+}
+
+TEST(Gdsii, RoundtripMultiLayerStaircase) {
+    GdsLibrary lib;
+    lib.name = "LIB2";
+    lib.structure = "CHIP";
+    // Staircase polygon like an OPC'd mask.
+    lib.layers[10].push_back(geo::Polygon(
+        {{0, 0}, {30, 0}, {30, 8}, {20, 8}, {20, 12}, {10, 12}, {10, 10}, {0, 10}}));
+    lib.layers[2].push_back(geo::Polygon::from_rect({50, 0, 80, 20}));
+    lib.layers[2].push_back(geo::Polygon::from_rect({-30, -40, -10, -20}));  // negative coords
+
+    const std::string path = temp_path("camo_multi.gds");
+    write_gds(path, lib);
+    const GdsLibrary back = read_gds(path);
+    EXPECT_EQ(back.name, "LIB2");
+    EXPECT_EQ(back.structure, "CHIP");
+    ASSERT_EQ(back.layers.at(10).size(), 1U);
+    EXPECT_EQ(back.layers.at(10)[0].size(), 8);
+    ASSERT_EQ(back.layers.at(2).size(), 2U);
+    EXPECT_EQ(back.layers.at(2)[1].bbox(), (geo::Rect{-30, -40, -10, -20}));
+    std::remove(path.c_str());
+}
+
+TEST(Gdsii, RoundtripGeneratedClip) {
+    Rng rng(5);
+    GdsLibrary lib;
+    lib.layers[1] = generate_via_clip(5, rng);
+    const std::string path = temp_path("camo_clip.gds");
+    write_gds(path, lib);
+    const GdsLibrary back = read_gds(path);
+    ASSERT_EQ(back.layers.at(1).size(), 5U);
+    double area = 0.0;
+    for (const auto& p : back.layers.at(1)) area += p.area();
+    EXPECT_DOUBLE_EQ(area, 5.0 * 70.0 * 70.0);
+    std::remove(path.c_str());
+}
+
+TEST(Gdsii, MissingFileThrows) { EXPECT_THROW(read_gds("/nonexistent.gds"), std::runtime_error); }
+
+TEST(Gdsii, MalformedFileThrows) {
+    const std::string path = temp_path("camo_bad.gds");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.put('\x00');  // record length 2 < header size
+        out.put('\x02');
+    }
+    EXPECT_THROW(read_gds(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Render, GrayPpmHasCorrectHeader) {
+    geo::Raster r(16, 1.0);
+    r.at(8, 8) = 1.0F;
+    const std::string path = temp_path("camo_gray.ppm");
+    write_ppm_gray(path, r);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int w = 0;
+    int h = 0;
+    int maxval = 0;
+    in >> magic >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 16);
+    EXPECT_EQ(h, 16);
+    EXPECT_EQ(maxval, 255);
+    in.get();  // newline
+    std::vector<char> data(16 * 16 * 3);
+    in.read(data.data(), static_cast<std::streamsize>(data.size()));
+    EXPECT_TRUE(static_cast<bool>(in));
+    std::remove(path.c_str());
+}
+
+TEST(Render, Fig6WritesFourPanels) {
+    Fig6Inputs in;
+    in.target = {geo::Polygon::from_rect({100, 100, 200, 150})};
+    in.mask = in.target;
+    in.printed_nominal = geo::Raster(32, 8.0);
+    in.pvband = geo::Raster(32, 8.0);
+    in.clip_nm = 256;
+    in.offset_nm = 0;
+
+    const std::string prefix = temp_path("camo_fig6");
+    render_fig6(prefix, in);
+    for (const char* suffix : {"_target.ppm", "_mask.ppm", "_contour.ppm", "_pvband.ppm"}) {
+        std::ifstream f(prefix + suffix, std::ios::binary);
+        EXPECT_TRUE(static_cast<bool>(f)) << suffix;
+        std::remove((prefix + suffix).c_str());
+    }
+}
+
+}  // namespace
+}  // namespace camo::layout

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "geometry/fragment.hpp"
+
+namespace camo::geo {
+namespace {
+
+Polygon via70() { return Polygon::from_rect({100, 100, 170, 170}); }
+
+TEST(FragmentVia, FourSegmentsAllMeasured) {
+    const auto segs = fragment_polygon(via70(), {FragmentStyle::kVia, 60}, 0);
+    ASSERT_EQ(segs.size(), 4U);
+    for (const Segment& s : segs) {
+        EXPECT_TRUE(s.measured);
+        EXPECT_EQ(s.length(), 70);
+        EXPECT_EQ(s.poly, 0);
+    }
+}
+
+TEST(FragmentVia, OutwardNormalsPointAway) {
+    const auto segs = fragment_polygon(via70(), {FragmentStyle::kVia, 60}, 0);
+    const FPoint center{135.0, 135.0};
+    for (const Segment& s : segs) {
+        const FPoint c = s.control();
+        const FPoint n = s.normal();
+        // The outward normal must point away from the polygon centre.
+        const double dot = (c.x - center.x) * n.x + (c.y - center.y) * n.y;
+        EXPECT_GT(dot, 0.0);
+    }
+}
+
+TEST(FragmentVia, ControlPointsAtEdgeCenters) {
+    const auto segs = fragment_polygon(via70(), {FragmentStyle::kVia, 60}, 0);
+    int on_bottom = 0;
+    for (const Segment& s : segs) {
+        if (s.axis == Axis::kHorizontal && s.line == 100) {
+            EXPECT_EQ(s.control(), (FPoint{135.0, 100.0}));
+            ++on_bottom;
+        }
+    }
+    EXPECT_EQ(on_bottom, 1);
+}
+
+TEST(FragmentMetal, ShortEdgeSingleSegment) {
+    // 50 nm wide wire: horizontal edges shorter than the pitch stay whole.
+    const Polygon wire = Polygon::from_rect({0, 0, 50, 40});
+    const auto segs = fragment_polygon(wire, {FragmentStyle::kMetal, 60}, 0);
+    ASSERT_EQ(segs.size(), 4U);
+    int measured = 0;
+    for (const Segment& s : segs) {
+        if (s.measured) {
+            ++measured;
+            EXPECT_EQ(s.axis, Axis::kHorizontal);
+        }
+    }
+    EXPECT_EQ(measured, 2);  // top and bottom only
+}
+
+TEST(FragmentMetal, PitchSplitWithRemainderAtEnds) {
+    // 200 nm edge at 60 nm pitch: 3 segments of 70/60/70.
+    const Polygon wire = Polygon::from_rect({0, 0, 200, 50});
+    const auto segs = fragment_polygon(wire, {FragmentStyle::kMetal, 60}, 0);
+
+    std::vector<int> bottom_lengths;
+    for (const Segment& s : segs) {
+        if (s.axis == Axis::kHorizontal && s.line == 0) bottom_lengths.push_back(s.length());
+    }
+    ASSERT_EQ(bottom_lengths.size(), 3U);
+    EXPECT_EQ(bottom_lengths[0] + bottom_lengths[1] + bottom_lengths[2], 200);
+    EXPECT_EQ(bottom_lengths[1], 60);
+    EXPECT_EQ(bottom_lengths[0], bottom_lengths[2]);
+}
+
+TEST(FragmentMetal, MeasurePointPitchIsSixty) {
+    const Polygon wire = Polygon::from_rect({0, 0, 300, 50});
+    const auto segs = fragment_polygon(wire, {FragmentStyle::kMetal, 60}, 0);
+    std::vector<double> xs;
+    for (const Segment& s : segs) {
+        if (s.axis == Axis::kHorizontal && s.line == 0 && s.measured) xs.push_back(s.control().x);
+    }
+    std::sort(xs.begin(), xs.end());
+    ASSERT_EQ(xs.size(), 5U);  // floor(300/60) = 5 measure points
+    for (std::size_t i = 2; i + 1 < xs.size(); ++i) {
+        EXPECT_NEAR(xs[i + 1] - xs[i], 60.0, 1e-9) << "interior pitch";
+    }
+}
+
+TEST(FragmentMetal, VerticalLineEndsUnmeasuredButPresent) {
+    const Polygon wire = Polygon::from_rect({0, 0, 200, 50});
+    const auto segs = fragment_polygon(wire, {FragmentStyle::kMetal, 60}, 0);
+    int vertical = 0;
+    for (const Segment& s : segs) {
+        if (s.axis == Axis::kVertical) {
+            EXPECT_FALSE(s.measured);
+            EXPECT_EQ(s.length(), 50);
+            ++vertical;
+        }
+    }
+    EXPECT_EQ(vertical, 2);
+}
+
+TEST(Fragment, SegmentsFormClosedBoundaryWalk) {
+    const Polygon wire = Polygon::from_rect({0, 0, 200, 50});
+    const auto segs = fragment_polygon(wire, {FragmentStyle::kMetal, 60}, 0);
+    const int n = static_cast<int>(segs.size());
+    for (int i = 0; i < n; ++i) {
+        const Segment& a = segs[static_cast<std::size_t>(i)];
+        const Segment& b = segs[static_cast<std::size_t>((i + 1) % n)];
+        // End point of a == start point of b.
+        const Point ea = a.axis == Axis::kHorizontal ? Point{a.t1, a.line} : Point{a.line, a.t1};
+        const Point sb = b.axis == Axis::kHorizontal ? Point{b.t0, b.line} : Point{b.line, b.t0};
+        EXPECT_EQ(ea, sb) << "between segments " << i << " and " << (i + 1) % n;
+    }
+}
+
+TEST(Fragment, RejectsBadPolygons) {
+    Polygon cw({{0, 0}, {0, 10}, {10, 10}, {10, 0}});  // clockwise
+    EXPECT_THROW(fragment_polygon(cw, {FragmentStyle::kVia, 60}, 0), std::invalid_argument);
+    const Polygon diag({{0, 0}, {10, 10}, {0, 10}});
+    EXPECT_THROW(fragment_polygon(diag, {FragmentStyle::kVia, 60}, 0), std::invalid_argument);
+}
+
+class MetalEdgeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetalEdgeSweep, SegmentLengthsTileTheEdge) {
+    const int len = GetParam();
+    const Polygon wire = Polygon::from_rect({0, 0, len, 45});
+    const auto segs = fragment_polygon(wire, {FragmentStyle::kMetal, 60}, 0);
+    int total = 0;
+    int count = 0;
+    for (const Segment& s : segs) {
+        if (s.axis == Axis::kHorizontal && s.line == 0) {
+            total += s.length();
+            ++count;
+        }
+    }
+    EXPECT_EQ(total, len);
+    EXPECT_EQ(count, std::max(1, len / 60));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MetalEdgeSweep,
+                         ::testing::Values(30, 59, 60, 61, 90, 119, 120, 200, 333, 600, 1499));
+
+}  // namespace
+}  // namespace camo::geo

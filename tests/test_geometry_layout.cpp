@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "geometry/layout.hpp"
+#include "geometry/raster.hpp"
+
+namespace camo::geo {
+namespace {
+
+SegmentedLayout one_via() {
+    return SegmentedLayout({Polygon::from_rect({100, 100, 170, 170})},
+                           {FragmentStyle::kVia, 60}, {}, 2000);
+}
+
+TEST(SegmentedLayout, ZeroOffsetsReproduceTarget) {
+    const SegmentedLayout layout = one_via();
+    const std::vector<int> zeros(static_cast<std::size_t>(layout.num_segments()), 0);
+    const auto mask = layout.reconstruct_mask(zeros);
+    ASSERT_EQ(mask.size(), 1U);
+    EXPECT_DOUBLE_EQ(mask[0].area(), 70.0 * 70.0);
+    EXPECT_EQ(mask[0].bbox(), (Rect{100, 100, 170, 170}));
+}
+
+TEST(SegmentedLayout, UniformOutwardGrowsUniformly) {
+    const SegmentedLayout layout = one_via();
+    const std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 3);
+    const auto mask = layout.reconstruct_mask(offsets);
+    ASSERT_EQ(mask.size(), 1U);
+    EXPECT_EQ(mask[0].bbox(), (Rect{97, 97, 173, 173}));
+    EXPECT_DOUBLE_EQ(mask[0].area(), 76.0 * 76.0);
+}
+
+TEST(SegmentedLayout, UniformInwardShrinks) {
+    const SegmentedLayout layout = one_via();
+    const std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), -5);
+    const auto mask = layout.reconstruct_mask(offsets);
+    EXPECT_EQ(mask[0].bbox(), (Rect{105, 105, 165, 165}));
+}
+
+TEST(SegmentedLayout, SingleSegmentMoveCreatesExpectedArea) {
+    const SegmentedLayout layout = one_via();
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 0);
+    offsets[0] = 2;  // move one 70 nm edge outward by 2
+    const auto mask = layout.reconstruct_mask(offsets);
+    EXPECT_DOUBLE_EQ(mask[0].area(), 70.0 * 70.0 + 70.0 * 2.0);
+}
+
+TEST(SegmentedLayout, FragmentedEdgeJogRasterizesToExactArea) {
+    // A metal wire with one interior segment pushed out: staircase polygon.
+    SegmentedLayout layout({Polygon::from_rect({0, 100, 200, 150})},
+                           {FragmentStyle::kMetal, 60}, {}, 2000);
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 0);
+
+    // Find the interior bottom segment (line == 100, length 60) and push it.
+    int pushed_len = 0;
+    for (int i = 0; i < layout.num_segments(); ++i) {
+        const Segment& s = layout.segments()[static_cast<std::size_t>(i)];
+        if (s.axis == Axis::kHorizontal && s.line == 100 && s.length() == 60) {
+            offsets[static_cast<std::size_t>(i)] = 2;
+            pushed_len = s.length();
+            break;
+        }
+    }
+    ASSERT_EQ(pushed_len, 60);
+
+    const auto mask = layout.reconstruct_mask(offsets);
+    ASSERT_EQ(mask.size(), 1U);
+    EXPECT_DOUBLE_EQ(mask[0].area(), 200.0 * 50.0 + 60.0 * 2.0);
+
+    Raster r(256, 1.0);
+    r.add_polygon(mask[0]);
+    EXPECT_NEAR(r.coverage_area_nm2(), mask[0].area(), 1e-2);
+}
+
+TEST(SegmentedLayout, OppositeCornerMovesIntersectCorrectly) {
+    const SegmentedLayout layout = one_via();
+    // Bottom edge out by 2, right edge in by 1: corner must be (169, 98).
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 0);
+    for (int i = 0; i < layout.num_segments(); ++i) {
+        const Segment& s = layout.segments()[static_cast<std::size_t>(i)];
+        if (s.axis == Axis::kHorizontal && s.line == 100) offsets[static_cast<std::size_t>(i)] = 2;
+        if (s.axis == Axis::kVertical && s.line == 170) offsets[static_cast<std::size_t>(i)] = -1;
+    }
+    const auto mask = layout.reconstruct_mask(offsets);
+    const Rect bb = mask[0].bbox();
+    EXPECT_EQ(bb.ylo, 98);
+    EXPECT_EQ(bb.xhi, 169);
+}
+
+TEST(SegmentedLayout, MeasurePointsMatchMeasuredSegments) {
+    SegmentedLayout layout({Polygon::from_rect({0, 100, 200, 150})},
+                           {FragmentStyle::kMetal, 60}, {}, 2000);
+    const auto pts = layout.measure_points();
+    int measured = 0;
+    for (const Segment& s : layout.segments()) measured += s.measured ? 1 : 0;
+    EXPECT_EQ(static_cast<int>(pts.size()), measured);
+    EXPECT_EQ(measured, 6);  // 3 per horizontal edge, two edges
+    for (const MeasurePoint& mp : pts) {
+        EXPECT_TRUE(layout.segments()[static_cast<std::size_t>(mp.segment)].measured);
+    }
+}
+
+TEST(SegmentedLayout, OffsetSizeMismatchThrows) {
+    const SegmentedLayout layout = one_via();
+    const std::vector<int> bad(2, 0);
+    EXPECT_THROW((void)layout.reconstruct_mask(bad), std::invalid_argument);
+}
+
+TEST(SegmentedLayout, MultiplePolygonsKeepRanges) {
+    SegmentedLayout layout({Polygon::from_rect({0, 0, 70, 70}),
+                            Polygon::from_rect({500, 500, 570, 570})},
+                           {FragmentStyle::kVia, 60}, {}, 2000);
+    EXPECT_EQ(layout.num_segments(), 8);
+    const auto [b0, e0] = layout.polygon_segment_range(0);
+    const auto [b1, e1] = layout.polygon_segment_range(1);
+    EXPECT_EQ(e0 - b0, 4);
+    EXPECT_EQ(e1 - b1, 4);
+    EXPECT_EQ(e0, b1);
+
+    // Moving polygon 0 must not disturb polygon 1.
+    std::vector<int> offsets(8, 0);
+    for (int i = b0; i < e0; ++i) offsets[static_cast<std::size_t>(i)] = 2;
+    const auto mask = layout.reconstruct_mask(offsets);
+    EXPECT_DOUBLE_EQ(mask[1].area(), 70.0 * 70.0);
+    EXPECT_DOUBLE_EQ(mask[0].area(), 74.0 * 74.0);
+}
+
+TEST(SegmentedLayout, SrafsCarriedAlong) {
+    SegmentedLayout layout({Polygon::from_rect({0, 0, 70, 70})}, {FragmentStyle::kVia, 60},
+                           {Polygon::from_rect({100, 0, 120, 70})}, 2000);
+    EXPECT_EQ(layout.srafs().size(), 1U);
+    EXPECT_EQ(layout.num_segments(), 4);  // SRAFs contribute no segments
+}
+
+}  // namespace
+}  // namespace camo::geo

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.hpp"
+
+namespace camo::geo {
+namespace {
+
+TEST(Polygon, RectAreaAndBbox) {
+    const Polygon p = Polygon::from_rect({10, 20, 110, 70});
+    EXPECT_EQ(p.signed_area2(), 2LL * 100 * 50);
+    EXPECT_DOUBLE_EQ(p.area(), 5000.0);
+    EXPECT_EQ(p.bbox(), (Rect{10, 20, 110, 70}));
+    EXPECT_TRUE(p.is_rectilinear());
+}
+
+TEST(Polygon, FromRectIsCcw) {
+    const Polygon p = Polygon::from_rect({0, 0, 10, 10});
+    EXPECT_GT(p.signed_area2(), 0);
+}
+
+TEST(Polygon, NormalizeReversesClockwise) {
+    Polygon p({{0, 0}, {0, 10}, {10, 10}, {10, 0}});  // clockwise
+    EXPECT_LT(p.signed_area2(), 0);
+    p.normalize();
+    EXPECT_GT(p.signed_area2(), 0);
+    EXPECT_EQ(p.size(), 4);
+}
+
+TEST(Polygon, NormalizeDropsCollinearAndDuplicate) {
+    Polygon p({{0, 0}, {5, 0}, {10, 0}, {10, 0}, {10, 10}, {0, 10}});
+    p.normalize();
+    EXPECT_EQ(p.size(), 4);
+    EXPECT_DOUBLE_EQ(p.area(), 100.0);
+}
+
+TEST(Polygon, LShapeAreaAndContains) {
+    // L-shape: 20x20 square minus 10x10 upper-right quadrant.
+    Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+    EXPECT_TRUE(p.is_rectilinear());
+    EXPECT_DOUBLE_EQ(p.area(), 300.0);
+    EXPECT_TRUE(p.contains({5.0, 5.0}));
+    EXPECT_TRUE(p.contains({5.0, 15.0}));
+    EXPECT_TRUE(p.contains({15.0, 5.0}));
+    EXPECT_FALSE(p.contains({15.0, 15.0}));
+    EXPECT_FALSE(p.contains({-1.0, 5.0}));
+    EXPECT_FALSE(p.contains({5.0, 25.0}));
+}
+
+TEST(Polygon, ContainsOnDegenerate) {
+    const Polygon empty;
+    EXPECT_FALSE(empty.contains({0.0, 0.0}));
+    EXPECT_FALSE(empty.is_rectilinear());
+}
+
+TEST(Polygon, NonRectilinearDetected) {
+    const Polygon diag({{0, 0}, {10, 10}, {0, 10}});
+    EXPECT_FALSE(diag.is_rectilinear());
+}
+
+struct RectCase {
+    Rect r;
+};
+
+class PolygonRectSweep : public ::testing::TestWithParam<RectCase> {};
+
+TEST_P(PolygonRectSweep, AreaMatchesRect) {
+    const Rect r = GetParam().r;
+    const Polygon p = Polygon::from_rect(r);
+    EXPECT_DOUBLE_EQ(p.area(), static_cast<double>(r.area()));
+    EXPECT_TRUE(p.contains(r.center()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rects, PolygonRectSweep,
+                         ::testing::Values(RectCase{{0, 0, 1, 1}}, RectCase{{0, 0, 70, 70}},
+                                           RectCase{{-50, -30, 20, 10}},
+                                           RectCase{{100, 200, 1100, 260}},
+                                           RectCase{{3, 7, 450, 1203}}));
+
+TEST(Rect, GapAndIntersect) {
+    const Rect a{0, 0, 10, 10};
+    const Rect b{20, 0, 30, 10};
+    EXPECT_EQ(rect_gap(a, b), 10);
+    EXPECT_FALSE(a.intersects(b));
+    const Rect c{5, 5, 15, 15};
+    EXPECT_TRUE(a.intersects(c));
+    EXPECT_EQ(rect_gap(a, c), 0);
+    const Rect d{15, 20, 25, 30};  // diagonal neighbour
+    EXPECT_EQ(rect_gap(a, d), 10);
+}
+
+TEST(Rect, EmptyAndArea) {
+    EXPECT_TRUE((Rect{5, 5, 5, 10}).empty());
+    EXPECT_EQ((Rect{5, 5, 5, 10}).area(), 0);
+    EXPECT_EQ((Rect{0, 0, 4, 5}).area(), 20);
+}
+
+}  // namespace
+}  // namespace camo::geo

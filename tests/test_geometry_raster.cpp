@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/raster.hpp"
+
+namespace camo::geo {
+namespace {
+
+TEST(Raster, PixelAlignedRect) {
+    Raster r(16, 1.0);
+    r.add_polygon(Polygon::from_rect({2, 3, 6, 8}));
+    EXPECT_FLOAT_EQ(r.at(3, 2), 1.0F);
+    EXPECT_FLOAT_EQ(r.at(7, 5), 1.0F);
+    EXPECT_FLOAT_EQ(r.at(8, 2), 0.0F);  // above the rect
+    EXPECT_FLOAT_EQ(r.at(3, 6), 0.0F);  // right of the rect
+    EXPECT_NEAR(r.coverage_area_nm2(), 4.0 * 5.0, 1e-4);
+}
+
+TEST(Raster, FractionalCoverageWithCoarsePixels) {
+    Raster r(8, 4.0);  // 4 nm pixels
+    r.add_polygon(Polygon::from_rect({2, 2, 6, 6}));  // straddles pixel borders
+    EXPECT_NEAR(r.coverage_area_nm2(), 16.0, 1e-4);
+    // Pixel (0,0) covers [0,4]x[0,4]; overlap with [2,6]^2 is 2x2 = 4 of 16.
+    EXPECT_NEAR(r.at(0, 0), 0.25F, 1e-5F);
+    // Pixel (1,1) covers [4,8]^2; overlap is 2x2 as well.
+    EXPECT_NEAR(r.at(1, 1), 0.25F, 1e-5F);
+}
+
+TEST(Raster, LShapeAreaConserved) {
+    Raster r(32, 1.0);
+    Polygon l({{1, 1}, {21, 1}, {21, 11}, {11, 11}, {11, 21}, {1, 21}});
+    r.add_polygon(l);
+    EXPECT_NEAR(r.coverage_area_nm2(), l.area(), 1e-3);
+    EXPECT_FLOAT_EQ(r.at(5, 5), 1.0F);
+    EXPECT_FLOAT_EQ(r.at(15, 15), 0.0F);  // cut-out quadrant
+}
+
+TEST(Raster, ClipsAtGridBoundary) {
+    Raster r(8, 1.0);
+    r.add_polygon(Polygon::from_rect({-10, -10, 4, 4}));  // extends past edges
+    EXPECT_FLOAT_EQ(r.at(0, 0), 1.0F);
+    EXPECT_NEAR(r.coverage_area_nm2(), 16.0, 1e-4);  // only the in-grid part
+}
+
+TEST(Raster, OverlappingPolygonsClamp) {
+    Raster r(16, 1.0);
+    std::vector<Polygon> polys = {Polygon::from_rect({0, 0, 8, 8}),
+                                  Polygon::from_rect({4, 4, 12, 12})};
+    r.rasterize(polys);
+    EXPECT_FLOAT_EQ(r.at(5, 5), 1.0F);  // overlap region stays at 1
+    EXPECT_NEAR(r.coverage_area_nm2(), 64.0 + 64.0 - 16.0, 1e-3);
+}
+
+TEST(Raster, RandomRectsAreaProperty) {
+    Rng rng(42);
+    for (int trial = 0; trial < 25; ++trial) {
+        Raster r(64, 2.0);
+        const int x0 = rng.uniform_int(0, 80);
+        const int y0 = rng.uniform_int(0, 80);
+        const int w = rng.uniform_int(1, 40);
+        const int h = rng.uniform_int(1, 40);
+        r.add_polygon(Polygon::from_rect({x0, y0, x0 + w, y0 + h}));
+        EXPECT_NEAR(r.coverage_area_nm2(), static_cast<double>(w) * h, 1e-2)
+            << "rect " << x0 << "," << y0 << " " << w << "x" << h;
+    }
+}
+
+TEST(Raster, StaircasePolygonArea) {
+    // Shape with jogs as produced by per-segment OPC offsets.
+    Polygon stairs({{0, 0}, {30, 0}, {30, 8}, {20, 8}, {20, 12}, {10, 12}, {10, 10}, {0, 10}});
+    Raster r(64, 1.0);
+    r.add_polygon(stairs);
+    EXPECT_NEAR(r.coverage_area_nm2(), stairs.area(), 1e-3);
+}
+
+TEST(Raster, BilinearSampleSmoothField) {
+    Raster r(8, 1.0);
+    for (int row = 0; row < 8; ++row) {
+        for (int col = 0; col < 8; ++col) r.at(row, col) = static_cast<float>(col);
+    }
+    // Along x the field is linear in the pixel-centre coordinates.
+    EXPECT_NEAR(r.sample(3.0, 4.0), 2.5, 1e-6);
+    EXPECT_NEAR(r.sample(3.5, 4.0), 3.0, 1e-6);
+}
+
+TEST(Raster, BadDimensionsThrow) {
+    EXPECT_THROW(Raster(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Raster(8, 0.0), std::invalid_argument);
+}
+
+class RasterPixelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RasterPixelSweep, AreaConservationAcrossResolutions) {
+    const double px = GetParam();
+    Raster r(static_cast<int>(256 / px), px);
+    const Polygon p = Polygon::from_rect({37, 51, 143, 167});
+    r.add_polygon(p);
+    EXPECT_NEAR(r.coverage_area_nm2(), p.area(), p.area() * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pixels, RasterPixelSweep, ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace camo::geo

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "litho/linalg.hpp"
+#include "litho/optics.hpp"
+
+namespace camo::litho {
+namespace {
+
+LithoConfig small_cfg() {
+    LithoConfig cfg;
+    cfg.grid = 128;
+    cfg.pixel_nm = 8.0;
+    cfg.cache_dir = "";
+    return cfg;
+}
+
+TEST(Optics, SourcePointsLieInAnnulus) {
+    const LithoConfig cfg = small_cfg();
+    const auto pts = sample_annular_source(cfg);
+    ASSERT_GT(pts.size(), 10U);
+
+    const double na_freq = cfg.na / cfg.wavelength_nm;
+    const double step = 1.0 / (cfg.grid * cfg.pixel_nm);
+    for (const SourcePoint& p : pts) {
+        const double r = std::hypot(p.f.kx * step, p.f.ky * step);
+        EXPECT_LE(r, cfg.sigma_out * na_freq * 1.0001);
+        EXPECT_GE(r, cfg.sigma_in * na_freq * 0.9999);
+    }
+}
+
+TEST(Optics, SourceWeightsNormalized) {
+    const auto pts = sample_annular_source(small_cfg());
+    double total = 0.0;
+    for (const SourcePoint& p : pts) total += p.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Optics, PupilCutsOffAtNa) {
+    const LithoConfig cfg = small_cfg();
+    const double step = 1.0 / (cfg.grid * cfg.pixel_nm);
+    const int pupil_rad = static_cast<int>(cfg.na / cfg.wavelength_nm / step);
+    EXPECT_NE(pupil_value(cfg, {0, 0}, 0.0), std::complex<double>(0.0, 0.0));
+    EXPECT_NE(pupil_value(cfg, {pupil_rad - 1, 0}, 0.0), std::complex<double>(0.0, 0.0));
+    EXPECT_EQ(pupil_value(cfg, {pupil_rad + 2, 0}, 0.0), std::complex<double>(0.0, 0.0));
+}
+
+TEST(Optics, DefocusIsPurePhase) {
+    const LithoConfig cfg = small_cfg();
+    const auto v = pupil_value(cfg, {3, 4}, 50.0);
+    EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+    // Nonzero frequency with defocus must acquire a nonzero phase.
+    EXPECT_GT(std::abs(std::arg(v)), 1e-6);
+    // DC never acquires defocus phase.
+    EXPECT_NEAR(std::arg(pupil_value(cfg, {0, 0}, 50.0)), 0.0, 1e-12);
+}
+
+TEST(Optics, SupportRadiusCoversPupilPlusSource) {
+    const LithoConfig cfg = small_cfg();
+    const int r = tcc_support_radius(cfg);
+    const auto freqs = tcc_support_freqs(cfg);
+    EXPECT_GT(r, 0);
+    // Count must be close to the disk area pi r^2.
+    const double expected = std::numbers::pi * r * r;
+    EXPECT_NEAR(static_cast<double>(freqs.size()), expected, expected * 0.15);
+}
+
+TEST(Linalg, JacobiDiagonalizesKnownMatrix) {
+    // [[2,1],[1,2]] has eigenvalues 1 and 3.
+    std::vector<double> a = {2.0, 1.0, 1.0, 2.0};
+    std::vector<double> v;
+    auto eig = jacobi_eig_symmetric(a, 2, v);
+    std::sort(eig.begin(), eig.end());
+    EXPECT_NEAR(eig[0], 1.0, 1e-10);
+    EXPECT_NEAR(eig[1], 3.0, 1e-10);
+}
+
+TEST(Linalg, JacobiEigenvectorsReconstruct) {
+    const std::vector<double> a = {4.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.5, 0.25, 2.0};
+    std::vector<double> v;
+    const auto eig = jacobi_eig_symmetric(a, 3, v);
+    // Check A v_k = lambda_k v_k for each eigenpair.
+    for (int k = 0; k < 3; ++k) {
+        for (int r = 0; r < 3; ++r) {
+            double av = 0.0;
+            for (int c = 0; c < 3; ++c) av += a[static_cast<std::size_t>(r) * 3 + c] * v[static_cast<std::size_t>(c) * 3 + k];
+            EXPECT_NEAR(av, eig[static_cast<std::size_t>(k)] * v[static_cast<std::size_t>(r) * 3 + k], 1e-9);
+        }
+    }
+}
+
+TEST(Linalg, JacobiRejectsBadDims) {
+    std::vector<double> a = {1.0, 2.0};
+    std::vector<double> v;
+    EXPECT_THROW(jacobi_eig_symmetric(a, 2, v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camo::litho

@@ -1,0 +1,150 @@
+// Physical-invariant property tests of the lithography substrate:
+// translation equivariance, bias monotonicity, symmetry, and linear-system
+// sanity under the partially coherent model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "litho/simulator.hpp"
+
+namespace camo::litho {
+namespace {
+
+class LithoPropertyTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        LithoConfig cfg;
+        cfg.grid = 256;
+        cfg.pixel_nm = 4.0;
+        cfg.kernels_nominal = 6;
+        cfg.kernels_defocus = 5;
+        cfg.cache_dir = "";
+        sim_ = new LithoSim(cfg);
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        sim_ = nullptr;
+    }
+    static LithoSim* sim_;
+};
+
+LithoSim* LithoPropertyTest::sim_ = nullptr;
+
+geo::SegmentedLayout via_at(int x, int y, int clip = 1000) {
+    return geo::SegmentedLayout({geo::Polygon::from_rect({x, y, x + 70, y + 70})},
+                                {geo::FragmentStyle::kVia, 60}, {}, clip);
+}
+
+TEST_F(LithoPropertyTest, TranslationEquivariance) {
+    // Moving the via by whole pixels must not change its EPE (away from
+    // wraparound edges the imaging system is shift-invariant).
+    const std::vector<int> off(4, 8);
+    const auto m1 = sim_->evaluate(via_at(465, 465), off);
+    const auto m2 = sim_->evaluate(via_at(465 + 40, 465 - 80), off);  // 10/20 pixels
+    ASSERT_EQ(m1.epe.size(), m2.epe.size());
+    for (std::size_t i = 0; i < m1.epe.size(); ++i) {
+        EXPECT_NEAR(m1.epe[i], m2.epe[i], 0.15) << "point " << i;
+    }
+}
+
+TEST_F(LithoPropertyTest, NinetyDegreeSymmetry) {
+    // The source and pupil are rotationally symmetric: a square via's four
+    // edges must see (nearly) identical EPE.
+    const std::vector<int> off(4, 6);
+    const auto m = sim_->evaluate(via_at(465, 465), off);
+    ASSERT_EQ(m.epe.size(), 4U);
+    for (std::size_t i = 1; i < 4; ++i) EXPECT_NEAR(m.epe[i], m.epe[0], 0.3);
+}
+
+class BiasMonotonicity : public LithoPropertyTest,
+                         public ::testing::WithParamInterface<int> {};
+
+TEST_P(BiasMonotonicity, EpeGrowsWithBias) {
+    // More outward bias -> more light -> printed contour strictly moves
+    // outward (EPE increases monotonically), until saturation.
+    const int bias = GetParam();
+    const std::vector<int> lo(4, bias);
+    const std::vector<int> hi(4, bias + 2);
+    const auto m_lo = sim_->evaluate(via_at(465, 465), lo);
+    const auto m_hi = sim_->evaluate(via_at(465, 465), hi);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_GE(m_hi.epe[i], m_lo.epe[i] - 1e-6) << "bias " << bias << " point " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, BiasMonotonicity, ::testing::Values(0, 2, 4, 6, 8, 10));
+
+TEST_F(LithoPropertyTest, ProximityCouplingDecaysWithDistance) {
+    // A neighbour via changes the centre via's EPE; the effect shrinks as
+    // the neighbour moves away (the core assumption behind the 250 nm
+    // graph threshold).
+    const std::vector<int> off8(8, 8);
+    const std::vector<int> off4(4, 8);
+    const auto isolated = sim_->evaluate(via_at(465, 465), off4);
+
+    auto pair_at = [&](int dx) {
+        return geo::SegmentedLayout({geo::Polygon::from_rect({465, 465, 535, 535}),
+                                     geo::Polygon::from_rect({465 + dx, 465, 535 + dx, 535})},
+                                    {geo::FragmentStyle::kVia, 60}, {}, 1000);
+    };
+    const auto near = sim_->evaluate(pair_at(150), off8);
+    const auto far = sim_->evaluate(pair_at(350), off8);
+
+    const double d_near = std::abs(near.epe[0] - isolated.epe[0]);
+    const double d_far = std::abs(far.epe[0] - isolated.epe[0]);
+    EXPECT_GT(d_near, d_far);
+    EXPECT_LT(d_far, 1.0);  // at 350 nm the coupling is nearly gone
+}
+
+TEST_F(LithoPropertyTest, PvBandShrinksWithSrafSupport) {
+    // The whole point of SRAFs: steeper image slope -> smaller PV band for
+    // the same printed feature. Compare a biased via with and without bars.
+    const std::vector<geo::Polygon> target = {geo::Polygon::from_rect({465, 465, 535, 535})};
+    std::vector<geo::Polygon> bars;
+    for (int d : {-110, 110}) {
+        bars.push_back(geo::Polygon::from_rect({465, 500 + d - 15, 535, 500 + d + 15}));
+        bars.push_back(geo::Polygon::from_rect({500 + d - 15, 465, 500 + d + 15, 535}));
+    }
+    geo::SegmentedLayout with_srafs(target, {geo::FragmentStyle::kVia, 60}, bars, 1000);
+    geo::SegmentedLayout without(target, {geo::FragmentStyle::kVia, 60}, {}, 1000);
+
+    // At the operating bias (a few nm) the via underprints badly on its
+    // own; SRAF support brings the contour close to target. (At large
+    // over-bias the same brightening would overshoot instead.)
+    const std::vector<int> off(4, 4);
+    const auto m_with = sim_->evaluate(with_srafs, off);
+    const auto m_without = sim_->evaluate(without, off);
+    EXPECT_LT(m_with.sum_abs_epe, m_without.sum_abs_epe);
+}
+
+TEST_F(LithoPropertyTest, IntensityScalesQuadraticallyWithMaskAmplitude) {
+    // Partially coherent imaging is quadratic in the mask transmission:
+    // halving the mask amplitude quarters the intensity.
+    geo::Raster mask(256, 4.0);
+    mask.add_polygon(geo::Polygon::from_rect({400, 400, 600, 600}));
+    mask.clamp01();
+    geo::Raster half = mask;
+    for (float& v : half.data()) v *= 0.5F;
+
+    const geo::Raster a1 = sim_->aerial_nominal(mask);
+    const geo::Raster a2 = sim_->aerial_nominal(half);
+    const int c = 125;  // centre of the bright feature
+    EXPECT_NEAR(a2.at(c, c), 0.25F * a1.at(c, c), 0.01F);
+}
+
+TEST_F(LithoPropertyTest, SegmentEpeMatchesMeasuredEpeOnMeasuredSegments) {
+    const auto layout = via_at(465, 465);
+    const std::vector<int> off(4, 5);
+    const auto m = sim_->evaluate(layout, off);
+    std::size_t mi = 0;
+    for (int i = 0; i < layout.num_segments(); ++i) {
+        if (layout.segments()[static_cast<std::size_t>(i)].measured) {
+            EXPECT_DOUBLE_EQ(m.epe[mi], m.epe_segment[static_cast<std::size_t>(i)]);
+            ++mi;
+        }
+    }
+    EXPECT_EQ(mi, m.epe.size());
+}
+
+}  // namespace
+}  // namespace camo::litho

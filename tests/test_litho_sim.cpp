@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "litho/simulator.hpp"
+
+namespace camo::litho {
+namespace {
+
+// One shared simulator per suite: kernel construction dominates test time.
+class LithoSimTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        LithoConfig cfg;
+        cfg.grid = 256;
+        cfg.pixel_nm = 4.0;
+        cfg.kernels_nominal = 6;
+        cfg.kernels_defocus = 5;
+        cfg.cache_dir = "";  // tests never touch the on-disk cache
+        sim_ = new LithoSim(cfg);
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        sim_ = nullptr;
+    }
+
+    static LithoSim* sim_;
+};
+
+LithoSim* LithoSimTest::sim_ = nullptr;
+
+geo::SegmentedLayout via_layout(int clip = 1000) {
+    const int lo = clip / 2 - 35;
+    return geo::SegmentedLayout({geo::Polygon::from_rect({lo, lo, lo + 70, lo + 70})},
+                                {geo::FragmentStyle::kVia, 60}, {}, clip);
+}
+
+TEST_F(LithoSimTest, ThresholdCalibratedInPhysicalRange) {
+    EXPECT_GT(sim_->threshold(), 0.02);
+    EXPECT_LT(sim_->threshold(), 0.9);
+}
+
+TEST_F(LithoSimTest, EmptyMaskPrintsNothing) {
+    geo::Raster mask(sim_->config().grid, sim_->config().pixel_nm);
+    const geo::Raster aerial = sim_->aerial_nominal(mask);
+    for (float v : aerial.data()) EXPECT_LT(v, 1e-4F);
+}
+
+TEST_F(LithoSimTest, OpenFrameIsBrightAndFlat) {
+    geo::Raster mask(sim_->config().grid, sim_->config().pixel_nm);
+    mask.fill(1.0F);
+    const geo::Raster aerial = sim_->aerial_nominal(mask);
+    const int n = aerial.n();
+    const float center = aerial.at(n / 2, n / 2);
+    EXPECT_GT(center, 0.5F);
+    // Flat away from wraparound edges.
+    EXPECT_NEAR(aerial.at(n / 2 + 5, n / 2 - 3), center, 0.02F);
+}
+
+TEST_F(LithoSimTest, LargeFeatureOverprintsBoundedly) {
+    // With the dose-to-size fraction below 1, a large feature's contour sits
+    // a bounded distance *outside* the target: positive EPE the OPC engines
+    // must pull in, never a clamp (the feature always prints).
+    const int clip = 1000;
+    const int lo = clip / 2 - 200;
+    geo::SegmentedLayout layout({geo::Polygon::from_rect({lo, lo, lo + 400, lo + 400})},
+                                {geo::FragmentStyle::kVia, 60}, {}, clip);
+    const std::vector<int> zeros(4, 0);
+    const SimMetrics m = sim_->evaluate(layout, zeros);
+    ASSERT_EQ(m.epe.size(), 4U);
+    for (double e : m.epe) {
+        EXPECT_GT(e, 0.0);
+        EXPECT_LT(e, sim_->config().epe_range_nm) << "must not clamp";
+    }
+}
+
+TEST_F(LithoSimTest, IsolatedViaUnderprints) {
+    // 70 nm via is sub-resolution: it must print small (negative EPE).
+    const auto layout = via_layout();
+    const std::vector<int> zeros(4, 0);
+    const SimMetrics m = sim_->evaluate(layout, zeros);
+    for (double e : m.epe) EXPECT_LT(e, 0.0);
+}
+
+TEST_F(LithoSimTest, OutwardBiasReducesViaUnderprint) {
+    const auto layout = via_layout();
+    const std::vector<int> zeros(4, 0);
+    const std::vector<int> biased(4, 6);
+    const SimMetrics m0 = sim_->evaluate(layout, zeros);
+    const SimMetrics m6 = sim_->evaluate(layout, biased);
+    EXPECT_LT(m6.sum_abs_epe, m0.sum_abs_epe);
+}
+
+TEST_F(LithoSimTest, SymmetricViaGivesSymmetricEpe) {
+    const auto layout = via_layout();
+    const std::vector<int> zeros(4, 0);
+    const SimMetrics m = sim_->evaluate(layout, zeros);
+    ASSERT_EQ(m.epe.size(), 4U);
+    for (std::size_t i = 1; i < 4; ++i) EXPECT_NEAR(m.epe[i], m.epe[0], 0.35);
+}
+
+TEST_F(LithoSimTest, DoseMonotonicity) {
+    const auto layout = via_layout();
+    const std::vector<int> biased(4, 8);
+    const auto polys = layout.reconstruct_mask(biased);
+    const geo::Raster mask = sim_->rasterize(polys, {}, layout.clip_size_nm());
+    const geo::Raster aerial = sim_->aerial_nominal(mask);
+
+    double printed_low = 0.0;
+    double printed_high = 0.0;
+    for (float v : sim_->printed(aerial, 0.95).data()) printed_low += v;
+    for (float v : sim_->printed(aerial, 1.05).data()) printed_high += v;
+    EXPECT_GE(printed_high, printed_low);
+    EXPECT_GT(printed_high, 0.0);
+}
+
+TEST_F(LithoSimTest, DefocusLowersPeakIntensity) {
+    const auto layout = via_layout();
+    const std::vector<int> biased(4, 8);
+    const auto polys = layout.reconstruct_mask(biased);
+    const geo::Raster mask = sim_->rasterize(polys, {}, layout.clip_size_nm());
+
+    const geo::Raster nom = sim_->aerial_nominal(mask);
+    const geo::Raster def = sim_->aerial_defocus(mask);
+    float peak_nom = 0.0F;
+    float peak_def = 0.0F;
+    for (float v : nom.data()) peak_nom = std::max(peak_nom, v);
+    for (float v : def.data()) peak_def = std::max(peak_def, v);
+    EXPECT_LT(peak_def, peak_nom);
+}
+
+TEST_F(LithoSimTest, PvBandPositiveForPrintedVia) {
+    const auto layout = via_layout();
+    const std::vector<int> biased(4, 8);
+    const SimMetrics m = sim_->evaluate(layout, biased);
+    EXPECT_GT(m.pvband_nm2, 0.0);
+    // Sanity upper bound: the band is a thin annulus, far below clip area.
+    EXPECT_LT(m.pvband_nm2, 200.0 * 200.0);
+}
+
+TEST_F(LithoSimTest, EpeSegmentCoversAllSegments) {
+    const auto layout = via_layout();
+    const std::vector<int> zeros(4, 0);
+    const SimMetrics m = sim_->evaluate(layout, zeros);
+    EXPECT_EQ(m.epe_segment.size(), static_cast<std::size_t>(layout.num_segments()));
+    EXPECT_EQ(m.epe.size(), 4U);
+}
+
+TEST_F(LithoSimTest, EvaluateCountsCalls) {
+    const auto layout = via_layout();
+    const std::vector<int> zeros(4, 0);
+    const long long before = sim_->evaluate_count();
+    (void)sim_->evaluate(layout, zeros);
+    EXPECT_EQ(sim_->evaluate_count(), before + 1);
+}
+
+TEST(LithoSimConfig, RejectsNonPow2Grid) {
+    LithoConfig cfg;
+    cfg.grid = 300;
+    cfg.cache_dir = "";
+    EXPECT_THROW(LithoSim sim(cfg), std::invalid_argument);
+}
+
+TEST(LithoSimConfig, PhysicsHashSensitivity) {
+    LithoConfig a;
+    LithoConfig b;
+    EXPECT_EQ(a.physics_hash(), b.physics_hash());
+    b.na = 1.2;
+    EXPECT_NE(a.physics_hash(), b.physics_hash());
+    LithoConfig c;
+    c.grid = 256;
+    EXPECT_NE(a.physics_hash(), c.physics_hash());
+}
+
+TEST(LithoMetrics, EpeSignConvention) {
+    // Synthetic aerial: bright left half, dark right half, smooth ramp.
+    geo::Raster aerial(64, 1.0);
+    for (int r = 0; r < 64; ++r) {
+        for (int c = 0; c < 64; ++c) {
+            aerial.at(r, c) = 1.0F / (1.0F + std::exp(0.5F * (c - 32)));
+        }
+    }
+    // Target edge exactly at the 0.5 crossing (x = 32.5 in nm, pixel centres
+    // at +0.5): EPE should be ~0.
+    const double epe0 = measure_epe(aerial, 0.5, {32.5, 32.0}, {1.0, 0.0}, 15.0);
+    EXPECT_NEAR(epe0, 0.0, 0.6);
+    // Target edge inside the bright region: contour is outside -> positive.
+    const double epe_pos = measure_epe(aerial, 0.5, {28.0, 32.0}, {1.0, 0.0}, 15.0);
+    EXPECT_GT(epe_pos, 2.0);
+    // Target edge in the dark region: contour receded -> negative.
+    const double epe_neg = measure_epe(aerial, 0.5, {38.0, 32.0}, {1.0, 0.0}, 15.0);
+    EXPECT_LT(epe_neg, -2.0);
+}
+
+TEST(LithoMetrics, EpeClampsWhenNoContour) {
+    geo::Raster dark(32, 1.0);  // nothing prints
+    const double epe = measure_epe(dark, 0.5, {16.0, 16.0}, {1.0, 0.0}, 10.0);
+    EXPECT_DOUBLE_EQ(epe, -10.0);
+
+    geo::Raster bright(32, 1.0);
+    bright.fill(1.0F);
+    const double epe2 = measure_epe(bright, 0.5, {16.0, 16.0}, {1.0, 0.0}, 10.0);
+    EXPECT_DOUBLE_EQ(epe2, 10.0);
+}
+
+TEST(LithoMetrics, PvBandCountsBandPixels) {
+    geo::Raster nom(16, 2.0);
+    geo::Raster def(16, 2.0);
+    // Outer prints a 4-pixel block, inner prints nothing.
+    nom.at(5, 5) = nom.at(5, 6) = nom.at(6, 5) = nom.at(6, 6) = 1.0F;
+    const double band = pv_band_nm2(nom, def, 0.5, 0.98, 1.02);
+    EXPECT_DOUBLE_EQ(band, 4.0 * 2.0 * 2.0);
+
+    // Identical images with identical dose corners -> zero band.
+    const double zero_band = pv_band_nm2(nom, nom, 0.5, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(zero_band, 0.0);
+}
+
+}  // namespace
+}  // namespace camo::litho

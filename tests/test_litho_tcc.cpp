@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "litho/tcc.hpp"
+
+namespace camo::litho {
+namespace {
+
+LithoConfig tiny_cfg() {
+    LithoConfig cfg;
+    cfg.grid = 64;
+    cfg.pixel_nm = 16.0;
+    cfg.cache_dir = "";
+    return cfg;
+}
+
+TEST(Tcc, EigenvaluesDescendingAndNonNegative) {
+    const auto ks = compute_socs_kernels(tiny_cfg(), 0.0, 6);
+    ASSERT_GE(ks.count(), 4);
+    for (int i = 0; i < ks.count(); ++i) {
+        EXPECT_GE(ks.eigenvalues[static_cast<std::size_t>(i)], 0.0);
+        if (i > 0) {
+            EXPECT_LE(ks.eigenvalues[static_cast<std::size_t>(i)],
+                      ks.eigenvalues[static_cast<std::size_t>(i - 1)] + 1e-12);
+        }
+    }
+}
+
+TEST(Tcc, KernelsAreOrthonormal) {
+    const auto ks = compute_socs_kernels(tiny_cfg(), 0.0, 5);
+    for (int a = 0; a < ks.count(); ++a) {
+        for (int b = a; b < ks.count(); ++b) {
+            std::complex<double> dot{0.0, 0.0};
+            for (int i = 0; i < ks.support_size(); ++i) {
+                const auto ca = ks.coeffs[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)];
+                const auto cb = ks.coeffs[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)];
+                dot += std::conj(std::complex<double>(ca)) * std::complex<double>(cb);
+            }
+            if (a == b) {
+                EXPECT_NEAR(std::abs(dot), 1.0, 1e-4);
+            } else {
+                EXPECT_NEAR(std::abs(dot), 0.0, 1e-3);
+            }
+        }
+    }
+}
+
+TEST(Tcc, LeadingKernelsCaptureMostEnergy) {
+    const LithoConfig cfg = tiny_cfg();
+    const auto ks = compute_socs_kernels(cfg, 0.0, 10);
+    const double trace = tcc_trace(cfg, 0.0);
+    double captured = 0.0;
+    for (double e : ks.eigenvalues) captured += e;
+    EXPECT_GT(trace, 0.0);
+    EXPECT_GT(captured / trace, 0.6);  // top-10 of an annular TCC
+    EXPECT_LE(captured / trace, 1.0 + 1e-9);
+}
+
+TEST(Tcc, DeterministicAcrossSeeds) {
+    // The dominant eigenvalues are a property of the TCC, not the RNG.
+    const auto a = compute_socs_kernels(tiny_cfg(), 0.0, 4, 123);
+    const auto b = compute_socs_kernels(tiny_cfg(), 0.0, 4, 987);
+    ASSERT_EQ(a.count(), b.count());
+    for (int i = 0; i < a.count(); ++i) {
+        const double ea = a.eigenvalues[static_cast<std::size_t>(i)];
+        const double eb = b.eigenvalues[static_cast<std::size_t>(i)];
+        EXPECT_NEAR(ea, eb, std::max(ea, eb) * 5e-3 + 1e-9);
+    }
+}
+
+TEST(Tcc, DefocusPreservesTotalEnergy) {
+    // Defocus is a pure pupil phase: the TCC trace must not change.
+    const LithoConfig cfg = tiny_cfg();
+    EXPECT_NEAR(tcc_trace(cfg, 0.0), tcc_trace(cfg, cfg.defocus_nm), 1e-9);
+}
+
+TEST(Tcc, SupportSharedAcrossKernels) {
+    const auto ks = compute_socs_kernels(tiny_cfg(), 0.0, 3);
+    for (const auto& c : ks.coeffs) {
+        EXPECT_EQ(static_cast<int>(c.size()), ks.support_size());
+    }
+}
+
+}  // namespace
+}  // namespace camo::litho

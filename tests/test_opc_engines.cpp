@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "opc/ilt.hpp"
+#include "opc/one_shot.hpp"
+#include "opc/rule_engine.hpp"
+#include "opc/sraf.hpp"
+#include "rl/reward.hpp"
+
+namespace camo::opc {
+namespace {
+
+class OpcEngineTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        litho::LithoConfig cfg;
+        cfg.grid = 256;
+        cfg.pixel_nm = 4.0;
+        cfg.kernels_nominal = 6;
+        cfg.kernels_defocus = 5;
+        cfg.cache_dir = "";
+        sim_ = new litho::LithoSim(cfg);
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        sim_ = nullptr;
+    }
+
+    static geo::SegmentedLayout via_layout() {
+        const int clip = 1000;
+        const int lo = clip / 2 - 35;
+        auto targets = std::vector<geo::Polygon>{geo::Polygon::from_rect({lo, lo, lo + 70, lo + 70})};
+        auto srafs = insert_srafs(targets);
+        return geo::SegmentedLayout(std::move(targets), {geo::FragmentStyle::kVia, 60},
+                                    std::move(srafs), clip);
+    }
+
+    static litho::LithoSim* sim_;
+};
+
+litho::LithoSim* OpcEngineTest::sim_ = nullptr;
+
+TEST_F(OpcEngineTest, RuleEngineReducesEpe) {
+    RuleEngine engine;
+    OpcOptions opt;
+    opt.max_iterations = 8;
+    opt.initial_bias_nm = 0;  // start from the raw target: large EPE
+    const EngineResult res = engine.optimize(via_layout(), *sim_, opt);
+    ASSERT_GE(res.epe_history.size(), 2U);
+    EXPECT_LT(res.final_metrics.sum_abs_epe, res.epe_history.front() * 0.5);
+    // Converged quality: around 1 nm per measure point.
+    EXPECT_LT(res.final_metrics.sum_abs_epe, 6.0);
+    EXPECT_EQ(res.iterations, 8);  // fixed recipe, no early exit by default
+}
+
+TEST_F(OpcEngineTest, RuleEngineEarlyExitStops) {
+    RuleEngine engine({.gain = 0.6, .max_step_nm = 4, .early_exit = true});
+    OpcOptions opt;
+    opt.max_iterations = 10;
+    opt.exit_epe_per_feature = 4.0;
+    const EngineResult res = engine.optimize(via_layout(), *sim_, opt);
+    EXPECT_LT(res.iterations, 10);
+    EXPECT_LT(res.final_metrics.sum_abs_epe, 4.0 * 1.0 + 4.0);  // near the exit bound
+}
+
+TEST_F(OpcEngineTest, OneShotSingleIteration) {
+    OneShotEngine engine;
+    OpcOptions opt;
+    const EngineResult res = engine.optimize(via_layout(), *sim_, opt);
+    EXPECT_EQ(res.iterations, 1);
+    EXPECT_EQ(res.epe_history.size(), 2U);
+    // Improves over the initial mask but stays worse than the rule engine.
+    EXPECT_LT(res.final_metrics.sum_abs_epe, res.epe_history.front());
+
+    RuleEngine rule;
+    OpcOptions ropt;
+    ropt.max_iterations = 8;
+    const EngineResult rres = rule.optimize(via_layout(), *sim_, ropt);
+    EXPECT_LE(rres.final_metrics.sum_abs_epe, res.final_metrics.sum_abs_epe + 1e-9);
+}
+
+TEST_F(OpcEngineTest, TrajectoryRecordsActionsInActionSpace) {
+    RuleEngine teacher({.gain = 0.6, .max_step_nm = 2, .early_exit = false});
+    OpcOptions opt;
+    const rl::Trajectory traj = teacher.record_trajectory(via_layout(), *sim_, opt, 5);
+    ASSERT_EQ(traj.steps.size(), 5U);
+    const auto layout = via_layout();
+    for (const rl::StepRecord& s : traj.steps) {
+        EXPECT_EQ(static_cast<int>(s.actions.size()), layout.num_segments());
+        EXPECT_EQ(static_cast<int>(s.offsets_before.size()), layout.num_segments());
+        for (int a : s.actions) {
+            EXPECT_GE(a, 0);
+            EXPECT_LT(a, rl::kNumActions);
+        }
+        EXPECT_GE(s.sum_abs_epe_before, 0.0);
+    }
+    // The teacher must be making progress over its trajectory.
+    EXPECT_LT(traj.final_sum_abs_epe, traj.steps.front().sum_abs_epe_before);
+}
+
+TEST_F(OpcEngineTest, IltReducesContourLoss) {
+    IltEngine ilt({.iterations = 10, .step = 4.0, .mask_steepness = 4.0, .resist_steepness = 40.0});
+    const IltResult res = ilt.optimize(via_layout(), *sim_);
+    EXPECT_LT(res.final_loss, res.initial_loss);
+    EXPECT_EQ(res.loss_history.size(), 11U);
+    EXPECT_GE(res.sum_abs_epe, 0.0);
+}
+
+TEST(OpcExit, EarlyExitRules) {
+    OpcOptions opt;
+    opt.exit_epe_per_feature = 4.0;
+    EXPECT_TRUE(should_exit_early(7.9, 2, 8, opt));   // 3.95 per via
+    EXPECT_FALSE(should_exit_early(8.1, 2, 8, opt));  // 4.05 per via
+
+    OpcOptions metal;
+    metal.exit_epe_per_point = 1.0;
+    EXPECT_TRUE(should_exit_early(63.0, 5, 64, metal));
+    EXPECT_FALSE(should_exit_early(65.0, 5, 64, metal));
+
+    OpcOptions off;
+    EXPECT_FALSE(should_exit_early(0.0, 2, 8, off));  // both rules disabled
+}
+
+TEST(Sraf, IsolatedViaGetsFourBars) {
+    const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({500, 500, 570, 570})};
+    const auto srafs = insert_srafs(targets);
+    EXPECT_EQ(srafs.size(), 4U);
+    for (const auto& bar : srafs) {
+        EXPECT_GE(geo::rect_gap(bar.bbox(), targets[0].bbox()), 50);
+    }
+}
+
+TEST(Sraf, CrowdedViasDropConflictingBars) {
+    // Two vias 150 nm apart (edge to edge): bars between them must be
+    // dropped by the clearance rule.
+    const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({500, 500, 570, 570}),
+                                               geo::Polygon::from_rect({720, 500, 790, 570})};
+    const auto srafs = insert_srafs(targets);
+    EXPECT_LT(srafs.size(), 8U);
+    for (const auto& bar : srafs) {
+        for (const auto& t : targets) EXPECT_GE(geo::rect_gap(bar.bbox(), t.bbox()), 50);
+        for (const auto& other : srafs) {
+            if (&other == &bar) continue;
+            EXPECT_GE(geo::rect_gap(bar.bbox(), other.bbox()), 50);
+        }
+    }
+}
+
+TEST(Reward, EquationThreeProperties) {
+    // Improvement in both terms -> positive reward.
+    EXPECT_GT(rl::step_reward(10.0, 5.0, 1000.0, 900.0), 0.0);
+    // Pure EPE improvement of 50%: epe term ~ 0.5.
+    EXPECT_NEAR(rl::step_reward(10.0, 5.0, 1000.0, 1000.0), 5.0 / 10.1, 1e-9);
+    // Degradation -> negative.
+    EXPECT_LT(rl::step_reward(5.0, 10.0, 1000.0, 1100.0), 0.0);
+    // Zero PVB before: the PV term is skipped, no division by zero.
+    const double r = rl::step_reward(10.0, 8.0, 0.0, 100.0);
+    EXPECT_NEAR(r, 2.0 / 10.1, 1e-9);
+    // Beta scales the PV term.
+    const double r_b2 = rl::step_reward(10.0, 10.0, 1000.0, 500.0, {.epsilon = 0.1, .beta = 2.0});
+    EXPECT_NEAR(r_b2, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace camo::opc

@@ -1,0 +1,110 @@
+// Additional OPC engine behaviour tests: clamping, gain response, and
+// option plumbing that the main engine tests do not cover.
+#include <gtest/gtest.h>
+
+#include "opc/ilt.hpp"
+#include "opc/one_shot.hpp"
+#include "opc/rule_engine.hpp"
+#include "opc/sraf.hpp"
+
+namespace camo::opc {
+namespace {
+
+class OpcMoreTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        litho::LithoConfig cfg;
+        cfg.grid = 256;
+        cfg.pixel_nm = 4.0;
+        cfg.kernels_nominal = 6;
+        cfg.kernels_defocus = 5;
+        cfg.cache_dir = "";
+        sim_ = new litho::LithoSim(cfg);
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        sim_ = nullptr;
+    }
+
+    static geo::SegmentedLayout via_layout() {
+        const int lo = 500 - 35;
+        return geo::SegmentedLayout({geo::Polygon::from_rect({lo, lo, lo + 70, lo + 70})},
+                                    {geo::FragmentStyle::kVia, 60}, {}, 1000);
+    }
+
+    static litho::LithoSim* sim_;
+};
+
+litho::LithoSim* OpcMoreTest::sim_ = nullptr;
+
+TEST_F(OpcMoreTest, OneShotRespectsCorrectionClamp) {
+    OneShotEngine engine({.gain = 0.8, .max_correction = 3});
+    OpcOptions opt;
+    opt.initial_bias_nm = 0;  // via underprints badly: wants a big move
+    const EngineResult res = engine.optimize(via_layout(), *sim_, opt);
+    for (int off : res.final_offsets) {
+        EXPECT_LE(std::abs(off), 3);  // bias 0 + clamped correction
+    }
+}
+
+TEST_F(OpcMoreTest, RuleEngineRespectsTotalOffsetBound) {
+    RuleEngine engine({.gain = 2.0, .max_step_nm = 10, .early_exit = false});
+    OpcOptions opt;
+    opt.max_iterations = 10;
+    opt.initial_bias_nm = 0;
+    opt.max_total_offset_nm = 6;
+    const EngineResult res = engine.optimize(via_layout(), *sim_, opt);
+    for (int off : res.final_offsets) EXPECT_LE(std::abs(off), 6);
+}
+
+TEST_F(OpcMoreTest, HigherGainConvergesFasterInitially) {
+    // Start in the responsive regime (bias 6: the via almost prints) so the
+    // EPE is not clamped and the two gains genuinely differ after one step.
+    OpcOptions opt;
+    opt.max_iterations = 1;
+    opt.initial_bias_nm = 6;
+    RuleEngine slow({.gain = 0.25, .max_step_nm = 10, .early_exit = false});
+    RuleEngine fast({.gain = 0.8, .max_step_nm = 10, .early_exit = false});
+    const EngineResult rs = slow.optimize(via_layout(), *sim_, opt);
+    const EngineResult rf = fast.optimize(via_layout(), *sim_, opt);
+    EXPECT_LT(rf.final_metrics.sum_abs_epe, rs.final_metrics.sum_abs_epe);
+}
+
+TEST_F(OpcMoreTest, IltMaskValuesAreTransmissions) {
+    IltEngine ilt({.iterations = 4, .step = 4.0, .mask_steepness = 4.0,
+                   .resist_steepness = 40.0});
+    const IltResult res = ilt.optimize(via_layout(), *sim_);
+    for (float v : res.mask.data()) {
+        EXPECT_GE(v, 0.0F);
+        EXPECT_LE(v, 1.0F);
+    }
+    EXPECT_EQ(res.loss_history.size(), 5U);  // initial + 4 iterations
+}
+
+TEST(SrafOptions, GeometryFollowsConfiguration) {
+    const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({500, 500, 570, 570})};
+    SrafOptions opt;
+    opt.bar_width_nm = 20;
+    opt.bar_length_nm = 50;
+    opt.center_offset_nm = 130;
+    const auto bars = insert_srafs(targets, opt);
+    ASSERT_EQ(bars.size(), 4U);
+    for (const auto& bar : bars) {
+        const geo::Rect bb = bar.bbox();
+        const int short_side = std::min(bb.width(), bb.height());
+        const int long_side = std::max(bb.width(), bb.height());
+        EXPECT_EQ(short_side, 20);
+        EXPECT_EQ(long_side, 50);
+        // Centre distance along the bar's normal axis.
+        const geo::FPoint c = bb.center();
+        const double d = std::max(std::abs(c.x - 535.0), std::abs(c.y - 535.0));
+        EXPECT_NEAR(d, 130.0, 1e-9);
+    }
+}
+
+TEST(SrafOptions, NoTargetsNoBars) {
+    EXPECT_TRUE(insert_srafs({}).empty());
+}
+
+}  // namespace
+}  // namespace camo::opc

@@ -1,0 +1,157 @@
+// camo_cli: command-line OPC driver.
+//
+//   camo_cli --in layout.gds --out result.gds [options]
+//
+// Reads target polygons from a GDSII file (layer 1 by default), runs the
+// selected OPC engine against the lithography simulator, and writes a
+// GDSII file with targets (layer 1), SRAFs (layer 2, via style only) and
+// the optimized mask (layer 10).
+//
+// Options:
+//   --engine rule|oneshot|camo   engine selection        [rule]
+//   --style via|metal            fragmentation style     [via]
+//   --layer N                    input layer number      [1]
+//   --clip N                     clip size in nm         [2000]
+//   --iterations N               max OPC iterations      [style default]
+//   --quiet                      suppress progress logs
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+#include "layout/gdsii.hpp"
+#include "opc/one_shot.hpp"
+#include "opc/rule_engine.hpp"
+#include "opc/sraf.hpp"
+
+namespace {
+
+using namespace camo;
+
+struct CliOptions {
+    std::string in;
+    std::string out;
+    std::string engine = "rule";
+    std::string style = "via";
+    int layer = 1;
+    int clip_nm = 2000;
+    int iterations = -1;
+    bool quiet = false;
+};
+
+bool parse_args(int argc, char** argv, CliOptions& o) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--in" && next(v)) {
+            o.in = v;
+        } else if (a == "--out" && next(v)) {
+            o.out = v;
+        } else if (a == "--engine" && next(v)) {
+            o.engine = v;
+        } else if (a == "--style" && next(v)) {
+            o.style = v;
+        } else if (a == "--layer" && next(v)) {
+            o.layer = std::stoi(v);
+        } else if (a == "--clip" && next(v)) {
+            o.clip_nm = std::stoi(v);
+        } else if (a == "--iterations" && next(v)) {
+            o.iterations = std::stoi(v);
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return !o.in.empty() && !o.out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliOptions cli;
+    if (!parse_args(argc, argv, cli)) {
+        std::fprintf(stderr,
+                     "usage: camo_cli --in layout.gds --out result.gds"
+                     " [--engine rule|oneshot|camo] [--style via|metal] [--layer N]"
+                     " [--clip N] [--iterations N] [--quiet]\n");
+        return 2;
+    }
+    if (!cli.quiet) set_log_level(LogLevel::kInfo);
+
+    // Load targets.
+    layout::GdsLibrary lib;
+    try {
+        lib = layout::read_gds(cli.in);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error reading %s: %s\n", cli.in.c_str(), e.what());
+        return 1;
+    }
+    if (lib.layers.count(cli.layer) == 0 || lib.layers[cli.layer].empty()) {
+        std::fprintf(stderr, "no polygons on layer %d in %s\n", cli.layer, cli.in.c_str());
+        return 1;
+    }
+    const std::vector<geo::Polygon>& targets = lib.layers[cli.layer];
+
+    // Fragment.
+    const bool via_style = cli.style == "via";
+    std::vector<geo::Polygon> srafs;
+    if (via_style) srafs = opc::insert_srafs(targets);
+    geo::SegmentedLayout layout(
+        targets,
+        {via_style ? geo::FragmentStyle::kVia : geo::FragmentStyle::kMetal, 60}, srafs,
+        cli.clip_nm);
+
+    litho::LithoSim sim(core::Experiment::litho_config());
+    opc::OpcOptions opt =
+        via_style ? core::Experiment::via_options() : core::Experiment::metal_options();
+    if (cli.iterations > 0) opt.max_iterations = cli.iterations;
+
+    // Select and run the engine.
+    opc::EngineResult res;
+    if (cli.engine == "rule") {
+        opc::RuleEngine engine;
+        res = engine.optimize(layout, sim, opt);
+    } else if (cli.engine == "oneshot") {
+        opc::OneShotEngine engine;
+        res = engine.optimize(layout, sim, opt);
+    } else if (cli.engine == "camo") {
+        const core::CamoConfig cfg = via_style ? core::Experiment::via_camo_config()
+                                               : core::Experiment::metal_camo_config();
+        core::CamoEngine engine(cfg);
+        const std::string tag = via_style ? "via" : "metal";
+        const auto train =
+            via_style
+                ? core::fragment_via_clips(
+                      layout::via_training_set(core::Experiment::kDatasetSeed))
+                : core::fragment_metal_clips(
+                      layout::metal_training_set(core::Experiment::kDatasetSeed, 5));
+        core::ensure_trained(engine, train, sim, opt,
+                             core::Experiment::weights_path(cfg, tag));
+        res = engine.optimize(layout, sim, opt);
+    } else {
+        std::fprintf(stderr, "unknown engine: %s\n", cli.engine.c_str());
+        return 2;
+    }
+
+    std::printf("%d segments, %d iterations: sum|EPE| %.1f -> %.1f nm, PVB %.0f nm^2, %.2f s\n",
+                layout.num_segments(), res.iterations, res.epe_history.front(),
+                res.final_metrics.sum_abs_epe, res.final_metrics.pvband_nm2, res.runtime_s);
+
+    layout::GdsLibrary out;
+    out.name = "CAMO_OPC";
+    out.layers[1] = targets;
+    if (!layout.srafs().empty()) out.layers[2] = layout.srafs();
+    out.layers[10] = layout.reconstruct_mask(res.final_offsets);
+    layout::write_gds(cli.out, out);
+    std::printf("wrote %s (targets: layer 1%s, mask: layer 10)\n", cli.out.c_str(),
+                layout.srafs().empty() ? "" : ", SRAFs: layer 2");
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Writes the generated benchmark suites (via training + test sets, metal
+// test set) as GDSII files under data/benchmarks/, so the exact layouts
+// behind the tables can be inspected in any layout viewer or fed to other
+// OPC tools via camo_cli.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "layout/gdsii.hpp"
+#include "opc/sraf.hpp"
+
+namespace {
+
+using namespace camo;
+
+void export_set(const std::vector<layout::Clip>& clips, const std::string& dir,
+                bool with_srafs) {
+    std::filesystem::create_directories(dir);
+    for (const layout::Clip& c : clips) {
+        layout::GdsLibrary lib;
+        lib.name = "CAMO_BENCH";
+        lib.structure = c.name;
+        lib.layers[1] = c.targets;
+        if (with_srafs) lib.layers[2] = opc::insert_srafs(c.targets);
+        const std::string path = dir + "/" + c.name + ".gds";
+        layout::write_gds(path, lib);
+        std::printf("  %s (%zu polygons)\n", path.c_str(), c.targets.size());
+    }
+}
+
+}  // namespace
+
+int main() {
+    const auto seed = core::Experiment::kDatasetSeed;
+    std::printf("via training set:\n");
+    export_set(layout::via_training_set(seed), "data/benchmarks/via_train", true);
+    std::printf("via test set (V1..V13):\n");
+    export_set(layout::via_test_set(seed), "data/benchmarks/via_test", true);
+    std::printf("metal test set (M1..M10):\n");
+    export_set(layout::metal_test_set(seed), "data/benchmarks/metal_test", false);
+    std::printf("done.\n");
+    return 0;
+}

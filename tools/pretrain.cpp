@@ -1,0 +1,45 @@
+// Pre-trains the CAMO and RL-OPC policies for both layers and stores the
+// weights under data/. The benchmark binaries load these caches; run this
+// tool (or any table bench) once after changing training configuration.
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace camo;
+
+void train_one(const core::CamoConfig& cfg, const std::string& tag,
+               const std::vector<geo::SegmentedLayout>& clips, litho::LithoSim& sim,
+               const opc::OpcOptions& opt) {
+    Timer timer;
+    core::CamoEngine engine(cfg);
+    const std::string path = core::Experiment::weights_path(cfg, tag);
+    const bool cached = core::ensure_trained(engine, clips, sim, opt, path);
+    std::printf("%-12s %-6s %-7s %6.1fs -> %s\n", cfg.name.c_str(), tag.c_str(),
+                cached ? "cached" : "trained", timer.seconds(), path.c_str());
+}
+
+}  // namespace
+
+int main() {
+    set_log_level(LogLevel::kInfo);
+    litho::LithoSim sim(core::Experiment::litho_config());
+
+    const auto via_train = core::fragment_via_clips(
+        layout::via_training_set(core::Experiment::kDatasetSeed));
+    const auto metal_train = core::fragment_metal_clips(
+        layout::metal_training_set(core::Experiment::kDatasetSeed, 5));
+
+    train_one(core::Experiment::via_camo_config(), "via", via_train, sim,
+              core::Experiment::via_options());
+    train_one(core::Experiment::via_rlopc_config(), "via", via_train, sim,
+              core::Experiment::via_options());
+    train_one(core::Experiment::metal_camo_config(), "metal", metal_train, sim,
+              core::Experiment::metal_options());
+    train_one(core::Experiment::metal_rlopc_config(), "metal", metal_train, sim,
+              core::Experiment::metal_options());
+    return 0;
+}
