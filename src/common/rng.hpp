@@ -10,6 +10,22 @@
 
 namespace camo {
 
+/// One SplitMix64 mixing step. Used to derive statistically independent
+/// seeds from a base seed plus an index, so parallel jobs get reproducible
+/// streams that do not depend on scheduling order.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Seed for job `index` of a batch rooted at `base`. Deterministic in
+/// (base, index) only: results are identical at any thread count.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+    return splitmix64(splitmix64(base) ^ splitmix64(index + 0x632BE59BD9B4E019ULL));
+}
+
 /// Thin wrapper over std::mt19937_64 with convenience draws.
 class Rng {
 public:

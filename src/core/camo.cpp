@@ -25,6 +25,23 @@ std::array<double, rl::kNumActions> node_probs(const nn::Tensor& logits, int nod
     return out;
 }
 
+std::vector<int> pick_actions(const nn::Tensor& logits, const std::vector<double>& epe_segment,
+                              const ModulatorConfig& mod, Rng* rng) {
+    const int n = logits.dim(0);
+    std::vector<int> actions(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+        auto probs = node_probs(logits, i);
+        probs = modulate_probs(probs, epe_segment[static_cast<std::size_t>(i)], mod);
+        if (rng != nullptr) {
+            actions[static_cast<std::size_t>(i)] = rng->sample_weighted(probs);
+        } else {
+            actions[static_cast<std::size_t>(i)] = static_cast<int>(
+                std::max_element(probs.begin(), probs.end()) - probs.begin());
+        }
+    }
+    return actions;
+}
+
 }  // namespace
 
 CamoConfig make_rlopc_config(const CamoConfig& base) {
@@ -78,23 +95,18 @@ std::vector<nn::Tensor> CamoEngine::encode_state(const geo::SegmentedLayout& lay
 std::vector<int> CamoEngine::select_actions(const nn::Tensor& logits,
                                             const std::vector<double>& epe_segment,
                                             bool stochastic) {
-    const int n = logits.dim(0);
-    std::vector<int> actions(static_cast<std::size_t>(n), 0);
-    for (int i = 0; i < n; ++i) {
-        auto probs = node_probs(logits, i);
-        probs = modulate_probs(probs, epe_segment[static_cast<std::size_t>(i)], cfg_.modulator);
-        if (stochastic) {
-            actions[static_cast<std::size_t>(i)] = sample_rng_.sample_weighted(probs);
-        } else {
-            actions[static_cast<std::size_t>(i)] = static_cast<int>(
-                std::max_element(probs.begin(), probs.end()) - probs.begin());
-        }
-    }
-    return actions;
+    return pick_actions(logits, epe_segment, cfg_.modulator,
+                        stochastic ? &sample_rng_ : nullptr);
 }
 
 opc::EngineResult CamoEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
                                        const opc::OpcOptions& opt) {
+    return infer(layout, sim, opt);
+}
+
+opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout,
+                                    const litho::LithoSim& sim, const opc::OpcOptions& opt,
+                                    Rng* rng) const {
     Timer timer;
     opc::EngineResult res;
     const Graph graph = build_segment_graph(layout, cfg_.graph_threshold_nm);
@@ -112,8 +124,8 @@ opc::EngineResult CamoEngine::optimize(const geo::SegmentedLayout& layout, litho
         if (opc::should_exit_early(m.sum_abs_epe, features, points, opt)) break;
 
         const auto feats = encode_state(layout, offsets);
-        const nn::Tensor logits = policy_.forward(feats, graph);
-        const auto actions = select_actions(logits, m.epe_segment, /*stochastic=*/false);
+        const nn::Tensor logits = policy_.infer(feats, graph);
+        const auto actions = pick_actions(logits, m.epe_segment, cfg_.modulator, rng);
 
         apply_actions(offsets, actions, opt.max_total_offset_nm);
         m = sim.evaluate(layout, offsets);

@@ -79,6 +79,17 @@ public:
     opc::EngineResult optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
                                const opc::OpcOptions& opt) override;
 
+    /// Read-only inference: the same loop as optimize() (modulated argmax,
+    /// paper early-exit rules) but const and thread-safe, so one trained
+    /// engine snapshot can serve many batch workers concurrently. When `rng`
+    /// is non-null, actions are sampled from the modulated distribution
+    /// instead of argmax'd; pass a per-job Rng (seeded from the job index)
+    /// so results stay independent of scheduling.
+    [[nodiscard]] opc::EngineResult infer(const geo::SegmentedLayout& layout,
+                                          const litho::LithoSim& sim,
+                                          const opc::OpcOptions& opt,
+                                          Rng* rng = nullptr) const;
+
     /// Two-phase training on a set of fragmented clips.
     TrainStats train(const std::vector<geo::SegmentedLayout>& clips, litho::LithoSim& sim,
                      const opc::OpcOptions& opt);

@@ -42,47 +42,58 @@ PolicyNetwork::PolicyNetwork(const PolicyConfig& cfg)
 }
 
 nn::Tensor PolicyNetwork::forward(const std::vector<nn::Tensor>& features, const Graph& graph) {
+    cache_ = Cache{};
+    return run_forward(features, graph, cache_);
+}
+
+nn::Tensor PolicyNetwork::infer(const std::vector<nn::Tensor>& features,
+                                const Graph& graph) const {
+    Cache local;
+    return run_forward(features, graph, local);
+}
+
+nn::Tensor PolicyNetwork::run_forward(const std::vector<nn::Tensor>& features,
+                                      const Graph& graph, Cache& cache) const {
     const int n = static_cast<int>(features.size());
     if (n == 0) throw std::invalid_argument("PolicyNetwork: empty node set");
     if (graph.n != n) throw std::invalid_argument("PolicyNetwork: graph/feature size mismatch");
 
-    cache_ = Cache{};
-    cache_.graph = graph;
-    cache_.n = n;
-    cache_.cnn_tapes.resize(static_cast<std::size_t>(n));
-    cache_.embeds.resize(static_cast<std::size_t>(n));
-    cache_.head_tapes.resize(static_cast<std::size_t>(n));
+    cache.graph = graph;
+    cache.n = n;
+    cache.cnn_tapes.resize(static_cast<std::size_t>(n));
+    cache.embeds.resize(static_cast<std::size_t>(n));
+    cache.head_tapes.resize(static_cast<std::size_t>(n));
 
     // Shared CNN encoder per node. The flatten is a pure reshape.
     for (int i = 0; i < n; ++i) {
         const nn::Tensor& f = features[static_cast<std::size_t>(i)];
-        cache_.embeds[static_cast<std::size_t>(i)] =
-            cnn_.forward(f, cache_.cnn_tapes[static_cast<std::size_t>(i)]);
+        cache.embeds[static_cast<std::size_t>(i)] =
+            cnn_.forward(f, cache.cnn_tapes[static_cast<std::size_t>(i)]);
     }
 
     // GraphSAGE: h_i = ReLU(W [e_i ; mean_{j in N(i)} e_j]).
     std::vector<nn::Tensor> fused(static_cast<std::size_t>(n));
     if (cfg_.use_gnn) {
-        cache_.sage_tapes.resize(static_cast<std::size_t>(n));
+        cache.sage_tapes.resize(static_cast<std::size_t>(n));
         for (int i = 0; i < n; ++i) {
             nn::Tensor cat({2 * cfg_.embed_dim});
-            const auto& e = cache_.embeds[static_cast<std::size_t>(i)];
+            const auto& e = cache.embeds[static_cast<std::size_t>(i)];
             for (int d = 0; d < cfg_.embed_dim; ++d) cat[static_cast<std::size_t>(d)] = e[static_cast<std::size_t>(d)];
             const auto& nbrs = graph.neighbors[static_cast<std::size_t>(i)];
             if (!nbrs.empty()) {
                 const float inv = 1.0F / static_cast<float>(nbrs.size());
                 for (int j : nbrs) {
-                    const auto& ej = cache_.embeds[static_cast<std::size_t>(j)];
+                    const auto& ej = cache.embeds[static_cast<std::size_t>(j)];
                     for (int d = 0; d < cfg_.embed_dim; ++d) {
                         cat[static_cast<std::size_t>(cfg_.embed_dim + d)] += inv * ej[static_cast<std::size_t>(d)];
                     }
                 }
             }
             fused[static_cast<std::size_t>(i)] =
-                sage_->forward(cat, cache_.sage_tapes[static_cast<std::size_t>(i)]);
+                sage_->forward(cat, cache.sage_tapes[static_cast<std::size_t>(i)]);
         }
     } else {
-        for (int i = 0; i < n; ++i) fused[static_cast<std::size_t>(i)] = cache_.embeds[static_cast<std::size_t>(i)].reshaped({cfg_.embed_dim});
+        for (int i = 0; i < n; ++i) fused[static_cast<std::size_t>(i)] = cache.embeds[static_cast<std::size_t>(i)].reshaped({cfg_.embed_dim});
     }
 
     // Sequential decision context.
@@ -94,27 +105,27 @@ nn::Tensor PolicyNetwork::forward(const std::vector<nn::Tensor>& features, const
                 seq.at(i, d) = fused[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)];
             }
         }
-        const nn::Tensor hidden = rnn_->forward(seq, cache_.rnn_tape);
+        const nn::Tensor hidden = rnn_->forward(seq, cache.rnn_tape);
         for (int i = 0; i < n; ++i) {
             nn::Tensor h({cfg_.rnn_hidden});
             for (int d = 0; d < cfg_.rnn_hidden; ++d) h[static_cast<std::size_t>(d)] = hidden.at(i, d);
             ctx[static_cast<std::size_t>(i)] = std::move(h);
         }
     } else {
-        cache_.proj_tapes.resize(static_cast<std::size_t>(n));
+        cache.proj_tapes.resize(static_cast<std::size_t>(n));
         for (int i = 0; i < n; ++i) {
             ctx[static_cast<std::size_t>(i)] = proj_->forward(
-                fused[static_cast<std::size_t>(i)], cache_.proj_tapes[static_cast<std::size_t>(i)]);
+                fused[static_cast<std::size_t>(i)], cache.proj_tapes[static_cast<std::size_t>(i)]);
         }
     }
 
     nn::Tensor logits({n, rl::kNumActions});
     for (int i = 0; i < n; ++i) {
         const nn::Tensor o =
-            head_.forward(ctx[static_cast<std::size_t>(i)], cache_.head_tapes[static_cast<std::size_t>(i)]);
+            head_.forward(ctx[static_cast<std::size_t>(i)], cache.head_tapes[static_cast<std::size_t>(i)]);
         for (int a = 0; a < rl::kNumActions; ++a) logits.at(i, a) = o[static_cast<std::size_t>(a)];
     }
-    cache_.valid = true;
+    cache.valid = true;
     return logits;
 }
 

@@ -42,6 +42,12 @@ public:
     /// tensor. Returns logits [n, 5]. Caches activations for one backward.
     nn::Tensor forward(const std::vector<nn::Tensor>& features, const Graph& graph);
 
+    /// Inference-only forward: identical math to forward(), but activations
+    /// live in a call-local cache, so a const (shared, frozen) network can
+    /// serve many threads concurrently. No backward() may follow.
+    [[nodiscard]] nn::Tensor infer(const std::vector<nn::Tensor>& features,
+                                   const Graph& graph) const;
+
     /// Backward from d(logits) [n, 5]; accumulates parameter gradients.
     /// Must follow the matching forward().
     void backward(const nn::Tensor& dlogits);
@@ -75,6 +81,10 @@ private:
         bool valid = false;
     };
     Cache cache_;
+
+    /// Shared forward implementation; writes activations into `cache`.
+    nn::Tensor run_forward(const std::vector<nn::Tensor>& features, const Graph& graph,
+                           Cache& cache) const;
 };
 
 }  // namespace camo::core

@@ -71,4 +71,17 @@ std::vector<Clip> via_test_set(std::uint64_t seed, const ViaGenOptions& opt) {
     return clips;
 }
 
+std::vector<Clip> via_batch_set(std::uint64_t seed, int count, const ViaGenOptions& opt) {
+    std::vector<Clip> clips;
+    clips.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const std::uint64_t clip_seed = derive_seed(seed, static_cast<std::uint64_t>(i));
+        Rng rng(clip_seed);
+        const int vias = 2 + static_cast<int>(clip_seed % 5);  // 2..6, seed-determined
+        clips.push_back({"B" + std::to_string(i + 1), generate_via_clip(vias, rng, opt),
+                         opt.clip_nm});
+    }
+    return clips;
+}
+
 }  // namespace camo::layout

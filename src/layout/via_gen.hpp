@@ -41,4 +41,10 @@ std::vector<Clip> via_training_set(std::uint64_t seed, const ViaGenOptions& opt 
 /// 13 test clips V1..V13 with the paper's exact via counts.
 std::vector<Clip> via_test_set(std::uint64_t seed, const ViaGenOptions& opt = {});
 
+/// Arbitrarily large clip stream for the batch runtime: clip i carries 2-6
+/// vias and is generated from its own splitmix-derived seed, so any
+/// sub-range can be produced independently (and in parallel) with results
+/// identical to sequential generation.
+std::vector<Clip> via_batch_set(std::uint64_t seed, int count, const ViaGenOptions& opt = {});
+
 }  // namespace camo::layout

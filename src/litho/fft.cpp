@@ -7,13 +7,16 @@
 namespace camo::litho {
 namespace {
 
-// Twiddle table for a given size and direction, cached across calls.
-// (The library runs single-threaded; a simple static cache suffices.)
+// Twiddle table for a given size and direction, cached across calls. The
+// cache is thread_local: the batch runtime calls the FFT from many workers
+// concurrently, and per-thread tables make that race-free without a lock on
+// this hot path (each worker typically uses one grid size, so the per-thread
+// footprint is one table per direction).
 const std::vector<Complex>& twiddles(int n, bool inverse) {
-    static std::vector<Complex> fwd_cache;
-    static std::vector<Complex> inv_cache;
-    static int fwd_n = 0;
-    static int inv_n = 0;
+    thread_local std::vector<Complex> fwd_cache;
+    thread_local std::vector<Complex> inv_cache;
+    thread_local int fwd_n = 0;
+    thread_local int inv_n = 0;
 
     std::vector<Complex>& cache = inverse ? inv_cache : fwd_cache;
     int& cached_n = inverse ? inv_n : fwd_n;

@@ -1,6 +1,9 @@
 #include "litho/kernel_cache.hpp"
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <system_error>
 
 #include "common/file_io.hpp"
 
@@ -76,13 +79,31 @@ std::optional<CachedKernels> load_kernel_cache(const LithoConfig& cfg) {
 
 void store_kernel_cache(const LithoConfig& cfg, const CachedKernels& kernels) {
     if (cfg.cache_dir.empty()) return;
-    std::filesystem::create_directories(cfg.cache_dir);
-    BinaryWriter w(kernel_cache_path(cfg));
-    w.write_u32(kMagic);
-    w.write_u32(kVersion);
-    w.write_f64(kernels.threshold);
-    write_kernel_set(w, kernels.nominal);
-    write_kernel_set(w, kernels.defocus);
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.cache_dir, ec);
+    if (ec) return;
+
+    // Write to a process-unique temp file, then rename into place: rename is
+    // atomic on POSIX, so two concurrent first-runs can never interleave
+    // writes into one corrupt cache entry — the loser simply overwrites the
+    // winner with identical content.
+    const std::string path = kernel_cache_path(cfg);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid()));
+    {
+        BinaryWriter w(tmp);
+        w.write_u32(kMagic);
+        w.write_u32(kVersion);
+        w.write_f64(kernels.threshold);
+        write_kernel_set(w, kernels.nominal);
+        write_kernel_set(w, kernels.defocus);
+        if (!w.ok()) {
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::filesystem::remove(tmp, ec);
 }
 
 }  // namespace camo::litho

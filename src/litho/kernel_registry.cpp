@@ -1,0 +1,100 @@
+#include "litho/kernel_registry.hpp"
+
+#include <future>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "geometry/polygon.hpp"
+#include "litho/kernel_cache.hpp"
+#include "litho/tcc.hpp"
+
+namespace camo::litho {
+namespace {
+
+// Keyed on (physics hash, cache_dir): cache_dir does not change the kernels,
+// but it does change the disk side effect (which cache file gets written), so
+// configurations pointing at different cache directories stay distinct.
+using RegistryKey = std::pair<std::uint64_t, std::string>;
+
+std::mutex g_registry_mu;
+std::map<RegistryKey, std::shared_future<SharedKernels>> g_registry;
+
+// Threshold = aerial intensity at the edge midpoint of a large isolated
+// square, so large features print at size and small ones under-print.
+double calibrate_threshold(const LithoConfig& cfg, const KernelApplicator& nominal) {
+    const double span = cfg.clip_span_nm();
+    const int feat = cfg.calibration_feature_nm;
+    const int lo = static_cast<int>(span / 2) - feat / 2;
+    const int hi = lo + feat;
+
+    geo::Raster mask(cfg.grid, cfg.pixel_nm);
+    mask.add_polygon(geo::Polygon::from_rect({lo, lo, hi, hi}));
+    mask.clamp01();
+
+    const geo::Raster aerial = nominal.apply(mask_spectrum(mask), cfg.pixel_nm);
+    const double threshold = cfg.calibration_fraction * aerial.sample(lo, span / 2.0);
+    log_info("calibrated resist threshold = " + std::to_string(threshold));
+    return threshold;
+}
+
+SharedKernels build_kernels(const LithoConfig& cfg) {
+    SharedKernels sk;
+    if (auto cached = load_kernel_cache(cfg)) {
+        sk.nominal =
+            std::make_shared<const KernelApplicator>(std::move(cached->nominal), cfg.grid);
+        sk.defocus =
+            std::make_shared<const KernelApplicator>(std::move(cached->defocus), cfg.grid);
+        sk.threshold = cached->threshold;
+        return sk;
+    }
+
+    log_info("building SOCS kernels (one-time, shared in-process and cached on disk)");
+    KernelSet nom = compute_socs_kernels(cfg, 0.0, cfg.kernels_nominal);
+    KernelSet def = compute_socs_kernels(cfg, cfg.defocus_nm, cfg.kernels_defocus);
+    sk.nominal = std::make_shared<const KernelApplicator>(std::move(nom), cfg.grid);
+    sk.defocus = std::make_shared<const KernelApplicator>(std::move(def), cfg.grid);
+    sk.threshold =
+        cfg.threshold > 0.0 ? cfg.threshold : calibrate_threshold(cfg, *sk.nominal);
+    store_kernel_cache(cfg, {sk.nominal->kernels(), sk.defocus->kernels(), sk.threshold});
+    return sk;
+}
+
+}  // namespace
+
+SharedKernels acquire_kernels(const LithoConfig& cfg) {
+    const RegistryKey key{cfg.physics_hash(), cfg.cache_dir};
+
+    std::promise<SharedKernels> promise;
+    std::shared_future<SharedKernels> future;
+    bool is_builder = false;
+    {
+        std::lock_guard<std::mutex> lock(g_registry_mu);
+        auto it = g_registry.find(key);
+        if (it != g_registry.end()) {
+            future = it->second;
+        } else {
+            is_builder = true;
+            future = promise.get_future().share();
+            g_registry.emplace(key, future);
+        }
+    }
+
+    if (is_builder) {
+        try {
+            promise.set_value(build_kernels(cfg));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(g_registry_mu);
+            g_registry.erase(key);  // waiters still observe the exception
+        }
+    }
+    return future.get();
+}
+
+void clear_kernel_registry() {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    g_registry.clear();
+}
+
+}  // namespace camo::litho

@@ -1,0 +1,38 @@
+// Process-wide, thread-safe SOCS kernel sharing.
+//
+// Building a kernel set (TCC assembly + eigendecomposition + threshold
+// calibration) takes seconds at production grid sizes, and the result is
+// immutable. The registry guarantees build-once/read-many semantics: the
+// first acquire_kernels() call for a configuration builds (or loads from the
+// disk cache) the kernels while concurrent callers for the same
+// configuration block on the in-flight build; every later call returns the
+// shared immutable applicators without locking beyond a map lookup. This is
+// what lets the batch runtime construct one cheap LithoSim per worker.
+#pragma once
+
+#include <memory>
+
+#include "litho/aerial.hpp"
+#include "litho/config.hpp"
+
+namespace camo::litho {
+
+/// Immutable, shareable kernel state for one lithography configuration.
+struct SharedKernels {
+    std::shared_ptr<const KernelApplicator> nominal;
+    std::shared_ptr<const KernelApplicator> defocus;
+    double threshold = 0.0;  ///< calibrated (or configured) resist threshold
+};
+
+/// Acquire the shared kernels for `cfg`, building them exactly once per
+/// process per physics configuration. Thread-safe. Falls back to the disk
+/// cache before computing; persists freshly computed kernels when
+/// cfg.cache_dir is set. Build failures propagate to every waiting caller
+/// and the entry is dropped so a later call can retry.
+SharedKernels acquire_kernels(const LithoConfig& cfg);
+
+/// Drop every in-memory entry (test hook). Outstanding SharedKernels remain
+/// valid: entries are reference-counted, not owned by the registry alone.
+void clear_kernel_registry();
+
+}  // namespace camo::litho

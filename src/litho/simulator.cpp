@@ -2,52 +2,24 @@
 
 #include <stdexcept>
 
-#include "common/logging.hpp"
-#include "litho/kernel_cache.hpp"
+#include "litho/kernel_registry.hpp"
 
 namespace camo::litho {
 
 LithoSim::LithoSim(LithoConfig cfg) : cfg_(std::move(cfg)) {
     if (!is_pow2(cfg_.grid)) throw std::invalid_argument("LithoSim: grid must be a power of two");
 
-    if (auto cached = load_kernel_cache(cfg_)) {
-        nominal_ = std::make_unique<KernelApplicator>(std::move(cached->nominal), cfg_.grid);
-        defocus_ = std::make_unique<KernelApplicator>(std::move(cached->defocus), cfg_.grid);
-        threshold_ = cached->threshold;
-        return;
-    }
-
-    log_info("building SOCS kernels (one-time, cached afterwards)");
-    KernelSet nom = compute_socs_kernels(cfg_, 0.0, cfg_.kernels_nominal);
-    KernelSet def = compute_socs_kernels(cfg_, cfg_.defocus_nm, cfg_.kernels_defocus);
-    nominal_ = std::make_unique<KernelApplicator>(std::move(nom), cfg_.grid);
-    defocus_ = std::make_unique<KernelApplicator>(std::move(def), cfg_.grid);
-
-    if (cfg_.threshold > 0.0) {
-        threshold_ = cfg_.threshold;
-    } else {
-        calibrate_threshold();
-    }
-    store_kernel_cache(cfg_, {nominal_->kernels(), defocus_->kernels(), threshold_});
+    const SharedKernels kernels = acquire_kernels(cfg_);
+    nominal_ = kernels.nominal;
+    defocus_ = kernels.defocus;
+    threshold_ = cfg_.threshold > 0.0 ? cfg_.threshold : kernels.threshold;
 }
 
-void LithoSim::calibrate_threshold() {
-    // Threshold = aerial intensity at the edge midpoint of a large isolated
-    // square, so large features print at size and small ones under-print.
-    const double span = cfg_.clip_span_nm();
-    const int feat = cfg_.calibration_feature_nm;
-    const int lo = static_cast<int>(span / 2) - feat / 2;
-    const int hi = lo + feat;
-
-    geo::Raster mask(cfg_.grid, cfg_.pixel_nm);
-    const geo::Polygon square = geo::Polygon::from_rect({lo, lo, hi, hi});
-    mask.add_polygon(square);
-    mask.clamp01();
-
-    const geo::Raster aerial = aerial_nominal(mask);
-    threshold_ = cfg_.calibration_fraction * aerial.sample(lo, span / 2.0);
-    log_info("calibrated resist threshold = " + std::to_string(threshold_));
-}
+LithoSim::LithoSim(const LithoSim& other)
+    : cfg_(other.cfg_),
+      threshold_(other.threshold_),
+      nominal_(other.nominal_),
+      defocus_(other.defocus_) {}
 
 int LithoSim::clip_offset_nm(int clip_size_nm) const {
     return static_cast<int>((cfg_.clip_span_nm() - clip_size_nm) / 2.0);
@@ -84,7 +56,7 @@ geo::Raster LithoSim::aerial_defocus(const geo::Raster& mask) const {
 
 SimMetrics LithoSim::evaluate(const geo::SegmentedLayout& layout,
                               std::span<const int> offsets) const {
-    ++evaluate_count_;
+    evaluate_count_.fetch_add(1, std::memory_order_relaxed);
     const auto mask_polys = layout.reconstruct_mask(offsets);
     const geo::Raster mask = rasterize(mask_polys, layout.srafs(), layout.clip_size_nm());
 

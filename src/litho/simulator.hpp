@@ -1,13 +1,21 @@
 // LithoSim: the facade every OPC engine talks to.
 //
-// Construction builds (or loads from cache) the SOCS kernels for the nominal
-// and defocus conditions and auto-calibrates the resist threshold. One
+// Construction acquires (builds once per process, or loads from the disk
+// cache) the SOCS kernels for the nominal and defocus conditions and the
+// auto-calibrated resist threshold via the shared kernel registry. One
 // evaluate() call rasterizes the mask implied by per-segment offsets, images
 // it at both focus conditions, and returns EPE per measure point / segment
 // plus the PV band — exactly the quantities the paper's reward (Eq. 3) and
 // result tables consume.
+//
+// Thread-safety contract: every method except construction is const and
+// touches only immutable shared kernel state plus an atomic call counter, so
+// one LithoSim may be used from many threads concurrently. The batch runtime
+// still gives each worker its own (cheap) copy so per-worker evaluation
+// counts stay contention-free.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -23,6 +31,11 @@ namespace camo::litho {
 class LithoSim {
 public:
     explicit LithoSim(LithoConfig cfg);
+
+    /// Copies share the immutable kernel applicators (no rebuild, no disk
+    /// I/O); only the evaluation counter is per-instance, starting at zero.
+    LithoSim(const LithoSim& other);
+    LithoSim& operator=(const LithoSim&) = delete;
 
     [[nodiscard]] const LithoConfig& config() const { return cfg_; }
     [[nodiscard]] double threshold() const { return threshold_; }
@@ -47,7 +60,9 @@ public:
     [[nodiscard]] geo::Raster printed(const geo::Raster& aerial, double dose = 1.0) const;
 
     /// Number of lithography evaluations performed (for runtime accounting).
-    [[nodiscard]] long long evaluate_count() const { return evaluate_count_; }
+    [[nodiscard]] long long evaluate_count() const {
+        return evaluate_count_.load(std::memory_order_relaxed);
+    }
 
     /// Nominal-focus SOCS kernels (used by the ILT engine's adjoint).
     [[nodiscard]] const KernelSet& nominal_kernels() const { return nominal_->kernels(); }
@@ -55,11 +70,9 @@ public:
 private:
     LithoConfig cfg_;
     double threshold_ = 0.0;
-    std::unique_ptr<KernelApplicator> nominal_;
-    std::unique_ptr<KernelApplicator> defocus_;
-    mutable long long evaluate_count_ = 0;
-
-    void calibrate_threshold();
+    std::shared_ptr<const KernelApplicator> nominal_;
+    std::shared_ptr<const KernelApplicator> defocus_;
+    mutable std::atomic<long long> evaluate_count_{0};
 };
 
 }  // namespace camo::litho

@@ -4,7 +4,7 @@
 
 namespace camo::nn {
 
-Tensor ReLU::forward(const Tensor& x, Tape& tape) {
+Tensor ReLU::forward(const Tensor& x, Tape& tape) const {
     Tensor y(x.shape());
     const auto xd = x.data();
     auto yd = y.data();
@@ -23,7 +23,7 @@ Tensor ReLU::backward(const Tensor& grad_out, Tape& tape) {
     return gx;
 }
 
-Tensor Tanh::forward(const Tensor& x, Tape& tape) {
+Tensor Tanh::forward(const Tensor& x, Tape& tape) const {
     Tensor y(x.shape());
     const auto xd = x.data();
     auto yd = y.data();
@@ -42,7 +42,7 @@ Tensor Tanh::backward(const Tensor& grad_out, Tape& tape) {
     return gx;
 }
 
-Tensor MaxPool2d::forward(const Tensor& x, Tape& tape) {
+Tensor MaxPool2d::forward(const Tensor& x, Tape& tape) const {
     if (x.rank() != 3 || x.dim(1) % window_ != 0 || x.dim(2) % window_ != 0) {
         throw std::invalid_argument("MaxPool2d: shape not divisible by window");
     }

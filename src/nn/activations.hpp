@@ -7,13 +7,13 @@ namespace camo::nn {
 
 class ReLU : public Layer {
 public:
-    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor forward(const Tensor& x, Tape& tape) const override;
     Tensor backward(const Tensor& grad_out, Tape& tape) override;
 };
 
 class Tanh : public Layer {
 public:
-    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor forward(const Tensor& x, Tape& tape) const override;
     Tensor backward(const Tensor& grad_out, Tape& tape) override;
 };
 
@@ -23,7 +23,7 @@ class MaxPool2d : public Layer {
 public:
     explicit MaxPool2d(int window) : window_(window) {}
 
-    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor forward(const Tensor& x, Tape& tape) const override;
     Tensor backward(const Tensor& grad_out, Tape& tape) override;
 
 private:

@@ -15,7 +15,7 @@ Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int padding, Rng& 
     init_he(w_.value, in_ch * kernel * kernel, rng);
 }
 
-Tensor Conv2d::forward(const Tensor& x, Tape& tape) {
+Tensor Conv2d::forward(const Tensor& x, Tape& tape) const {
     if (x.rank() != 3 || x.dim(0) != in_ch_) throw std::invalid_argument("Conv2d: input shape");
     const int h = x.dim(1);
     const int w = x.dim(2);

@@ -12,7 +12,7 @@ public:
 
     /// x: [in_ch, H, W] -> [out_ch, H', W'] with
     /// H' = (H + 2*padding - kernel) / stride + 1.
-    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor forward(const Tensor& x, Tape& tape) const override;
     Tensor backward(const Tensor& grad_out, Tape& tape) override;
     std::vector<Parameter*> params() override { return {&w_, &b_}; }
 

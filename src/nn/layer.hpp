@@ -51,7 +51,12 @@ class Layer {
 public:
     virtual ~Layer() = default;
 
-    virtual Tensor forward(const Tensor& x, Tape& tape) = 0;
+    /// forward() is const: it reads parameters and pushes activations onto
+    /// the caller-owned tape, never mutating layer state. This is the
+    /// thread-safety contract the batch runtime relies on — one set of
+    /// weights may run concurrent forwards as long as each caller owns its
+    /// own Tape.
+    virtual Tensor forward(const Tensor& x, Tape& tape) const = 0;
 
     /// Propagate grad_out to the input gradient; parameter gradients are
     /// *accumulated* into params()[i]->grad.

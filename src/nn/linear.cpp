@@ -8,7 +8,7 @@ Linear::Linear(int in, int out, Rng& rng) : in_(in), out_(out), w_({out, in}), b
     init_he(w_.value, in, rng);
 }
 
-Tensor Linear::forward(const Tensor& x, Tape& tape) {
+Tensor Linear::forward(const Tensor& x, Tape& tape) const {
     if (static_cast<int>(x.numel()) != in_) throw std::invalid_argument("Linear: input size");
     Tensor y({out_});
     const auto xd = x.data();

@@ -10,7 +10,7 @@ class Linear : public Layer {
 public:
     Linear(int in, int out, Rng& rng);
 
-    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor forward(const Tensor& x, Tape& tape) const override;
     Tensor backward(const Tensor& grad_out, Tape& tape) override;
     std::vector<Parameter*> params() override { return {&w_, &b_}; }
 

@@ -28,7 +28,7 @@ std::vector<Parameter*> Rnn::params() {
     return out;
 }
 
-Tensor Rnn::forward(const Tensor& x, Tape& tape) {
+Tensor Rnn::forward(const Tensor& x, Tape& tape) const {
     if (x.rank() != 2 || x.dim(1) != input_) throw std::invalid_argument("Rnn: input shape");
     const int t_len = x.dim(0);
 

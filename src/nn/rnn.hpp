@@ -17,7 +17,7 @@ public:
     Rnn(int input, int hidden, int layers, Rng& rng);
 
     /// x: [T, input] -> [T, hidden]. Full BPTT on backward.
-    Tensor forward(const Tensor& x, Tape& tape) override;
+    Tensor forward(const Tensor& x, Tape& tape) const override;
     Tensor backward(const Tensor& grad_out, Tape& tape) override;
     std::vector<Parameter*> params() override;
 

@@ -19,7 +19,7 @@ public:
         return ref;
     }
 
-    Tensor forward(const Tensor& x, Tape& tape) override {
+    Tensor forward(const Tensor& x, Tape& tape) const override {
         Tensor h = x.reshaped(x.shape());
         for (auto& l : layers_) h = l->forward(h, tape);
         return h;

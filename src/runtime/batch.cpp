@@ -1,0 +1,136 @@
+#include "runtime/batch.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace camo::runtime {
+
+std::string BatchResult::summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%zu clips (%d failed) on %d threads: wall %.2fs, %.2f clips/s, "
+                  "sum|EPE| %.1f -> %.1f nm, PVB %.0f nm^2, %lld litho evals",
+                  clips.size(), failed, threads, wall_s, throughput_cps, sum_initial_epe,
+                  sum_final_epe, sum_pvband_nm2, litho_evaluations);
+    return buf;
+}
+
+BatchScheduler::BatchScheduler(const litho::LithoConfig& litho_cfg, BatchOptions opt)
+    : opt_(std::move(opt)), pool_(opt_.threads) {
+    // The first simulator builds (or loads) the shared kernels; the copies
+    // are shallow and per-worker so evaluation counters stay uncontended.
+    sims_.reserve(static_cast<std::size_t>(pool_.size()));
+    litho::LithoSim prototype(litho_cfg);
+    for (int i = 0; i < pool_.size(); ++i) sims_.emplace_back(prototype);
+}
+
+BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
+                                const ClipOptimizer& optimize,
+                                const std::vector<std::string>& names) {
+    Timer wall;
+    BatchResult batch;
+    batch.threads = pool_.size();
+    batch.clips.resize(clips.size());
+
+    const long long evals_before = [this] {
+        long long sum = 0;
+        for (const litho::LithoSim& sim : sims_) sum += sim.evaluate_count();
+        return sum;
+    }();
+
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(clips.size());
+    try {
+        for (std::size_t i = 0; i < clips.size(); ++i) {
+            ClipResult& slot = batch.clips[i];
+            slot.index = static_cast<int>(i);
+            if (i < names.size()) slot.name = names[i];
+            const geo::SegmentedLayout& layout = clips[i];
+            const std::uint64_t job_seed = derive_seed(opt_.seed, i);
+
+            jobs.push_back(pool_.submit([this, &optimize, &layout, &slot, job_seed] {
+                const int worker = pool_.worker_index();
+                litho::LithoSim& sim = sims_[static_cast<std::size_t>(worker < 0 ? 0 : worker)];
+                slot.segments = layout.num_segments();
+                const opc::EngineResult res = optimize(layout, sim, opt_.opc, job_seed);
+                slot.iterations = res.iterations;
+                slot.initial_epe = res.epe_history.empty() ? 0.0 : res.epe_history.front();
+                slot.final_epe = res.final_metrics.sum_abs_epe;
+                slot.pvband_nm2 = res.final_metrics.pvband_nm2;
+                slot.runtime_s = res.runtime_s;
+                slot.offsets = res.final_offsets;
+            }));
+        }
+    } catch (...) {
+        // A failed submit (e.g. bad_alloc) must not unwind while earlier
+        // jobs still hold references into `batch` — drain them first.
+        for (std::future<void>& f : jobs) {
+            try {
+                f.get();
+            } catch (...) {  // job errors are irrelevant mid-abort
+            }
+        }
+        throw;
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        try {
+            jobs[i].get();
+        } catch (const std::exception& e) {
+            batch.clips[i].error = e.what();
+        } catch (...) {
+            batch.clips[i].error = "unknown error";
+        }
+    }
+
+    batch.wall_s = wall.seconds();
+    for (const ClipResult& c : batch.clips) {
+        if (!c.error.empty()) {
+            ++batch.failed;
+            continue;
+        }
+        batch.sum_initial_epe += c.initial_epe;
+        batch.sum_final_epe += c.final_epe;
+        batch.sum_pvband_nm2 += c.pvband_nm2;
+        batch.sum_clip_runtime_s += c.runtime_s;
+    }
+    for (const litho::LithoSim& sim : sims_) batch.litho_evaluations += sim.evaluate_count();
+    batch.litho_evaluations -= evals_before;
+    const int ok = static_cast<int>(batch.clips.size()) - batch.failed;
+    batch.throughput_cps = batch.wall_s > 0.0 ? ok / batch.wall_s : 0.0;
+    return batch;
+}
+
+BatchResult BatchScheduler::run_rule(const std::vector<geo::SegmentedLayout>& clips,
+                                     const opc::RuleEngineOptions& engine_opt,
+                                     const std::vector<std::string>& names) {
+    return run(
+        clips,
+        [engine_opt](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                     const opc::OpcOptions& opt, std::uint64_t /*job_seed*/) {
+            opc::RuleEngine engine(engine_opt);
+            return engine.optimize(layout, sim, opt);
+        },
+        names);
+}
+
+BatchResult BatchScheduler::run_camo(const std::vector<geo::SegmentedLayout>& clips,
+                                     const core::CamoEngine& engine,
+                                     const std::vector<std::string>& names) {
+    const bool stochastic = opt_.stochastic;
+    return run(
+        clips,
+        [&engine, stochastic](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                              const opc::OpcOptions& opt, std::uint64_t job_seed) {
+            if (!stochastic) return engine.infer(layout, sim, opt);
+            Rng job_rng(job_seed);
+            return engine.infer(layout, sim, opt, &job_rng);
+        },
+        names);
+}
+
+}  // namespace camo::runtime

@@ -1,0 +1,108 @@
+// Batch-OPC runtime: shard a stream of clips across a work-stealing thread
+// pool.
+//
+// Full-chip mask optimization is embarrassingly parallel across clips, so
+// the scheduler gives every pool worker its own LithoSim (a cheap copy — all
+// workers share one immutable SOCS kernel set via the kernel registry) and
+// runs one clip per task. Learned engines are shared as a read-only
+// CamoEngine snapshot: CamoEngine::infer() is const and thread-safe, so N
+// workers infer concurrently without copying or retraining the policy.
+//
+// Determinism contract: a job's result depends only on (its layout, the
+// batch seed, its clip index) — per-job seeds come from common/rng.hpp
+// splitmix, never from shared mutable engine state — so per-clip results
+// are bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/camo.hpp"
+#include "geometry/layout.hpp"
+#include "litho/simulator.hpp"
+#include "opc/engine.hpp"
+#include "opc/rule_engine.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace camo::runtime {
+
+struct BatchOptions {
+    int threads = 0;             ///< worker count; <= 0 selects all hardware threads
+    std::uint64_t seed = 42;     ///< batch seed; job i runs with derive_seed(seed, i)
+    bool stochastic = false;     ///< CAMO path: sample actions from the per-job Rng
+    opc::OpcOptions opc;         ///< per-clip OPC protocol (iterations, exits, bias)
+};
+
+/// Outcome of one clip job. `error` is non-empty when the job threw; the
+/// remaining clips of the batch are unaffected.
+struct ClipResult {
+    int index = -1;
+    std::string name;
+    int segments = 0;
+    int iterations = 0;
+    double initial_epe = 0.0;   ///< sum |EPE| of the starting mask
+    double final_epe = 0.0;     ///< sum |EPE| after OPC
+    double pvband_nm2 = 0.0;
+    double runtime_s = 0.0;     ///< per-clip engine wall time
+    std::vector<int> offsets;   ///< final per-segment offsets
+    std::string error;
+};
+
+/// Aggregated batch outcome, in clip-index order.
+struct BatchResult {
+    std::vector<ClipResult> clips;
+    int threads = 1;
+    double wall_s = 0.0;            ///< end-to-end batch wall time
+    double throughput_cps = 0.0;    ///< successful clips per second
+    long long litho_evaluations = 0;
+    int failed = 0;
+    double sum_initial_epe = 0.0;
+    double sum_final_epe = 0.0;
+    double sum_pvband_nm2 = 0.0;
+    double sum_clip_runtime_s = 0.0;  ///< summed per-clip time (vs wall_s = parallel time)
+
+    /// One-line human-readable digest.
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Per-clip optimizer run by the workers. Called concurrently: it must only
+/// mutate the passed simulator (worker-private) and local state. `job_seed`
+/// is derive_seed(batch seed, clip index).
+using ClipOptimizer = std::function<opc::EngineResult(
+    const geo::SegmentedLayout& layout, litho::LithoSim& sim, const opc::OpcOptions& opt,
+    std::uint64_t job_seed)>;
+
+/// Shards clip jobs over a worker pool. Construction acquires the shared
+/// kernels once and stamps out one simulator per worker; run() may be called
+/// any number of times on the same scheduler.
+class BatchScheduler {
+public:
+    explicit BatchScheduler(const litho::LithoConfig& litho_cfg, BatchOptions opt = {});
+
+    [[nodiscard]] int threads() const { return pool_.size(); }
+    [[nodiscard]] const BatchOptions& options() const { return opt_; }
+
+    /// Run `optimize` on every clip; never throws on job failure (failures
+    /// are recorded per clip).
+    BatchResult run(const std::vector<geo::SegmentedLayout>& clips,
+                    const ClipOptimizer& optimize, const std::vector<std::string>& names = {});
+
+    /// Rule-engine batch (one engine instance per job; stateless and cheap).
+    BatchResult run_rule(const std::vector<geo::SegmentedLayout>& clips,
+                         const opc::RuleEngineOptions& engine_opt = {},
+                         const std::vector<std::string>& names = {});
+
+    /// CAMO batch over one shared, read-only trained engine snapshot.
+    BatchResult run_camo(const std::vector<geo::SegmentedLayout>& clips,
+                         const core::CamoEngine& engine,
+                         const std::vector<std::string>& names = {});
+
+private:
+    BatchOptions opt_;
+    ThreadPool pool_;
+    std::vector<litho::LithoSim> sims_;  // one per worker, sharing one kernel set
+};
+
+}  // namespace camo::runtime

@@ -1,0 +1,105 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace camo::runtime {
+namespace {
+
+// Which pool (if any) the current thread belongs to, and its index there.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_index = -1;
+
+}  // namespace
+
+int ThreadPool::default_threads() {
+    return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int threads) {
+    const int n = threads > 0 ? threads : default_threads();
+    queues_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+    stop_.store(true);
+    // Same lost-wakeup guard as enqueue(): without it a worker could check
+    // stop_ just before this store, block, and miss the notify forever.
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    wake_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::worker_index() const { return tls_pool == this ? tls_index : -1; }
+
+void ThreadPool::enqueue(Task task) {
+    // Workers push onto their own deque (stolen FIFO, popped LIFO); external
+    // submitters round-robin across queues to spread the initial shards.
+    int target = worker_index();
+    if (target < 0) {
+        target = static_cast<int>(next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                                  queues_.size());
+    }
+    // Increment before publishing the task: a worker may pop it (and
+    // fetch_sub) the instant the queue mutex is released, and the unsigned
+    // counter must never transiently underflow.
+    pending_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(queues_[static_cast<std::size_t>(target)]->mu);
+        queues_[static_cast<std::size_t>(target)]->tasks.push_back(std::move(task));
+    }
+    // Synchronize with the sleep mutex so the increment cannot slip between a
+    // worker's idle check and its wait() — that would lose this notify.
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(int self, Task& out) {
+    WorkerQueue& q = *queues_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) return false;
+    out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool ThreadPool::try_steal(int self, Task& out) {
+    const int n = static_cast<int>(queues_.size());
+    for (int d = 1; d < n; ++d) {
+        WorkerQueue& q = *queues_[static_cast<std::size_t>((self + d) % n)];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+    tls_pool = this;
+    tls_index = index;
+
+    for (;;) {
+        Task task;
+        if (try_pop_local(index, task) || try_steal(index, task)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            task();  // packaged_task: exceptions land in the caller's future
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mu_);
+        if (pending_.load(std::memory_order_acquire) > 0) continue;
+        if (stop_.load()) break;  // drained and stopping: exit
+        wake_cv_.wait(lock, [this] {
+            return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
+        });
+    }
+
+    tls_pool = nullptr;
+    tls_index = -1;
+}
+
+}  // namespace camo::runtime

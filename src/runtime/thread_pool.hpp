@@ -1,0 +1,80 @@
+// Work-stealing thread pool.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (hot in
+// cache) and steals FIFO from the other workers when its deque runs dry, so
+// an uneven batch of clips still keeps every core busy. submit() returns a
+// std::future, so task exceptions propagate to the caller instead of
+// killing a worker. The destructor drains every queued task, then joins —
+// no future is ever broken by shutdown.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace camo::runtime {
+
+class ThreadPool {
+public:
+    /// threads <= 0 selects default_threads().
+    explicit ThreadPool(int threads = 0);
+
+    /// Drains all queued tasks, then joins every worker.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+    /// Hardware concurrency, at least 1.
+    static int default_threads();
+
+    /// Index of the calling thread within this pool, in [0, size()), or -1
+    /// when the caller is not one of this pool's workers. Used by the batch
+    /// scheduler to route a job to its worker's simulator.
+    [[nodiscard]] int worker_index() const;
+
+    /// Enqueue `fn`; the future carries its result or exception. Safe to
+    /// call from pool workers (the task lands on the caller's own deque,
+    /// where it is picked up LIFO).
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+private:
+    using Task = std::function<void()>;
+
+    struct WorkerQueue {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void enqueue(Task task);
+    bool try_pop_local(int self, Task& out);
+    bool try_steal(int self, Task& out);
+    void worker_loop(int index);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleep_mu_;
+    std::condition_variable wake_cv_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace camo::runtime

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace camo::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryTask) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 20; ++i) {
+        futures.push_back(pool.submit([i] { return i * i; }));
+    }
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    EXPECT_EQ(good.get(), 7);  // a throwing task must not take down a worker
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasksAndJoins) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            (void)pool.submit([&counter] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                counter.fetch_add(1);
+            });
+        }
+        // Destructor runs here with tasks still queued.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.worker_index(), -1);  // caller is not a pool worker
+
+    std::mutex mu;
+    std::set<int> seen;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 60; ++i) {
+        futures.push_back(pool.submit([&] {
+            const int idx = pool.worker_index();
+            std::lock_guard<std::mutex> lock(mu);
+            seen.insert(idx);
+        }));
+    }
+    for (auto& f : futures) f.get();
+    for (int idx : seen) {
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, 3);
+    }
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletes) {
+    ThreadPool pool(2);
+    auto outer = pool.submit([&pool] {
+        auto inner = pool.submit([] { return 41; });
+        return inner.get() + 1;
+    });
+    EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillRunsEverything) {
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 25; ++i) {
+        futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 25);
+}
+
+}  // namespace
+}  // namespace camo::runtime

@@ -1,11 +1,12 @@
 // camo_cli: command-line OPC driver.
 //
 //   camo_cli --in layout.gds --out result.gds [options]
+//   camo_cli batch [batch options]
 //
-// Reads target polygons from a GDSII file (layer 1 by default), runs the
-// selected OPC engine against the lithography simulator, and writes a
-// GDSII file with targets (layer 1), SRAFs (layer 2, via style only) and
-// the optimized mask (layer 10).
+// Single-clip mode reads target polygons from a GDSII file (layer 1 by
+// default), runs the selected OPC engine against the lithography simulator,
+// and writes a GDSII file with targets (layer 1), SRAFs (layer 2, via style
+// only) and the optimized mask (layer 10).
 //
 // Options:
 //   --engine rule|oneshot|camo   engine selection        [rule]
@@ -14,6 +15,12 @@
 //   --clip N                     clip size in nm         [2000]
 //   --iterations N               max OPC iterations      [style default]
 //   --quiet                      suppress progress logs
+//
+// Batch mode runs the parallel runtime over a generated via-clip stream and
+// prints per-clip results plus aggregate throughput:
+//
+//   camo_cli batch [--clips N] [--threads N] [--engine rule|camo]
+//                  [--seed S] [--iterations N] [--quiet]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,6 +31,7 @@
 #include "opc/one_shot.hpp"
 #include "opc/rule_engine.hpp"
 #include "opc/sraf.hpp"
+#include "runtime/batch.hpp"
 
 namespace {
 
@@ -40,7 +48,7 @@ struct CliOptions {
     bool quiet = false;
 };
 
-bool parse_args(int argc, char** argv, CliOptions& o) {
+bool parse_args(int argc, char** argv, CliOptions& o) try {
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&](std::string& dst) {
@@ -71,11 +79,107 @@ bool parse_args(int argc, char** argv, CliOptions& o) {
         }
     }
     return !o.in.empty() && !o.out.empty();
+} catch (const std::exception&) {  // non-numeric / out-of-range values
+    return false;
+}
+
+struct BatchCliOptions {
+    int clips = 32;
+    int threads = 0;  // 0 = all hardware threads
+    std::string engine = "rule";
+    std::uint64_t seed = core::Experiment::kDatasetSeed;
+    int iterations = -1;
+    bool quiet = false;
+};
+
+bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--clips" && next(v)) {
+            o.clips = std::stoi(v);
+        } else if (a == "--threads" && next(v)) {
+            o.threads = std::stoi(v);
+        } else if (a == "--engine" && next(v)) {
+            o.engine = v;
+        } else if (a == "--seed" && next(v)) {
+            o.seed = std::stoull(v);
+        } else if (a == "--iterations" && next(v)) {
+            o.iterations = std::stoi(v);
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return o.clips > 0 && (o.engine == "rule" || o.engine == "camo");
+} catch (const std::exception&) {  // non-numeric / out-of-range values
+    return false;
+}
+
+int batch_main(int argc, char** argv) {
+    BatchCliOptions cli;
+    if (!parse_batch_args(argc, argv, cli)) {
+        std::fprintf(stderr,
+                     "usage: camo_cli batch [--clips N] [--threads N] [--engine rule|camo]"
+                     " [--seed S] [--iterations N] [--quiet]\n");
+        return 2;
+    }
+    if (!cli.quiet) set_log_level(LogLevel::kInfo);
+
+    const std::vector<layout::Clip> raw = layout::via_batch_set(cli.seed, cli.clips);
+    const std::vector<geo::SegmentedLayout> clips = core::fragment_via_clips(raw);
+    std::vector<std::string> names;
+    names.reserve(raw.size());
+    for (const layout::Clip& c : raw) names.push_back(c.name);
+
+    runtime::BatchOptions opt;
+    opt.threads = cli.threads;
+    opt.seed = cli.seed;
+    opt.opc = core::Experiment::via_options();
+    if (cli.iterations > 0) opt.opc.max_iterations = cli.iterations;
+
+    runtime::BatchScheduler scheduler(core::Experiment::litho_config(), opt);
+
+    runtime::BatchResult res;
+    if (cli.engine == "rule") {
+        res = scheduler.run_rule(clips, {}, names);
+    } else {
+        const core::CamoConfig cfg = core::Experiment::via_camo_config();
+        core::CamoEngine engine(cfg);
+        litho::LithoSim train_sim(core::Experiment::litho_config());
+        const auto train = core::fragment_via_clips(
+            layout::via_training_set(core::Experiment::kDatasetSeed));
+        core::ensure_trained(engine, train, train_sim, opt.opc,
+                             core::Experiment::weights_path(cfg, "via"));
+        res = scheduler.run_camo(clips, engine, names);
+    }
+
+    std::printf("%-6s %6s %6s %10s %10s %10s %6s\n", "Clip", "Segs", "Iters", "EPE0",
+                "EPE", "PVB", "RT");
+    for (const runtime::ClipResult& c : res.clips) {
+        if (!c.error.empty()) {
+            std::printf("%-6s FAILED: %s\n", c.name.c_str(), c.error.c_str());
+            continue;
+        }
+        std::printf("%-6s %6d %6d %10.1f %10.1f %10.0f %6.2f\n", c.name.c_str(), c.segments,
+                    c.iterations, c.initial_epe, c.final_epe, c.pvband_nm2, c.runtime_s);
+    }
+    std::printf("%s\n", res.summary().c_str());
+    return res.failed == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return batch_main(argc, argv);
+
     CliOptions cli;
     if (!parse_args(argc, argv, cli)) {
         std::fprintf(stderr,
