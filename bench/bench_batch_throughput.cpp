@@ -48,8 +48,8 @@ int main() {
 
     std::printf("batch OPC throughput: %d via clips, rule engine, grid %d\n", kClips,
                 litho_cfg.grid);
-    std::printf("%8s %10s %12s %10s %10s\n", "threads", "wall_s", "clips/s", "speedup",
-                "identical");
+    std::printf("%8s %10s %12s %10s %10s %10s\n", "threads", "wall_s", "clips/s", "speedup",
+                "incr_hit", "identical");
 
     std::vector<runtime::BatchResult> results;
     double base_wall = 0.0;
@@ -75,9 +75,9 @@ int main() {
         }
         all_identical = all_identical && identical;
 
-        std::printf("%8d %10.2f %12.2f %9.2fx %10s\n", res.threads, res.wall_s,
+        std::printf("%8d %10.2f %12.2f %9.2fx %9.0f%% %10s\n", res.threads, res.wall_s,
                     res.throughput_cps, base_wall > 0.0 ? base_wall / res.wall_s : 0.0,
-                    identical ? "yes" : "NO");
+                    100.0 * res.incremental_hit_rate(), identical ? "yes" : "NO");
         results.push_back(std::move(res));
     }
 

@@ -1,11 +1,17 @@
 // Micro-benchmarks (google-benchmark) of the computational substrates:
-// FFT, rasterization, aerial imaging, squish encoding and policy inference.
+// FFT, rasterization, aerial imaging, full vs incremental evaluation,
+// squish encoding and policy inference.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "core/graph.hpp"
 #include "core/modulator.hpp"
 #include "core/policy.hpp"
 #include "core/squish.hpp"
+#include "layout/metal_gen.hpp"
 #include "litho/aerial.hpp"
 #include "litho/simulator.hpp"
 #include "opc/sraf.hpp"
@@ -74,6 +80,71 @@ void BM_FullEvaluate(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_FullEvaluate);
+
+// ---- Incremental vs full evaluation ----------------------------------------
+// One metal clip (84 segments at the 60 nm pitch), swept over the dirty-set
+// size. Arg = percent of segments moved per evaluation; Arg 0 = the full
+// evaluate() baseline on the same layout. The speedup table is the ratio of
+// the Arg 0 row to each incremental row.
+
+const geo::SegmentedLayout& incremental_bench_layout() {
+    static const geo::SegmentedLayout layout = [] {
+        Rng rng(3);
+        camo::layout::MetalGenOptions opt;
+        opt.clip_nm = 1000;
+        opt.margin_nm = 120;
+        return geo::SegmentedLayout(camo::layout::generate_metal_clip(64, rng, opt),
+                                    {geo::FragmentStyle::kMetal, 60}, {}, opt.clip_nm);
+    }();
+    return layout;
+}
+
+void BM_FullEvaluateMetal(benchmark::State& state) {
+    litho::LithoSim& sim = shared_sim();
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 2);
+    int step = 0;
+    for (auto _ : state) {
+        offsets[static_cast<std::size_t>(step++ % layout.num_segments())] ^= 1;
+        const litho::SimMetrics m = sim.evaluate(layout, offsets);
+        benchmark::DoNotOptimize(m.sum_abs_epe);
+    }
+}
+BENCHMARK(BM_FullEvaluateMetal);
+
+void BM_IncrementalEvaluate(benchmark::State& state) {
+    litho::LithoSim sim(shared_sim());  // private incremental cache
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    const int segments = layout.num_segments();
+    const int dirty_count =
+        std::max(1, segments * static_cast<int>(state.range(0)) / 100);
+
+    std::vector<int> offsets(static_cast<std::size_t>(segments), 2);
+    benchmark::DoNotOptimize(sim.evaluate_incremental(layout, offsets).sum_abs_epe);
+
+    int cursor = 0;
+    int sign = 1;
+    for (auto _ : state) {
+        std::vector<int> dirty;
+        dirty.reserve(static_cast<std::size_t>(dirty_count));
+        for (int j = 0; j < dirty_count; ++j) {
+            const int i = cursor++ % segments;
+            offsets[static_cast<std::size_t>(i)] += sign;
+            dirty.push_back(i);
+        }
+        if (cursor >= segments) {
+            cursor = 0;
+            sign = -sign;  // walk offsets back so they stay bounded
+        }
+        const litho::SimMetrics m = sim.evaluate_incremental(layout, offsets, dirty);
+        benchmark::DoNotOptimize(m.sum_abs_epe);
+    }
+    state.counters["hit_rate"] = benchmark::Counter(
+        static_cast<double>(sim.incremental_hit_count()) /
+        static_cast<double>(std::max(1LL, sim.incremental_hit_count() +
+                                              sim.incremental_full_count())));
+}
+BENCHMARK(BM_IncrementalEvaluate)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
 
 void BM_SquishEncode(benchmark::State& state) {
     const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({465, 465, 535, 535})};

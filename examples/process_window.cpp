@@ -29,10 +29,14 @@ int main() {
     std::printf("%-10s", "dose\\focus");
     std::printf(" %12s %12s\n", "best focus", "defocus");
     for (double dose : {0.96, 0.98, 1.00, 1.02, 1.04}) {
+        // Bind the printed rasters: data() is a span into the Raster, and a
+        // range-for over a temporary's span is a use-after-free in C++20.
+        const geo::Raster printed_nom = sim.printed(nominal, dose);
+        const geo::Raster printed_def = sim.printed(defocus, dose);
         double area_nom = 0.0;
         double area_def = 0.0;
-        for (float v : sim.printed(nominal, dose).data()) area_nom += v;
-        for (float v : sim.printed(defocus, dose).data()) area_def += v;
+        for (float v : printed_nom.data()) area_nom += v;
+        for (float v : printed_def.data()) area_def += v;
         const double px2 = sim.config().pixel_nm * sim.config().pixel_nm / 1000.0;
         std::printf("%-10.2f %12.1f %12.1f\n", dose, area_nom * px2, area_def * px2);
     }

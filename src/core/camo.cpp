@@ -10,10 +10,20 @@
 namespace camo::core {
 namespace {
 
-void apply_actions(std::vector<int>& offsets, const std::vector<int>& actions, int bound) {
+// Applies the chosen actions and returns the indices whose offset actually
+// changed (no-move actions and clamped moves stay clean) — the dirty set for
+// incremental lithography evaluation.
+std::vector<int> apply_actions(std::vector<int>& offsets, const std::vector<int>& actions,
+                               int bound) {
+    std::vector<int> dirty;
     for (std::size_t i = 0; i < offsets.size(); ++i) {
-        offsets[i] = std::clamp(offsets[i] + rl::action_to_move(actions[i]), -bound, bound);
+        const int next = std::clamp(offsets[i] + rl::action_to_move(actions[i]), -bound, bound);
+        if (next != offsets[i]) {
+            offsets[i] = next;
+            dirty.push_back(static_cast<int>(i));
+        }
     }
+    return dirty;
 }
 
 std::array<double, rl::kNumActions> node_probs(const nn::Tensor& logits, int node) {
@@ -104,16 +114,17 @@ opc::EngineResult CamoEngine::optimize(const geo::SegmentedLayout& layout, litho
     return infer(layout, sim, opt);
 }
 
-opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout,
-                                    const litho::LithoSim& sim, const opc::OpcOptions& opt,
-                                    Rng* rng) const {
+opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                    const opc::OpcOptions& opt, Rng* rng) const {
     Timer timer;
     opc::EngineResult res;
     const Graph graph = build_segment_graph(layout, cfg_.graph_threshold_nm);
 
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
-    litho::SimMetrics m = sim.evaluate(layout, offsets);
+    // First evaluation primes the per-clip incremental cache; iterations then
+    // pass the acted-on segments so only those are re-rasterized.
+    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
     res.epe_history.push_back(m.sum_abs_epe);
     res.pvb_history.push_back(m.pvband_nm2);
 
@@ -127,8 +138,8 @@ opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout,
         const nn::Tensor logits = policy_.infer(feats, graph);
         const auto actions = pick_actions(logits, m.epe_segment, cfg_.modulator, rng);
 
-        apply_actions(offsets, actions, opt.max_total_offset_nm);
-        m = sim.evaluate(layout, offsets);
+        const auto dirty = apply_actions(offsets, actions, opt.max_total_offset_nm);
+        m = sim.evaluate_incremental(layout, offsets, dirty);
         res.epe_history.push_back(m.sum_abs_epe);
         res.pvb_history.push_back(m.pvband_nm2);
         ++res.iterations;
@@ -232,7 +243,7 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
             const geo::SegmentedLayout& layout = clips[c];
             std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                                      opt.initial_bias_nm);
-            litho::SimMetrics m = sim.evaluate(layout, offsets);
+            litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
             const int features_count = static_cast<int>(layout.targets().size());
             const int points = static_cast<int>(m.epe.size());
 
@@ -243,8 +254,8 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
                 const nn::Tensor logits = policy_.forward(feats, graphs[c]);
                 const auto actions = select_actions(logits, m.epe_segment, /*stochastic=*/true);
 
-                apply_actions(offsets, actions, opt.max_total_offset_nm);
-                const litho::SimMetrics m2 = sim.evaluate(layout, offsets);
+                const auto dirty = apply_actions(offsets, actions, opt.max_total_offset_nm);
+                const litho::SimMetrics m2 = sim.evaluate_incremental(layout, offsets, dirty);
                 const double r = rl::step_reward(m.sum_abs_epe, m2.sum_abs_epe, m.pvband_nm2,
                                                  m2.pvband_nm2, cfg_.reward);
                 reward_sum += r;

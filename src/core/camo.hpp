@@ -80,14 +80,15 @@ public:
                                const opc::OpcOptions& opt) override;
 
     /// Read-only inference: the same loop as optimize() (modulated argmax,
-    /// paper early-exit rules) but const and thread-safe, so one trained
-    /// engine snapshot can serve many batch workers concurrently. When `rng`
-    /// is non-null, actions are sampled from the modulated distribution
-    /// instead of argmax'd; pass a per-job Rng (seeded from the job index)
-    /// so results stay independent of scheduling.
+    /// paper early-exit rules) but const w.r.t. the engine, so one trained
+    /// snapshot can serve many batch workers concurrently — each worker must
+    /// pass its own simulator (the incremental-evaluation cache inside
+    /// LithoSim is per-instance, not shared). When `rng` is non-null,
+    /// actions are sampled from the modulated distribution instead of
+    /// argmax'd; pass a per-job Rng (seeded from the job index) so results
+    /// stay independent of scheduling.
     [[nodiscard]] opc::EngineResult infer(const geo::SegmentedLayout& layout,
-                                          const litho::LithoSim& sim,
-                                          const opc::OpcOptions& opt,
+                                          litho::LithoSim& sim, const opc::OpcOptions& opt,
                                           Rng* rng = nullptr) const;
 
     /// Two-phase training on a set of fragmented clips.

@@ -24,44 +24,54 @@ std::vector<Polygon> SegmentedLayout::reconstruct_mask(std::span<const int> offs
 
     std::vector<Polygon> out;
     out.reserve(targets_.size());
-
     for (int p = 0; p < static_cast<int>(targets_.size()); ++p) {
-        const auto [begin, end] = polygon_segment_range(p);
-        const int n = end - begin;
-        std::vector<Point> verts;
-        verts.reserve(static_cast<std::size_t>(n) * 2);
-
-        for (int i = 0; i < n; ++i) {
-            const Segment& s = segments_[begin + i];
-            const Segment& t = segments_[begin + (i + 1) % n];
-            const int s_line = s.moved_line(offsets[begin + i]);
-            const int t_line = t.moved_line(offsets[begin + (i + 1) % n]);
-
-            if (s.axis == t.axis) {
-                // Collinear neighbours on the same edge: perpendicular jog at
-                // the shared fragmentation boundary (s.t1 == t.t0).
-                if (s.axis == Axis::kHorizontal) {
-                    verts.push_back({s.t1, s_line});
-                    verts.push_back({t.t0, t_line});
-                } else {
-                    verts.push_back({s_line, s.t1});
-                    verts.push_back({t_line, t.t0});
-                }
-            } else {
-                // Corner: intersection of the two shifted edge lines.
-                if (s.axis == Axis::kHorizontal) {
-                    verts.push_back({t_line, s_line});
-                } else {
-                    verts.push_back({s_line, t_line});
-                }
-            }
-        }
-
-        Polygon poly(std::move(verts));
-        poly.normalize();
-        out.push_back(std::move(poly));
+        out.push_back(reconstruct_polygon(p, offsets));
     }
     return out;
+}
+
+Polygon SegmentedLayout::reconstruct_polygon(int p, std::span<const int> offsets) const {
+    if (p < 0 || p >= static_cast<int>(targets_.size())) {
+        throw std::invalid_argument("reconstruct_polygon: polygon index out of range");
+    }
+    if (static_cast<int>(offsets.size()) != num_segments()) {
+        throw std::invalid_argument("reconstruct_polygon: offsets size mismatch");
+    }
+
+    const auto [begin, end] = polygon_segment_range(p);
+    const int n = end - begin;
+    std::vector<Point> verts;
+    verts.reserve(static_cast<std::size_t>(n) * 2);
+
+    for (int i = 0; i < n; ++i) {
+        const Segment& s = segments_[begin + i];
+        const Segment& t = segments_[begin + (i + 1) % n];
+        const int s_line = s.moved_line(offsets[begin + i]);
+        const int t_line = t.moved_line(offsets[begin + (i + 1) % n]);
+
+        if (s.axis == t.axis) {
+            // Collinear neighbours on the same edge: perpendicular jog at
+            // the shared fragmentation boundary (s.t1 == t.t0).
+            if (s.axis == Axis::kHorizontal) {
+                verts.push_back({s.t1, s_line});
+                verts.push_back({t.t0, t_line});
+            } else {
+                verts.push_back({s_line, s.t1});
+                verts.push_back({t_line, t.t0});
+            }
+        } else {
+            // Corner: intersection of the two shifted edge lines.
+            if (s.axis == Axis::kHorizontal) {
+                verts.push_back({t_line, s_line});
+            } else {
+                verts.push_back({s_line, t_line});
+            }
+        }
+    }
+
+    Polygon poly(std::move(verts));
+    poly.normalize();
+    return poly;
 }
 
 std::vector<MeasurePoint> SegmentedLayout::measure_points() const {

@@ -41,6 +41,12 @@ public:
     /// included; callers append srafs() when rasterizing the full mask.
     [[nodiscard]] std::vector<Polygon> reconstruct_mask(std::span<const int> offsets) const;
 
+    /// Mask polygon of target `p` alone under the same offsets convention
+    /// (`offsets` spans all segments; only polygon p's range is read). A
+    /// segment's move affects exactly its owning polygon, which is what lets
+    /// incremental evaluation re-rasterize only the dirty polygons.
+    [[nodiscard]] Polygon reconstruct_polygon(int p, std::span<const int> offsets) const;
+
     /// Measure points of all `measured` segments, at segment centers on the
     /// target boundary, in segment order.
     [[nodiscard]] std::vector<MeasurePoint> measure_points() const;

@@ -1,0 +1,387 @@
+#include "litho/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+
+#include "litho/aerial.hpp"
+
+namespace camo::litho {
+namespace {
+
+int wrap(int k, int n) { return ((k % n) + n) % n; }
+
+// FNV-1a over the layout geometry that determines the cached raster: target
+// and SRAF vertices plus the clip size. O(total vertices) per evaluation —
+// noise next to the evaluation itself.
+std::uint64_t layout_fingerprint(const geo::SegmentedLayout& layout) {
+    std::uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xFFU;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(layout.num_segments()));
+    mix(static_cast<std::uint64_t>(layout.clip_size_nm()));
+    auto mix_polys = [&](const std::vector<geo::Polygon>& polys) {
+        mix(polys.size());
+        for (const geo::Polygon& p : polys) {
+            mix(p.vertices().size());
+            for (const geo::Point& v : p.vertices()) {
+                mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.x)));
+                mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.y)));
+            }
+        }
+    };
+    mix_polys(layout.targets());
+    mix_polys(layout.srafs());
+    return h;
+}
+
+}  // namespace
+
+// ---- SupportApplicator -----------------------------------------------------
+
+SupportApplicator::SupportApplicator(const KernelSet& kernels, int grid) : n_(grid) {
+    if (!is_pow2(n_)) throw std::invalid_argument("SupportApplicator: grid must be a power of two");
+    const int support = kernels.support_size();
+    kernels_ = kernels.count();
+
+    int radius = 0;
+    for (const FreqIndex& f : kernels.support) {
+        radius = std::max({radius, std::abs(f.kx), std::abs(f.ky)});
+    }
+
+    // Coherent fields are band-limited to `radius`, the intensity (their
+    // squared modulus) to 2 * radius; a coarse grid of 4 * radius + 2 maps
+    // the intensity band injectively, so the coarse image is exact.
+    int m = 1;
+    while (m < 4 * radius + 2) m <<= 1;
+    m_ = std::min(m, n_);
+
+    mpos_.reserve(static_cast<std::size_t>(support));
+    mrow_nonzero_.assign(static_cast<std::size_t>(m_), 0);
+    for (const FreqIndex& f : kernels.support) {
+        const int row = wrap(f.ky, m_);
+        const int col = wrap(f.kx, m_);
+        mpos_.push_back(row * m_ + col);
+        mrow_nonzero_[static_cast<std::size_t>(row)] = 1;
+    }
+
+    eigenvalues_.reserve(static_cast<std::size_t>(kernels_));
+    for (double ev : kernels.eigenvalues) eigenvalues_.push_back(static_cast<float>(ev));
+    coeffs_.resize(static_cast<std::size_t>(kernels_) * static_cast<std::size_t>(support));
+    for (int k = 0; k < kernels_; ++k) {
+        const auto& src = kernels.coeffs[static_cast<std::size_t>(k)];
+        std::copy(src.begin(), src.end(),
+                  coeffs_.begin() + static_cast<std::ptrdiff_t>(k) * support);
+    }
+
+    if (m_ < n_) {
+        const int band = std::min(2 * radius, n_ / 2 - 1);
+        nrow_nonzero_.assign(static_cast<std::size_t>(n_), 0);
+        for (int dy = -band; dy <= band; ++dy) {
+            for (int dx = -band; dx <= band; ++dx) {
+                band_src_.push_back(wrap(dy, m_) * m_ + wrap(dx, m_));
+                band_dst_.push_back(wrap(dy, n_) * n_ + wrap(dx, n_));
+            }
+            nrow_nonzero_[static_cast<std::size_t>(wrap(dy, n_))] = 1;
+        }
+        upsample_scale_ =
+            static_cast<float>(static_cast<double>(m_) * m_ / (static_cast<double>(n_) * n_));
+    }
+}
+
+geo::Raster SupportApplicator::apply(std::span<const Complex> support_vals,
+                                     double pixel_nm) const {
+    if (support_vals.size() != mpos_.size()) {
+        throw std::invalid_argument("SupportApplicator: support value count mismatch");
+    }
+    const std::size_t support = mpos_.size();
+    const std::size_t mm = static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+
+    std::vector<Complex> prod(support);
+    std::vector<Complex> field(mm);
+    std::vector<float> intensity(mm, 0.0F);
+
+    for (int k = 0; k < kernels_; ++k) {
+        const Complex* coeff = coeffs_.data() + static_cast<std::size_t>(k) * support;
+        for (std::size_t i = 0; i < support; ++i) prod[i] = coeff[i] * support_vals[i];
+
+        std::fill(field.begin(), field.end(), Complex{});
+        for (std::size_t i = 0; i < support; ++i) field[static_cast<std::size_t>(mpos_[i])] = prod[i];
+        fft2d_inverse_rowsparse(field, m_, mrow_nonzero_);
+
+        const float lambda = eigenvalues_[static_cast<std::size_t>(k)];
+        for (std::size_t i = 0; i < mm; ++i) intensity[i] += lambda * std::norm(field[i]);
+    }
+
+    geo::Raster out(n_, pixel_nm);
+    if (m_ == n_) {
+        auto dst = out.data();
+        std::copy(intensity.begin(), intensity.end(), dst.begin());
+        return out;
+    }
+
+    // Exact band-limited upsample: forward FFT of the coarse intensity,
+    // scatter its band into the fine lattice, inverse FFT at full size.
+    std::vector<Complex> coarse(mm);
+    for (std::size_t i = 0; i < mm; ++i) coarse[i] = Complex(intensity[i], 0.0F);
+    fft2d_forward(coarse, m_);
+
+    std::vector<Complex> fine(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+    for (std::size_t i = 0; i < band_src_.size(); ++i) {
+        fine[static_cast<std::size_t>(band_dst_[i])] =
+            coarse[static_cast<std::size_t>(band_src_[i])] * upsample_scale_;
+    }
+    fft2d_inverse_rowsparse(fine, n_, nrow_nonzero_);
+
+    auto dst = out.data();
+    for (std::size_t i = 0; i < fine.size(); ++i) dst[i] = fine[i].real();
+    return out;
+}
+
+// ---- IncrementalEvaluator --------------------------------------------------
+
+IncrementalEvaluator::IncrementalEvaluator(const LithoConfig& cfg, double threshold,
+                                           const KernelSet& nominal, const KernelSet& defocus)
+    : cfg_(cfg),
+      threshold_(threshold),
+      nominal_(nominal, cfg.grid),
+      defocus_(defocus, cfg.grid) {
+    const int n = cfg_.grid;
+
+    // Union of both supports with per-condition gather maps. The two
+    // conditions share the pupil support disk, so the union is typically
+    // identical to either, but nothing below assumes it.
+    std::map<std::pair<int, int>, int> index;
+    auto add_support = [&](const KernelSet& ks, std::vector<int>& map) {
+        map.reserve(ks.support.size());
+        for (const FreqIndex& f : ks.support) {
+            const auto [it, inserted] = index.try_emplace({f.kx, f.ky},
+                                                          static_cast<int>(union_kx_.size()));
+            if (inserted) {
+                union_kx_.push_back(wrap(f.kx, n));
+                union_ky_.push_back(wrap(f.ky, n));
+                union_pos_.push_back(wrap(f.ky, n) * n + wrap(f.kx, n));
+            }
+            map.push_back(it->second);
+        }
+    };
+    add_support(nominal, map_nominal_);
+    add_support(defocus, map_defocus_);
+
+    twiddle_.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        const double ang = -2.0 * std::numbers::pi * t / n;
+        twiddle_[static_cast<std::size_t>(t)] = {std::cos(ang), std::sin(ang)};
+    }
+    spectrum_.assign(union_kx_.size(), {});
+}
+
+geo::Polygon IncrementalEvaluator::translated_polygon(const geo::SegmentedLayout& layout, int p,
+                                                      std::span<const int> offsets) const {
+    geo::Polygon poly = layout.reconstruct_polygon(p, offsets);
+    std::vector<geo::Point> verts = poly.vertices();
+    for (geo::Point& v : verts) {
+        v.x += clip_offset_;
+        v.y += clip_offset_;
+    }
+    return geo::Polygon(std::move(verts));
+}
+
+// Adds `weight` times the polygon's coverage into acc_, restricted to the
+// polygon's own coverage rect. Using the polygon's own rect both here and in
+// the delta path is what makes subtraction an exact reversal: the per-pixel
+// contribution is a pure function of (polygon, pixel), so (-1) undoes (+1)
+// bit for bit in the double accumulator, for any pixel pitch.
+void IncrementalEvaluator::accumulate_polygon(const geo::Polygon& poly, double weight,
+                                              std::vector<float>& scratch) {
+    const int n = cfg_.grid;
+    const geo::PixelRect region = geo::polygon_coverage_rect(poly, cfg_.pixel_nm, n);
+    if (region.empty()) return;
+    scratch.assign(region.area(), 0.0F);
+    geo::add_polygon_region(scratch, region, poly, cfg_.pixel_nm, n);
+    std::size_t b = 0;
+    for (int r = region.r0; r < region.r1; ++r) {
+        double* row = acc_.data() + static_cast<std::size_t>(r) * n;
+        for (int c = region.c0; c < region.c1; ++c, ++b) {
+            row[c] += weight * static_cast<double>(scratch[b]);
+        }
+    }
+}
+
+void IncrementalEvaluator::rebuild_cache(const geo::SegmentedLayout& layout,
+                                         std::span<const int> offsets) {
+    const int n = cfg_.grid;
+    const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+
+    layout_key_ = layout_fingerprint(layout);
+    cache_valid_ = true;
+    clip_size_nm_ = layout.clip_size_nm();
+    clip_offset_ = static_cast<int>((cfg_.clip_span_nm() - clip_size_nm_) / 2.0);
+    offsets_.assign(offsets.begin(), offsets.end());
+
+    acc_.assign(nn, 0.0);
+    clamped_.assign(nn, 0.0F);
+
+    std::vector<float> scratch;
+    poly_cache_.clear();
+    poly_cache_.reserve(layout.targets().size());
+    for (int p = 0; p < static_cast<int>(layout.targets().size()); ++p) {
+        poly_cache_.push_back(translated_polygon(layout, p, offsets));
+        accumulate_polygon(poly_cache_.back(), 1.0, scratch);
+    }
+    for (const geo::Polygon& sraf : layout.srafs()) {
+        std::vector<geo::Point> verts = sraf.vertices();
+        for (geo::Point& v : verts) {
+            v.x += clip_offset_;
+            v.y += clip_offset_;
+        }
+        accumulate_polygon(geo::Polygon(std::move(verts)), 1.0, scratch);
+    }
+
+    for (std::size_t i = 0; i < nn; ++i) {
+        clamped_[i] = static_cast<float>(std::clamp(acc_[i], 0.0, 1.0));
+    }
+
+    // Prime the support spectrum from one dense forward FFT.
+    std::vector<Complex> grid(nn);
+    for (std::size_t i = 0; i < nn; ++i) grid[i] = Complex(clamped_[i], 0.0F);
+    fft2d_forward(grid, n);
+    for (std::size_t j = 0; j < union_pos_.size(); ++j) {
+        const Complex v = grid[static_cast<std::size_t>(union_pos_[j])];
+        spectrum_[j] = {static_cast<double>(v.real()), static_cast<double>(v.imag())};
+    }
+}
+
+void IncrementalEvaluator::apply_polygon_delta(const geo::Polygon& old_poly,
+                                               const geo::Polygon& new_poly,
+                                               std::vector<PixelDelta>& deltas) {
+    const int n = cfg_.grid;
+    const geo::PixelRect old_rect = geo::polygon_coverage_rect(old_poly, cfg_.pixel_nm, n);
+    const geo::PixelRect new_rect = geo::polygon_coverage_rect(new_poly, cfg_.pixel_nm, n);
+    const geo::PixelRect region = geo::unite(old_rect, new_rect);
+    if (region.empty()) return;
+
+    // Subtract the old polygon over its own rect (the exact reversal of how
+    // rebuild_cache / earlier deltas added it) and add the new one over its.
+    std::vector<float> scratch;
+    accumulate_polygon(old_poly, -1.0, scratch);
+    accumulate_polygon(new_poly, 1.0, scratch);
+
+    // Re-clamp over the union and record every pixel whose effective (mask)
+    // value changed for the sparse delta-DFT.
+    for (int r = region.r0; r < region.r1; ++r) {
+        for (int c = region.c0; c < region.c1; ++c) {
+            const std::size_t idx = static_cast<std::size_t>(r) * n + static_cast<std::size_t>(c);
+            const float clamped = static_cast<float>(std::clamp(acc_[idx], 0.0, 1.0));
+            const double dc =
+                static_cast<double>(clamped) - static_cast<double>(clamped_[idx]);
+            if (dc != 0.0) {
+                clamped_[idx] = clamped;
+                deltas.push_back({r, c, dc});
+            }
+        }
+    }
+}
+
+void IncrementalEvaluator::update_spectrum(const std::vector<PixelDelta>& deltas) {
+    const int n = cfg_.grid;
+    const std::size_t freqs = union_kx_.size();
+    const int* kx = union_kx_.data();
+    const int* ky = union_ky_.data();
+    std::complex<double>* spec = spectrum_.data();
+    for (const PixelDelta& p : deltas) {
+        // S[kx, ky] += d * exp(-2*pi*i*(kx*col + ky*row)/n), the same sign
+        // convention as fft2d_forward.
+        for (std::size_t j = 0; j < freqs; ++j) {
+            const int t = (kx[j] * p.col + ky[j] * p.row) % n;
+            spec[j] += p.d * twiddle_[static_cast<std::size_t>(t)];
+        }
+    }
+}
+
+SimMetrics IncrementalEvaluator::metrics_from_cache(const geo::SegmentedLayout& layout) const {
+    std::vector<Complex> nominal_vals(map_nominal_.size());
+    for (std::size_t i = 0; i < map_nominal_.size(); ++i) {
+        const std::complex<double>& v = spectrum_[static_cast<std::size_t>(map_nominal_[i])];
+        nominal_vals[i] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+    }
+    std::vector<Complex> defocus_vals(map_defocus_.size());
+    for (std::size_t i = 0; i < map_defocus_.size(); ++i) {
+        const std::complex<double>& v = spectrum_[static_cast<std::size_t>(map_defocus_[i])];
+        defocus_vals[i] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+    }
+
+    const geo::Raster nom = nominal_.apply(nominal_vals, cfg_.pixel_nm);
+    const geo::Raster def = defocus_.apply(defocus_vals, cfg_.pixel_nm);
+    return compute_sim_metrics(layout, nom, def, threshold_, clip_offset_, cfg_.epe_range_nm,
+                               cfg_.dose_min, cfg_.dose_max);
+}
+
+SimMetrics IncrementalEvaluator::evaluate_full(const geo::SegmentedLayout& layout,
+                                               std::span<const int> offsets) {
+    if (static_cast<int>(offsets.size()) != layout.num_segments()) {
+        throw std::invalid_argument("evaluate_full: offsets size mismatch");
+    }
+    rebuild_cache(layout, offsets);
+    metrics_ = metrics_from_cache(layout);
+    ++full_count_;
+    return metrics_;
+}
+
+SimMetrics IncrementalEvaluator::evaluate(const geo::SegmentedLayout& layout,
+                                          std::span<const int> offsets,
+                                          std::span<const int> dirty) {
+    const int segments = layout.num_segments();
+    if (static_cast<int>(offsets.size()) != segments) {
+        throw std::invalid_argument("evaluate: offsets size mismatch");
+    }
+
+    const bool cache_ok = cache_valid_ && static_cast<int>(offsets_.size()) == segments &&
+                          layout_key_ == layout_fingerprint(layout);
+    if (!cache_ok) return evaluate_full(layout, offsets);
+
+    // Verify the dirty hint against the cached offsets: the true dirty set
+    // is what actually changed, whatever the caller believes.
+    std::vector<int> changed;
+    changed.reserve(dirty.size());
+    for (int i = 0; i < segments; ++i) {
+        if (offsets[i] != offsets_[static_cast<std::size_t>(i)]) changed.push_back(i);
+    }
+    if (changed.empty()) {  // nothing moved: cached metrics are exact
+        ++incremental_count_;
+        return metrics_;
+    }
+
+    if (static_cast<double>(changed.size()) >
+        cfg_.incremental_fallback_fraction * static_cast<double>(segments)) {
+        return evaluate_full(layout, offsets);
+    }
+
+    // Dirty polygons: a segment's move affects exactly its owning polygon.
+    std::vector<int> polys;
+    for (int i : changed) {
+        const int p = layout.segments()[static_cast<std::size_t>(i)].poly;
+        if (std::find(polys.begin(), polys.end(), p) == polys.end()) polys.push_back(p);
+    }
+
+    std::vector<PixelDelta> deltas;
+    for (int p : polys) {
+        geo::Polygon new_poly = translated_polygon(layout, p, offsets);
+        apply_polygon_delta(poly_cache_[static_cast<std::size_t>(p)], new_poly, deltas);
+        poly_cache_[static_cast<std::size_t>(p)] = std::move(new_poly);
+    }
+    offsets_.assign(offsets.begin(), offsets.end());
+    update_spectrum(deltas);
+
+    metrics_ = metrics_from_cache(layout);
+    ++incremental_count_;
+    return metrics_;
+}
+
+}  // namespace camo::litho

@@ -1,0 +1,156 @@
+// Incremental lithography evaluation.
+//
+// The full path re-rasterizes the whole clip and runs a dense 2D FFT on
+// every call, yet the SOCS kernels read the mask spectrum only at their
+// small frequency support, and consecutive OPC iterations move only the
+// segments the policy acted on. The incremental path exploits both:
+//
+//   * The mask raster is cached as a double-precision coverage accumulator.
+//     When a dirty segment set arrives, only the owning polygons are
+//     re-rasterized, restricted to their pixel footprint
+//     (geo::add_polygon_region), and the old polygon's contribution is
+//     subtracted exactly — per-pixel coverage is a pure function of
+//     (polygon, pixel), so the cache never drifts from a from-scratch
+//     rasterization beyond double rounding.
+//   * The mask spectrum is cached only at the union of the kernel support
+//     frequencies and updated with a sparse delta-DFT over the pixels whose
+//     clamped coverage changed: O(|delta pixels| * |support|) instead of
+//     O(N^2 log N).
+//   * Aerial images are produced by SupportApplicator, which evaluates the
+//     SOCS sum on a small coarse grid m >= 4R+2 (R = support radius). The
+//     coherent fields are band-limited to R and the intensity to 2R, so the
+//     coarse intensity is an exact band-limited representation; one forward
+//     FFT at m and one row-sparse inverse FFT at N reconstruct the full-grid
+//     aerial image. This replaces the K per-kernel N-grid inverse FFTs of
+//     the dense path with K m-grid ones.
+//
+// Equivalence contract (tested in tests/test_litho_incremental.cpp): the
+// incremental path is mathematically identical to LithoSim::evaluate but
+// floats through a different (shorter) computation, so metrics agree to
+// float rounding, not bit-for-bit:
+//   * EPE per segment within kIncrementalEpeTolNm;
+//   * PV band within kIncrementalPvbPixelSlack border pixels (a pixel whose
+//     intensity sits within ~1e-5 of threshold * dose can print on one path
+//     and not the other) plus a 1e-6 relative term.
+// With an empty dirty set and unchanged offsets the cached metrics are
+// returned unchanged (exact). The evaluator verifies the caller's dirty set
+// against its cached offsets, so a stale or incomplete hint degrades to a
+// larger re-rasterization (or a full rebuild), never to a wrong answer.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "geometry/raster.hpp"
+#include "litho/config.hpp"
+#include "litho/fft.hpp"
+#include "litho/metrics.hpp"
+#include "litho/tcc.hpp"
+
+namespace camo::litho {
+
+/// Documented equivalence tolerances between the full and incremental paths.
+inline constexpr double kIncrementalEpeTolNm = 1e-3;
+inline constexpr double kIncrementalPvbPixelSlack = 4.0;  ///< border pixels that may flip
+
+/// Applies one SOCS kernel set to a mask spectrum sampled at the kernel
+/// support only. Kernel coefficients are stored as one contiguous
+/// kernel-major array so the per-kernel multiply is a flat FMA-able complex
+/// multiply-accumulate over contiguous spans.
+class SupportApplicator {
+public:
+    SupportApplicator(const KernelSet& kernels, int grid);
+
+    /// I(x) from support-sampled spectrum values (support_vals[i] is the
+    /// mask spectrum at kernels().support[i]); returned on the full grid.
+    [[nodiscard]] geo::Raster apply(std::span<const Complex> support_vals,
+                                    double pixel_nm) const;
+
+    [[nodiscard]] int support_size() const { return static_cast<int>(mpos_.size()); }
+    [[nodiscard]] int coarse_grid() const { return m_; }
+
+private:
+    int n_ = 0;        ///< fine (mask) grid
+    int m_ = 0;        ///< coarse grid, smallest pow2 >= 4*radius + 2
+    int kernels_ = 0;  ///< kernel count
+    std::vector<float> eigenvalues_;
+    std::vector<Complex> coeffs_;             ///< kernel-major [k * S + i]
+    std::vector<int> mpos_;                   ///< wrapped coarse index per support entry
+    std::vector<std::uint8_t> mrow_nonzero_;  ///< occupied coarse rows
+    // Band-limited upsample m -> n (unused when m_ == n_):
+    std::vector<int> band_src_;               ///< coarse flat index per band frequency
+    std::vector<int> band_dst_;               ///< fine flat index per band frequency
+    std::vector<std::uint8_t> nrow_nonzero_;  ///< occupied fine rows (|ky| <= 2R)
+    float upsample_scale_ = 1.0F;             ///< m^2 / n^2
+};
+
+/// Per-clip incremental evaluation state. One instance per LithoSim; not
+/// thread-safe (the batch runtime gives each worker its own simulator).
+class IncrementalEvaluator {
+public:
+    IncrementalEvaluator(const LithoConfig& cfg, double threshold, const KernelSet& nominal,
+                         const KernelSet& defocus);
+
+    /// Full evaluation that (re)primes the cache for `layout` + `offsets`.
+    SimMetrics evaluate_full(const geo::SegmentedLayout& layout, std::span<const int> offsets);
+
+    /// Evaluation where only `dirty` segment indices changed since the last
+    /// call. Falls back to evaluate_full() when the cache does not match
+    /// this layout or the verified dirty set exceeds
+    /// cfg.incremental_fallback_fraction of the segments.
+    SimMetrics evaluate(const geo::SegmentedLayout& layout, std::span<const int> offsets,
+                        std::span<const int> dirty);
+
+    [[nodiscard]] long long incremental_count() const { return incremental_count_; }
+    [[nodiscard]] long long full_count() const { return full_count_; }
+
+private:
+    struct PixelDelta {
+        int row = 0;
+        int col = 0;
+        double d = 0.0;  ///< change of the clamped coverage value
+    };
+
+    void rebuild_cache(const geo::SegmentedLayout& layout, std::span<const int> offsets);
+    void apply_polygon_delta(const geo::Polygon& old_poly, const geo::Polygon& new_poly,
+                             std::vector<PixelDelta>& deltas);
+    void accumulate_polygon(const geo::Polygon& poly, double weight, std::vector<float>& scratch);
+    void update_spectrum(const std::vector<PixelDelta>& deltas);
+    [[nodiscard]] SimMetrics metrics_from_cache(const geo::SegmentedLayout& layout) const;
+    [[nodiscard]] geo::Polygon translated_polygon(const geo::SegmentedLayout& layout, int p,
+                                                  std::span<const int> offsets) const;
+
+    LithoConfig cfg_;
+    double threshold_ = 0.0;
+    SupportApplicator nominal_;
+    SupportApplicator defocus_;
+
+    // Union of the two kernel supports and per-condition gather maps.
+    std::vector<int> union_kx_;  ///< wrapped kx per union frequency
+    std::vector<int> union_ky_;  ///< wrapped ky per union frequency
+    std::vector<int> union_pos_;  ///< wrapped fine-grid flat index per union frequency
+    std::vector<int> map_nominal_;
+    std::vector<int> map_defocus_;
+    std::vector<std::complex<double>> twiddle_;  ///< exp(-2*pi*i*t/n), t in [0, n)
+
+    // Cache keyed on the layout's content fingerprint (targets + SRAFs +
+    // clip size), never on its address: a destroyed layout's address can be
+    // reused by a different clip with the same segment count.
+    std::uint64_t layout_key_ = 0;
+    bool cache_valid_ = false;
+    int clip_size_nm_ = 0;
+    int clip_offset_ = 0;
+    std::vector<int> offsets_;
+    std::vector<geo::Polygon> poly_cache_;  ///< translated mask polygon per target
+    std::vector<double> acc_;               ///< unclamped signed coverage accumulator
+    std::vector<float> clamped_;            ///< clamp01 of acc_, the effective mask
+    std::vector<std::complex<double>> spectrum_;  ///< mask spectrum at union support
+    SimMetrics metrics_;                          ///< metrics of the cached state
+
+    long long incremental_count_ = 0;
+    long long full_count_ = 0;
+};
+
+}  // namespace camo::litho

@@ -1,5 +1,7 @@
 #include "litho/metrics.hpp"
 
+#include <cmath>
+
 namespace camo::litho {
 
 double measure_epe(const geo::Raster& aerial, double threshold, geo::FPoint pos,
@@ -50,6 +52,27 @@ double pv_band_nm2(const geo::Raster& aerial_nominal, const geo::Raster& aerial_
         if (outer && !inner) ++band;
     }
     return static_cast<double>(band) * px * px;
+}
+
+SimMetrics compute_sim_metrics(const geo::SegmentedLayout& layout, const geo::Raster& nominal,
+                               const geo::Raster& defocus, double threshold,
+                               double clip_offset_nm, double epe_range_nm, double dose_min,
+                               double dose_max) {
+    SimMetrics m;
+    m.epe_segment.reserve(layout.segments().size());
+    for (const geo::Segment& s : layout.segments()) {
+        const geo::FPoint c = s.control();
+        const double epe =
+            measure_epe(nominal, threshold, {c.x + clip_offset_nm, c.y + clip_offset_nm},
+                        s.normal(), epe_range_nm);
+        m.epe_segment.push_back(epe);
+        if (s.measured) {
+            m.epe.push_back(epe);
+            m.sum_abs_epe += std::abs(epe);
+        }
+    }
+    m.pvband_nm2 = pv_band_nm2(nominal, defocus, threshold, dose_min, dose_max);
+    return m;
 }
 
 }  // namespace camo::litho

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "geometry/layout.hpp"
 #include "geometry/raster.hpp"
 #include "geometry/segment.hpp"
 
@@ -32,5 +33,14 @@ struct SimMetrics {
     double sum_abs_epe = 0.0;         ///< sum of |EPE| over measured points
     double pvband_nm2 = 0.0;
 };
+
+/// Assemble per-clip metrics from a pair of aerial images: EPE at every
+/// segment centre (shifted into the simulation frame by `clip_offset_nm`)
+/// plus the PV band. Shared by the full and incremental evaluation paths so
+/// both produce metrics through identical arithmetic.
+SimMetrics compute_sim_metrics(const geo::SegmentedLayout& layout, const geo::Raster& nominal,
+                               const geo::Raster& defocus, double threshold,
+                               double clip_offset_nm, double epe_range_nm, double dose_min,
+                               double dose_max);
 
 }  // namespace camo::litho

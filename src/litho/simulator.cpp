@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "litho/incremental.hpp"
 #include "litho/kernel_registry.hpp"
 
 namespace camo::litho {
@@ -20,6 +21,8 @@ LithoSim::LithoSim(const LithoSim& other)
       threshold_(other.threshold_),
       nominal_(other.nominal_),
       defocus_(other.defocus_) {}
+
+LithoSim::~LithoSim() = default;
 
 int LithoSim::clip_offset_nm(int clip_size_nm) const {
     return static_cast<int>((cfg_.clip_span_nm() - clip_size_nm) / 2.0);
@@ -64,22 +67,40 @@ SimMetrics LithoSim::evaluate(const geo::SegmentedLayout& layout,
     const geo::Raster nom = nominal_->apply(spectrum, cfg_.pixel_nm);
     const geo::Raster def = defocus_->apply(spectrum, cfg_.pixel_nm);
 
-    const double off = clip_offset_nm(layout.clip_size_nm());
+    return compute_sim_metrics(layout, nom, def, threshold_,
+                               clip_offset_nm(layout.clip_size_nm()), cfg_.epe_range_nm,
+                               cfg_.dose_min, cfg_.dose_max);
+}
 
-    SimMetrics m;
-    m.epe_segment.reserve(layout.segments().size());
-    for (const geo::Segment& s : layout.segments()) {
-        const geo::FPoint c = s.control();
-        const double epe = measure_epe(nom, threshold_, {c.x + off, c.y + off}, s.normal(),
-                                       cfg_.epe_range_nm);
-        m.epe_segment.push_back(epe);
-        if (s.measured) {
-            m.epe.push_back(epe);
-            m.sum_abs_epe += std::abs(epe);
-        }
+SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
+                                          std::span<const int> offsets) {
+    evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!incremental_) {
+        incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
+                                                              nominal_->kernels(),
+                                                              defocus_->kernels());
     }
-    m.pvband_nm2 = pv_band_nm2(nom, def, threshold_, cfg_.dose_min, cfg_.dose_max);
-    return m;
+    return incremental_->evaluate_full(layout, offsets);
+}
+
+SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
+                                          std::span<const int> offsets,
+                                          std::span<const int> dirty) {
+    evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!incremental_) {
+        incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
+                                                              nominal_->kernels(),
+                                                              defocus_->kernels());
+    }
+    return incremental_->evaluate(layout, offsets, dirty);
+}
+
+long long LithoSim::incremental_hit_count() const {
+    return incremental_ ? incremental_->incremental_count() : 0;
+}
+
+long long LithoSim::incremental_full_count() const {
+    return incremental_ ? incremental_->full_count() : 0;
 }
 
 geo::Raster LithoSim::printed(const geo::Raster& aerial, double dose) const {

@@ -8,11 +8,12 @@
 // plus the PV band — exactly the quantities the paper's reward (Eq. 3) and
 // result tables consume.
 //
-// Thread-safety contract: every method except construction is const and
-// touches only immutable shared kernel state plus an atomic call counter, so
-// one LithoSim may be used from many threads concurrently. The batch runtime
-// still gives each worker its own (cheap) copy so per-worker evaluation
-// counts stay contention-free.
+// Thread-safety contract: every const method touches only immutable shared
+// kernel state plus an atomic call counter, so one LithoSim may be used from
+// many threads concurrently. evaluate_incremental() is the exception: it
+// mutates a per-instance cache and must not be called on one instance from
+// two threads — the batch runtime gives each worker its own (cheap) copy, so
+// per-worker caches and evaluation counts stay contention-free.
 #pragma once
 
 #include <atomic>
@@ -27,6 +28,8 @@
 #include "litho/metrics.hpp"
 
 namespace camo::litho {
+
+class IncrementalEvaluator;
 
 class LithoSim {
 public:
@@ -56,6 +59,28 @@ public:
     [[nodiscard]] SimMetrics evaluate(const geo::SegmentedLayout& layout,
                                       std::span<const int> offsets) const;
 
+    /// Incremental evaluation without a dirty set: always performs a full
+    /// evaluation and (re)primes the per-instance cache for `layout`, so a
+    /// job's results never depend on what this simulator evaluated before.
+    /// Call this for the first evaluation of a clip, then the dirty-set
+    /// overload inside the optimization loop.
+    [[nodiscard]] SimMetrics evaluate_incremental(const geo::SegmentedLayout& layout,
+                                                  std::span<const int> offsets);
+
+    /// Incremental evaluation: `dirty` lists the segment indices acted on
+    /// since the previous call on the same layout. The hint is advisory —
+    /// the evaluator cross-checks it against its cached offsets and works
+    /// from what actually changed, so a stale or incomplete hint costs
+    /// accuracy nothing. Re-rasterizes only the changed polygons and updates
+    /// the cached support spectrum with a sparse delta-DFT; falls back to a
+    /// full evaluation when the cache does not match this layout or too many
+    /// segments moved (cfg.incremental_fallback_fraction). Metrics match
+    /// evaluate() within the tolerances documented in litho/incremental.hpp.
+    /// Not thread-safe on one instance.
+    [[nodiscard]] SimMetrics evaluate_incremental(const geo::SegmentedLayout& layout,
+                                                  std::span<const int> offsets,
+                                                  std::span<const int> dirty);
+
     /// Binary printed image at a dose (pixels with I * dose >= threshold).
     [[nodiscard]] geo::Raster printed(const geo::Raster& aerial, double dose = 1.0) const;
 
@@ -64,8 +89,16 @@ public:
         return evaluate_count_.load(std::memory_order_relaxed);
     }
 
+    /// evaluate_incremental() calls served by the sparse delta path vs. by a
+    /// full rebuild (cache miss, large dirty set, or the no-dirty overload).
+    [[nodiscard]] long long incremental_hit_count() const;
+    [[nodiscard]] long long incremental_full_count() const;
+
     /// Nominal-focus SOCS kernels (used by the ILT engine's adjoint).
     [[nodiscard]] const KernelSet& nominal_kernels() const { return nominal_->kernels(); }
+    [[nodiscard]] const KernelSet& defocus_kernels() const { return defocus_->kernels(); }
+
+    ~LithoSim();
 
 private:
     LithoConfig cfg_;
@@ -73,6 +106,7 @@ private:
     std::shared_ptr<const KernelApplicator> nominal_;
     std::shared_ptr<const KernelApplicator> defocus_;
     mutable std::atomic<long long> evaluate_count_{0};
+    std::unique_ptr<IncrementalEvaluator> incremental_;  ///< lazily built, never copied
 };
 
 }  // namespace camo::litho

@@ -14,19 +14,27 @@ EngineResult OneShotEngine::optimize(const geo::SegmentedLayout& layout, litho::
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
 
-    const litho::SimMetrics m0 = sim.evaluate(layout, offsets);
+    const litho::SimMetrics m0 = sim.evaluate_incremental(layout, offsets);
     res.epe_history.push_back(m0.sum_abs_epe);
     res.pvb_history.push_back(m0.pvband_nm2);
 
+    // One-shot moves nearly every segment, so the second evaluation usually
+    // exceeds the incremental fallback fraction and runs full — passing the
+    // dirty set anyway keeps the engines uniform and exercises the fallback.
+    std::vector<int> dirty;
     for (std::size_t i = 0; i < offsets.size(); ++i) {
         const int corr = static_cast<int>(std::lround(-opt_.gain * m0.epe_segment[i]));
-        offsets[i] = std::clamp(offsets[i] + std::clamp(corr, -opt_.max_correction,
-                                                        opt_.max_correction),
-                                -opt.max_total_offset_nm, opt.max_total_offset_nm);
+        const int next = std::clamp(offsets[i] + std::clamp(corr, -opt_.max_correction,
+                                                            opt_.max_correction),
+                                    -opt.max_total_offset_nm, opt.max_total_offset_nm);
+        if (next != offsets[i]) {
+            offsets[i] = next;
+            dirty.push_back(static_cast<int>(i));
+        }
     }
     res.iterations = 1;
 
-    res.final_metrics = sim.evaluate(layout, offsets);
+    res.final_metrics = sim.evaluate_incremental(layout, offsets, dirty);
     res.epe_history.push_back(res.final_metrics.sum_abs_epe);
     res.pvb_history.push_back(res.final_metrics.pvband_nm2);
     res.final_offsets = std::move(offsets);

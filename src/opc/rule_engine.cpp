@@ -35,10 +35,19 @@ std::vector<int> feedback_moves(const std::vector<double>& epe_segment, double g
     return moves;
 }
 
-void apply_moves(std::vector<int>& offsets, const std::vector<int>& moves, int bound) {
+// Applies the moves and returns the indices whose offset actually changed
+// (the dirty set for incremental lithography evaluation).
+std::vector<int> apply_moves(std::vector<int>& offsets, const std::vector<int>& moves,
+                             int bound) {
+    std::vector<int> dirty;
     for (std::size_t i = 0; i < offsets.size(); ++i) {
-        offsets[i] = std::clamp(offsets[i] + moves[i], -bound, bound);
+        const int next = std::clamp(offsets[i] + moves[i], -bound, bound);
+        if (next != offsets[i]) {
+            offsets[i] = next;
+            dirty.push_back(static_cast<int>(i));
+        }
     }
+    return dirty;
 }
 
 }  // namespace
@@ -50,7 +59,7 @@ EngineResult RuleEngine::optimize(const geo::SegmentedLayout& layout, litho::Lit
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
 
-    litho::SimMetrics m = sim.evaluate(layout, offsets);
+    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
     res.epe_history.push_back(m.sum_abs_epe);
     res.pvb_history.push_back(m.pvband_nm2);
 
@@ -60,8 +69,8 @@ EngineResult RuleEngine::optimize(const geo::SegmentedLayout& layout, litho::Lit
     for (int it = 0; it < opt.max_iterations; ++it) {
         if (opt_.early_exit && should_exit_early(m.sum_abs_epe, features, points, opt)) break;
         const auto moves = feedback_moves(m.epe_segment, opt_.gain, opt_.max_step_nm);
-        apply_moves(offsets, moves, opt.max_total_offset_nm);
-        m = sim.evaluate(layout, offsets);
+        const auto dirty = apply_moves(offsets, moves, opt.max_total_offset_nm);
+        m = sim.evaluate_incremental(layout, offsets, dirty);
         res.epe_history.push_back(m.sum_abs_epe);
         res.pvb_history.push_back(m.pvband_nm2);
         ++res.iterations;
@@ -79,7 +88,7 @@ rl::Trajectory RuleEngine::record_trajectory(const geo::SegmentedLayout& layout,
     rl::Trajectory traj;
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
-    litho::SimMetrics m = sim.evaluate(layout, offsets);
+    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
 
     for (int t = 0; t < steps; ++t) {
         // Teacher moves clamped to the learned engines' action space.
@@ -93,8 +102,8 @@ rl::Trajectory RuleEngine::record_trajectory(const geo::SegmentedLayout& layout,
         for (int mv : moves) rec.actions.push_back(rl::move_to_action(mv));
         traj.steps.push_back(std::move(rec));
 
-        apply_moves(offsets, moves, opt.max_total_offset_nm);
-        m = sim.evaluate(layout, offsets);
+        const auto dirty = apply_moves(offsets, moves, opt.max_total_offset_nm);
+        m = sim.evaluate_incremental(layout, offsets, dirty);
     }
     traj.final_sum_abs_epe = m.sum_abs_epe;
     traj.final_pvband = m.pvband_nm2;

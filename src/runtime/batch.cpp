@@ -10,12 +10,14 @@
 namespace camo::runtime {
 
 std::string BatchResult::summary() const {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "%zu clips (%d failed) on %d threads: wall %.2fs, %.2f clips/s, "
-                  "sum|EPE| %.1f -> %.1f nm, PVB %.0f nm^2, %lld litho evals",
+                  "sum|EPE| %.1f -> %.1f nm, PVB %.0f nm^2, %lld litho evals "
+                  "(%.0f%% incremental)",
                   clips.size(), failed, threads, wall_s, throughput_cps, sum_initial_epe,
-                  sum_final_epe, sum_pvband_nm2, litho_evaluations);
+                  sum_final_epe, sum_pvband_nm2, litho_evaluations,
+                  100.0 * incremental_hit_rate());
     return buf;
 }
 
@@ -36,11 +38,14 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
     batch.threads = pool_.size();
     batch.clips.resize(clips.size());
 
-    const long long evals_before = [this] {
-        long long sum = 0;
-        for (const litho::LithoSim& sim : sims_) sum += sim.evaluate_count();
-        return sum;
-    }();
+    long long evals_before = 0;
+    long long hits_before = 0;
+    long long fulls_before = 0;
+    for (const litho::LithoSim& sim : sims_) {
+        evals_before += sim.evaluate_count();
+        hits_before += sim.incremental_hit_count();
+        fulls_before += sim.incremental_full_count();
+    }
 
     std::vector<std::future<void>> jobs;
     jobs.reserve(clips.size());
@@ -98,8 +103,14 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
         batch.sum_pvband_nm2 += c.pvband_nm2;
         batch.sum_clip_runtime_s += c.runtime_s;
     }
-    for (const litho::LithoSim& sim : sims_) batch.litho_evaluations += sim.evaluate_count();
+    for (const litho::LithoSim& sim : sims_) {
+        batch.litho_evaluations += sim.evaluate_count();
+        batch.incremental_hits += sim.incremental_hit_count();
+        batch.incremental_fulls += sim.incremental_full_count();
+    }
     batch.litho_evaluations -= evals_before;
+    batch.incremental_hits -= hits_before;
+    batch.incremental_fulls -= fulls_before;
     const int ok = static_cast<int>(batch.clips.size()) - batch.failed;
     batch.throughput_cps = batch.wall_s > 0.0 ? ok / batch.wall_s : 0.0;
     return batch;

@@ -11,7 +11,10 @@
 // Determinism contract: a job's result depends only on (its layout, the
 // batch seed, its clip index) — per-job seeds come from common/rng.hpp
 // splitmix, never from shared mutable engine state — so per-clip results
-// are bit-identical at any thread count.
+// are bit-identical at any thread count. The per-simulator incremental
+// evaluation cache preserves this: every engine primes it with a full
+// rebuild on its first evaluation of a clip, so whatever a worker's
+// simulator evaluated before cannot leak into the next job's results.
 #pragma once
 
 #include <cstdint>
@@ -57,11 +60,20 @@ struct BatchResult {
     double wall_s = 0.0;            ///< end-to-end batch wall time
     double throughput_cps = 0.0;    ///< successful clips per second
     long long litho_evaluations = 0;
+    long long incremental_hits = 0;   ///< evaluations served by the sparse delta path
+    long long incremental_fulls = 0;  ///< evaluate_incremental calls that ran full
     int failed = 0;
     double sum_initial_epe = 0.0;
     double sum_final_epe = 0.0;
     double sum_pvband_nm2 = 0.0;
     double sum_clip_runtime_s = 0.0;  ///< summed per-clip time (vs wall_s = parallel time)
+
+    /// Fraction of litho evaluations served by the incremental path.
+    [[nodiscard]] double incremental_hit_rate() const {
+        const long long total = incremental_hits + incremental_fulls;
+        return total > 0 ? static_cast<double>(incremental_hits) / static_cast<double>(total)
+                         : 0.0;
+    }
 
     /// One-line human-readable digest.
     [[nodiscard]] std::string summary() const;

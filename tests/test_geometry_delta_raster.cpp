@@ -1,0 +1,188 @@
+// Delta rasterization: the contract that makes incremental lithography
+// evaluation exact. For any polygon, add_polygon_region over its coverage
+// rect reproduces Raster::add_polygon bit for bit inside the region, so
+// raster(full) == raster(cached) + raster(delta) per pixel when a subset of
+// polygons moves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/layout.hpp"
+#include "geometry/raster.hpp"
+
+namespace camo::geo {
+namespace {
+
+constexpr int kGrid = 64;
+constexpr double kPixel = 4.0;
+
+// Random rectilinear staircase polygon: a rectangle whose edges are
+// fragmented and offset per segment, exactly the shapes OPC produces.
+// Coordinates may stick out past the clip to exercise boundary clamping.
+Polygon random_staircase(Rng& rng, bool allow_outside) {
+    const int span = static_cast<int>(kGrid * kPixel);
+    const int lo = allow_outside ? -40 : 8;
+    const int hi = allow_outside ? span + 40 : span - 80;
+    const int x = rng.uniform_int(lo, hi);
+    const int y = rng.uniform_int(lo, hi);
+    const int w = rng.uniform_int(30, 90);
+    const int h = rng.uniform_int(30, 90);
+
+    SegmentedLayout layout({Polygon::from_rect({x, y, x + w, y + h})},
+                           {FragmentStyle::kMetal, 20}, {}, span);
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()));
+    for (int& o : offsets) o = rng.uniform_int(-6, 6);
+    return layout.reconstruct_mask(offsets)[0];
+}
+
+Polygon perturb(const Polygon& base, Rng& rng) {
+    // Re-fragment and move a couple of segments: the "segment acted on" case.
+    SegmentedLayout layout({base}, {FragmentStyle::kMetal, 20}, {},
+                           static_cast<int>(kGrid * kPixel));
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 0);
+    const int moves = rng.uniform_int(1, 3);
+    for (int i = 0; i < moves; ++i) {
+        offsets[static_cast<std::size_t>(rng.uniform_int(0, layout.num_segments() - 1))] =
+            rng.uniform_int(-8, 8);
+    }
+    return layout.reconstruct_mask(offsets)[0];
+}
+
+TEST(DeltaRaster, RegionMatchesAddPolygonBitForBit) {
+    Rng rng(101);
+    for (int trial = 0; trial < 40; ++trial) {
+        const bool outside = trial % 3 == 0;  // every third trial crosses the clip boundary
+        const Polygon poly = random_staircase(rng, outside);
+
+        Raster direct(kGrid, kPixel);
+        direct.add_polygon(poly);
+
+        const PixelRect region = polygon_coverage_rect(poly, kPixel, kGrid);
+        std::vector<float> buf(region.area(), 0.0F);
+        add_polygon_region(buf, region, poly, kPixel, kGrid);
+
+        Raster scattered(kGrid, kPixel);
+        std::size_t b = 0;
+        for (int r = region.r0; r < region.r1; ++r) {
+            for (int c = region.c0; c < region.c1; ++c, ++b) scattered.at(r, c) = buf[b];
+        }
+
+        for (int r = 0; r < kGrid; ++r) {
+            for (int c = 0; c < kGrid; ++c) {
+                ASSERT_EQ(direct.at(r, c), scattered.at(r, c))
+                    << "trial " << trial << " pixel (" << r << ", " << c << ")";
+            }
+        }
+    }
+}
+
+TEST(DeltaRaster, FullEqualsCachedPlusDelta) {
+    Rng rng(202);
+    for (int trial = 0; trial < 25; ++trial) {
+        const bool outside = trial % 4 == 0;
+        std::vector<Polygon> old_polys;
+        for (int i = 0; i < 4; ++i) old_polys.push_back(random_staircase(rng, outside));
+
+        std::vector<Polygon> new_polys = old_polys;
+        std::vector<int> moved;
+        for (int i = 0; i < 4; ++i) {
+            if (rng.coin(0.5)) {
+                new_polys[static_cast<std::size_t>(i)] =
+                    perturb(old_polys[static_cast<std::size_t>(i)], rng);
+                moved.push_back(i);
+            }
+        }
+
+        Raster full(kGrid, kPixel);
+        for (const Polygon& p : new_polys) full.add_polygon(p);
+
+        Raster cached(kGrid, kPixel);
+        for (const Polygon& p : old_polys) cached.add_polygon(p);
+
+        Raster delta(kGrid, kPixel);
+        for (int i : moved) {
+            const PixelRect region =
+                unite(polygon_coverage_rect(old_polys[static_cast<std::size_t>(i)], kPixel, kGrid),
+                      polygon_coverage_rect(new_polys[static_cast<std::size_t>(i)], kPixel, kGrid));
+            if (region.empty()) continue;
+            std::vector<float> old_buf(region.area(), 0.0F);
+            std::vector<float> new_buf(region.area(), 0.0F);
+            add_polygon_region(old_buf, region, old_polys[static_cast<std::size_t>(i)], kPixel,
+                               kGrid);
+            add_polygon_region(new_buf, region, new_polys[static_cast<std::size_t>(i)], kPixel,
+                               kGrid);
+            std::size_t b = 0;
+            for (int r = region.r0; r < region.r1; ++r) {
+                for (int c = region.c0; c < region.c1; ++c, ++b) {
+                    delta.at(r, c) += new_buf[b] - old_buf[b];
+                }
+            }
+        }
+
+        // cached + delta accumulates the same per-polygon contributions as
+        // full, in a different float summation order: equal to rounding.
+        for (int r = 0; r < kGrid; ++r) {
+            for (int c = 0; c < kGrid; ++c) {
+                ASSERT_NEAR(full.at(r, c), cached.at(r, c) + delta.at(r, c), 1e-5F)
+                    << "trial " << trial << " pixel (" << r << ", " << c << ")";
+            }
+        }
+    }
+}
+
+TEST(DeltaRaster, UntouchedPolygonProducesEmptyDelta) {
+    Rng rng(303);
+    const Polygon poly = random_staircase(rng, false);
+    const PixelRect region = polygon_coverage_rect(poly, kPixel, kGrid);
+    std::vector<float> a(region.area(), 0.0F);
+    std::vector<float> b(region.area(), 0.0F);
+    add_polygon_region(a, region, poly, kPixel, kGrid);
+    add_polygon_region(b, region, poly, kPixel, kGrid);
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(DeltaRaster, CoverageRectClampsToGrid) {
+    // A polygon hanging off every side of the clip.
+    const Polygon poly = Polygon::from_rect({-50, -50, static_cast<int>(kGrid * kPixel) + 50,
+                                             static_cast<int>(kGrid * kPixel) + 50});
+    const PixelRect rect = polygon_coverage_rect(poly, kPixel, kGrid);
+    EXPECT_EQ(rect.r0, 0);
+    EXPECT_EQ(rect.c0, 0);
+    EXPECT_EQ(rect.r1, kGrid);
+    EXPECT_EQ(rect.c1, kGrid);
+
+    Raster direct(kGrid, kPixel);
+    direct.add_polygon(poly);
+    std::vector<float> buf(rect.area(), 0.0F);
+    add_polygon_region(buf, rect, poly, kPixel, kGrid);
+    std::size_t i = 0;
+    for (int r = 0; r < kGrid; ++r) {
+        for (int c = 0; c < kGrid; ++c, ++i) ASSERT_EQ(direct.at(r, c), buf[i]);
+    }
+}
+
+TEST(DeltaRaster, PixelRectBasics) {
+    const PixelRect empty{};
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.area(), 0U);
+
+    const PixelRect a{0, 2, 4, 6};
+    const PixelRect b{0, 5, 8, 9};
+    const PixelRect u = unite(a, b);
+    EXPECT_EQ(u.r0, 0);
+    EXPECT_EQ(u.c0, 2);
+    EXPECT_EQ(u.r1, 8);
+    EXPECT_EQ(u.c1, 9);
+    EXPECT_EQ(unite(a, empty).area(), a.area());
+    EXPECT_EQ(unite(empty, b).area(), b.area());
+
+    const PixelRect bad{2, 0, 6, 4};
+    std::vector<float> buf(bad.area(), 0.0F);
+    EXPECT_THROW(add_polygon_region(buf, bad, Polygon::from_rect({0, 0, 10, 10}), 1.0, 64),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camo::geo

@@ -1,0 +1,373 @@
+// Equivalence harness for incremental lithography evaluation: randomized
+// clips x random action sequences must produce the same metrics through
+// evaluate_incremental() as through full evaluate(), within the tolerances
+// documented in litho/incremental.hpp. Golden JSON fixtures under
+// tests/golden/ pin the absolute metric values of a few seeded clips so
+// future perf work on either path cannot silently drift accuracy
+// (regenerate with CAMO_REGEN_GOLDENS=1 after an intentional change).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "layout/metal_gen.hpp"
+#include "layout/via_gen.hpp"
+#include "litho/incremental.hpp"
+#include "litho/simulator.hpp"
+
+#ifndef CAMO_GOLDEN_DIR
+#define CAMO_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace camo::litho {
+namespace {
+
+constexpr double kPvbTolNm2 = kIncrementalPvbPixelSlack * 4.0 * 4.0;  // 4 nm pixels
+
+class LithoIncrementalTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        LithoConfig cfg;
+        cfg.grid = 256;
+        cfg.pixel_nm = 4.0;
+        cfg.kernels_nominal = 6;
+        cfg.kernels_defocus = 5;
+        cfg.cache_dir = "";  // tests never touch the on-disk cache
+        sim_ = new LithoSim(cfg);
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        sim_ = nullptr;
+    }
+
+    static LithoSim* sim_;
+};
+
+LithoSim* LithoIncrementalTest::sim_ = nullptr;
+
+// Clips sized to fit the 256-grid simulation frame (1024 nm span): the
+// generators' 2000/1500 nm defaults would hang off the grid at this scale.
+geo::SegmentedLayout via_layout(int vias, std::uint64_t seed) {
+    Rng rng(seed);
+    layout::ViaGenOptions opt;
+    opt.clip_nm = 1000;
+    opt.margin_nm = 250;
+    opt.min_spacing_nm = 200;
+    return geo::SegmentedLayout(layout::generate_via_clip(vias, rng, opt),
+                                {geo::FragmentStyle::kVia, 60}, {}, opt.clip_nm);
+}
+
+geo::SegmentedLayout metal_layout(int points, std::uint64_t seed) {
+    Rng rng(seed);
+    layout::MetalGenOptions opt;
+    opt.clip_nm = 1000;
+    opt.margin_nm = 120;
+    return geo::SegmentedLayout(layout::generate_metal_clip(points, rng, opt),
+                                {geo::FragmentStyle::kMetal, 60}, {}, opt.clip_nm);
+}
+
+void expect_equivalent(const SimMetrics& inc, const SimMetrics& full, const char* where) {
+    ASSERT_EQ(inc.epe_segment.size(), full.epe_segment.size()) << where;
+    ASSERT_EQ(inc.epe.size(), full.epe.size()) << where;
+    for (std::size_t i = 0; i < inc.epe_segment.size(); ++i) {
+        EXPECT_NEAR(inc.epe_segment[i], full.epe_segment[i], kIncrementalEpeTolNm)
+            << where << " segment " << i;
+    }
+    EXPECT_NEAR(inc.sum_abs_epe, full.sum_abs_epe,
+                kIncrementalEpeTolNm * static_cast<double>(std::max<std::size_t>(1, inc.epe.size())))
+        << where;
+    EXPECT_NEAR(inc.pvband_nm2, full.pvband_nm2, kPvbTolNm2) << where;
+}
+
+// Random-walk property: an arbitrary action sequence evaluated incrementally
+// tracks a fresh full evaluation at every step.
+void run_equivalence_walk(LithoSim& inc_sim, const LithoSim& full_sim,
+                          const geo::SegmentedLayout& layout, std::uint64_t seed, int steps,
+                          double dirty_fraction) {
+    const int segments = layout.num_segments();
+    Rng rng(seed);
+    std::vector<int> offsets(static_cast<std::size_t>(segments), 3);
+
+    SimMetrics inc = inc_sim.evaluate_incremental(layout, offsets);
+    expect_equivalent(inc, full_sim.evaluate(layout, offsets), "initial");
+
+    for (int t = 0; t < steps; ++t) {
+        const int moves =
+            std::max(1, static_cast<int>(dirty_fraction * segments));
+        std::vector<int> dirty;
+        for (int j = 0; j < moves; ++j) {
+            const int i = rng.uniform_int(0, segments - 1);
+            offsets[static_cast<std::size_t>(i)] = std::clamp(
+                offsets[static_cast<std::size_t>(i)] + rng.uniform_int(-2, 2), -15, 15);
+            dirty.push_back(i);
+        }
+        inc = inc_sim.evaluate_incremental(layout, offsets, dirty);
+        const SimMetrics full = full_sim.evaluate(layout, offsets);
+        expect_equivalent(inc, full, ("step " + std::to_string(t)).c_str());
+    }
+}
+
+TEST_F(LithoIncrementalTest, ViaClipRandomWalkMatchesFullEvaluate) {
+    LithoSim inc_sim(*sim_);
+    run_equivalence_walk(inc_sim, *sim_, via_layout(3, 21), /*seed=*/31, /*steps=*/12,
+                         /*dirty_fraction=*/0.1);
+    EXPECT_GT(inc_sim.incremental_hit_count(), 0);
+}
+
+TEST_F(LithoIncrementalTest, MetalClipRandomWalkMatchesFullEvaluate) {
+    LithoSim inc_sim(*sim_);
+    run_equivalence_walk(inc_sim, *sim_, metal_layout(24, 22), /*seed=*/32, /*steps=*/10,
+                         /*dirty_fraction=*/0.08);
+    EXPECT_GT(inc_sim.incremental_hit_count(), 0);
+}
+
+TEST_F(LithoIncrementalTest, LargeDirtySetsStillMatchAcrossFallback) {
+    // Dirty fractions straddling the fallback threshold: results must agree
+    // with the full path on both sides of the switch.
+    LithoSim inc_sim(*sim_);
+    run_equivalence_walk(inc_sim, *sim_, metal_layout(24, 23), /*seed=*/33, /*steps=*/6,
+                         /*dirty_fraction=*/0.45);
+    EXPECT_GT(inc_sim.incremental_full_count(), 0);
+}
+
+TEST_F(LithoIncrementalTest, EmptyDirtySetReturnsCachedMetricsExactly) {
+    LithoSim inc_sim(*sim_);
+    const auto layout = via_layout(2, 24);
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 3);
+
+    const SimMetrics first = inc_sim.evaluate_incremental(layout, offsets);
+    const SimMetrics again = inc_sim.evaluate_incremental(layout, offsets, {});
+
+    ASSERT_EQ(first.epe_segment.size(), again.epe_segment.size());
+    for (std::size_t i = 0; i < first.epe_segment.size(); ++i) {
+        EXPECT_EQ(first.epe_segment[i], again.epe_segment[i]);
+    }
+    EXPECT_EQ(first.sum_abs_epe, again.sum_abs_epe);
+    EXPECT_EQ(first.pvband_nm2, again.pvband_nm2);
+
+    expect_equivalent(again, sim_->evaluate(layout, offsets), "empty dirty");
+}
+
+TEST_F(LithoIncrementalTest, FallbackThresholdBoundary) {
+    LithoConfig cfg = sim_->config();
+    cfg.incremental_fallback_fraction = 0.5;
+    LithoSim inc_sim(cfg);
+
+    const auto layout = via_layout(4, 25);  // 16 segments -> boundary at 8
+    const int segments = layout.num_segments();
+    ASSERT_EQ(segments, 16);
+    std::vector<int> offsets(static_cast<std::size_t>(segments), 3);
+    (void)inc_sim.evaluate_incremental(layout, offsets);
+    const long long fulls0 = inc_sim.incremental_full_count();
+
+    // Exactly at the boundary: incremental.
+    std::vector<int> dirty;
+    for (int i = 0; i < 8; ++i) {
+        offsets[static_cast<std::size_t>(i)] += 1;
+        dirty.push_back(i);
+    }
+    SimMetrics m = inc_sim.evaluate_incremental(layout, offsets, dirty);
+    EXPECT_EQ(inc_sim.incremental_full_count(), fulls0);
+    EXPECT_EQ(inc_sim.incremental_hit_count(), 1);
+    expect_equivalent(m, sim_->evaluate(layout, offsets), "at boundary");
+
+    // One past the boundary: full rebuild.
+    dirty.clear();
+    for (int i = 0; i < 9; ++i) {
+        offsets[static_cast<std::size_t>(i)] -= 2;
+        dirty.push_back(i);
+    }
+    m = inc_sim.evaluate_incremental(layout, offsets, dirty);
+    EXPECT_EQ(inc_sim.incremental_full_count(), fulls0 + 1);
+    expect_equivalent(m, sim_->evaluate(layout, offsets), "past boundary");
+}
+
+TEST_F(LithoIncrementalTest, StaleDirtyHintDegradesGracefully) {
+    // The evaluator cross-checks the hint against its cached offsets: a
+    // caller that under-reports (here: claims nothing moved) still gets the
+    // right answer.
+    LithoSim inc_sim(*sim_);
+    const auto layout = via_layout(3, 26);
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 3);
+    (void)inc_sim.evaluate_incremental(layout, offsets);
+
+    offsets[2] += 4;
+    offsets[5] -= 3;
+    const SimMetrics m = inc_sim.evaluate_incremental(layout, offsets, {});
+    expect_equivalent(m, sim_->evaluate(layout, offsets), "stale hint");
+}
+
+TEST_F(LithoIncrementalTest, SameShapeDifferentLayoutIsNotMistakenForCached) {
+    // Two clips with identical segment count and clip size but different via
+    // positions: the cache key is the layout's content fingerprint, so the
+    // switch must trigger a full rebuild even though every cheap count
+    // matches (a reused address must never validate a stale cache).
+    LithoSim inc_sim(*sim_);
+    const auto a = via_layout(2, 41);
+    const auto b = via_layout(2, 42);
+    ASSERT_EQ(a.num_segments(), b.num_segments());
+    ASSERT_EQ(a.clip_size_nm(), b.clip_size_nm());
+
+    std::vector<int> offsets(static_cast<std::size_t>(a.num_segments()), 3);
+    (void)inc_sim.evaluate_incremental(a, offsets);
+
+    const SimMetrics m = inc_sim.evaluate_incremental(b, offsets, {});
+    EXPECT_EQ(inc_sim.incremental_full_count(), 2);
+    expect_equivalent(m, sim_->evaluate(b, offsets), "same-shape switch");
+}
+
+TEST_F(LithoIncrementalTest, LayoutSwitchTriggersFullRebuild) {
+    LithoSim inc_sim(*sim_);
+    const auto a = via_layout(2, 27);
+    const auto b = via_layout(3, 28);
+    std::vector<int> oa(static_cast<std::size_t>(a.num_segments()), 3);
+    std::vector<int> ob(static_cast<std::size_t>(b.num_segments()), 3);
+
+    (void)inc_sim.evaluate_incremental(a, oa);
+    const std::vector<int> all_dirty_b = [&] {
+        std::vector<int> v(static_cast<std::size_t>(b.num_segments()));
+        for (int i = 0; i < b.num_segments(); ++i) v[static_cast<std::size_t>(i)] = i;
+        return v;
+    }();
+    const SimMetrics m = inc_sim.evaluate_incremental(b, ob, all_dirty_b);
+    EXPECT_EQ(inc_sim.incremental_full_count(), 2);
+    expect_equivalent(m, sim_->evaluate(b, ob), "layout switch");
+}
+
+// ---- Golden-metrics regression fixtures ------------------------------------
+
+struct GoldenCase {
+    std::string name;
+    geo::SegmentedLayout layout;
+    std::vector<int> offsets;
+};
+
+std::vector<GoldenCase> golden_cases() {
+    std::vector<GoldenCase> cases;
+    {
+        GoldenCase c{"via3", via_layout(3, 11), {}};
+        c.offsets.resize(static_cast<std::size_t>(c.layout.num_segments()));
+        for (std::size_t i = 0; i < c.offsets.size(); ++i) {
+            c.offsets[i] = static_cast<int>((i * 7) % 11) - 5;
+        }
+        cases.push_back(std::move(c));
+    }
+    {
+        GoldenCase c{"metal24", metal_layout(24, 12), {}};
+        c.offsets.resize(static_cast<std::size_t>(c.layout.num_segments()));
+        for (std::size_t i = 0; i < c.offsets.size(); ++i) {
+            c.offsets[i] = static_cast<int>((i * 5) % 9) - 4;
+        }
+        cases.push_back(std::move(c));
+    }
+    return cases;
+}
+
+std::string golden_path(const std::string& name) {
+    return std::string(CAMO_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void write_golden(const GoldenCase& c, const SimMetrics& m) {
+    std::ofstream out(golden_path(c.name));
+    ASSERT_TRUE(out) << "cannot write " << golden_path(c.name);
+    out << "{\n  \"name\": \"" << c.name << "\",\n";
+    out << "  \"pvband_nm2\": " << std::fixed << std::setprecision(3) << m.pvband_nm2 << ",\n";
+    out << "  \"epe_segment\": [";
+    for (std::size_t i = 0; i < m.epe_segment.size(); ++i) {
+        out << (i ? ", " : "") << std::setprecision(6) << m.epe_segment[i];
+    }
+    out << "]\n}\n";
+}
+
+bool read_golden(const std::string& name, double& pvband, std::vector<double>& epe) {
+    std::ifstream in(golden_path(name));
+    if (!in) return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    const auto pv_pos = text.find("\"pvband_nm2\":");
+    const auto epe_pos = text.find("\"epe_segment\":");
+    if (pv_pos == std::string::npos || epe_pos == std::string::npos) return false;
+    pvband = std::strtod(text.c_str() + pv_pos + 13, nullptr);
+
+    epe.clear();
+    const auto open = text.find('[', epe_pos);
+    const auto close = text.find(']', open);
+    if (open == std::string::npos || close == std::string::npos) return false;
+    const char* p = text.c_str() + open + 1;
+    const char* end = text.c_str() + close;
+    while (p < end) {
+        char* next = nullptr;
+        const double v = std::strtod(p, &next);
+        if (next == p) break;
+        epe.push_back(v);
+        p = next;
+        while (p < end && (*p == ',' || *p == ' ' || *p == '\n')) ++p;
+    }
+    return true;
+}
+
+// Cross-compiler float differences (FMA contraction, vectorization) make the
+// goldens looser than the path-vs-path tolerances.
+constexpr double kGoldenEpeTolNm = 2e-3;
+constexpr double kGoldenPvbTolNm2 = 64.0;
+
+TEST_F(LithoIncrementalTest, GoldenMetricsBothPaths) {
+    for (const GoldenCase& c : golden_cases()) {
+        const SimMetrics full = sim_->evaluate(c.layout, c.offsets);
+
+        if (std::getenv("CAMO_REGEN_GOLDENS") != nullptr) {
+            write_golden(c, full);
+            continue;
+        }
+
+        double golden_pvb = 0.0;
+        std::vector<double> golden_epe;
+        ASSERT_TRUE(read_golden(c.name, golden_pvb, golden_epe))
+            << "missing golden fixture " << golden_path(c.name)
+            << " (run with CAMO_REGEN_GOLDENS=1 to create)";
+
+        ASSERT_EQ(golden_epe.size(), full.epe_segment.size()) << c.name;
+        for (std::size_t i = 0; i < golden_epe.size(); ++i) {
+            EXPECT_NEAR(full.epe_segment[i], golden_epe[i], kGoldenEpeTolNm)
+                << c.name << " full path segment " << i;
+        }
+        EXPECT_NEAR(full.pvband_nm2, golden_pvb, kGoldenPvbTolNm2) << c.name << " full path";
+
+        // The incremental path must reproduce the same goldens after
+        // arriving at the golden offsets through a sequence of small dirty
+        // sets (the state it would be in mid-OPC).
+        LithoSim inc_sim(*sim_);
+        std::vector<int> offsets(static_cast<std::size_t>(c.layout.num_segments()), 0);
+        (void)inc_sim.evaluate_incremental(c.layout, offsets);
+        const int chunk = std::max(1, c.layout.num_segments() / 12);
+        SimMetrics inc;
+        int cursor = 0;
+        while (cursor < c.layout.num_segments()) {
+            std::vector<int> dirty;
+            for (int j = 0; j < chunk && cursor < c.layout.num_segments(); ++j, ++cursor) {
+                offsets[static_cast<std::size_t>(cursor)] = c.offsets[static_cast<std::size_t>(cursor)];
+                dirty.push_back(cursor);
+            }
+            inc = inc_sim.evaluate_incremental(c.layout, offsets, dirty);
+        }
+        ASSERT_GT(inc_sim.incremental_hit_count(), 0) << c.name;
+
+        ASSERT_EQ(inc.epe_segment.size(), golden_epe.size()) << c.name;
+        for (std::size_t i = 0; i < golden_epe.size(); ++i) {
+            EXPECT_NEAR(inc.epe_segment[i], golden_epe[i], kGoldenEpeTolNm)
+                << c.name << " incremental path segment " << i;
+        }
+        EXPECT_NEAR(inc.pvband_nm2, golden_pvb, kGoldenPvbTolNm2) << c.name << " incremental path";
+    }
+}
+
+}  // namespace
+}  // namespace camo::litho

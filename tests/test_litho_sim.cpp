@@ -106,10 +106,14 @@ TEST_F(LithoSimTest, DoseMonotonicity) {
     const geo::Raster mask = sim_->rasterize(polys, {}, layout.clip_size_nm());
     const geo::Raster aerial = sim_->aerial_nominal(mask);
 
+    // Bind the printed rasters: data() is a span into the Raster, and a
+    // range-for over a temporary's span is a use-after-free in C++20.
+    const geo::Raster low = sim_->printed(aerial, 0.95);
+    const geo::Raster high = sim_->printed(aerial, 1.05);
     double printed_low = 0.0;
     double printed_high = 0.0;
-    for (float v : sim_->printed(aerial, 0.95).data()) printed_low += v;
-    for (float v : sim_->printed(aerial, 1.05).data()) printed_high += v;
+    for (float v : low.data()) printed_low += v;
+    for (float v : high.data()) printed_high += v;
     EXPECT_GE(printed_high, printed_low);
     EXPECT_GT(printed_high, 0.0);
 }
