@@ -13,6 +13,7 @@
 #include "core/squish.hpp"
 #include "layout/metal_gen.hpp"
 #include "litho/aerial.hpp"
+#include "litho/process_window.hpp"
 #include "litho/simulator.hpp"
 #include "opc/sraf.hpp"
 
@@ -145,6 +146,67 @@ void BM_IncrementalEvaluate(benchmark::State& state) {
                                               sim.incremental_full_count())));
 }
 BENCHMARK(BM_IncrementalEvaluate)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+
+// ---- Process-window sweep vs N independent evaluations ---------------------
+// The standard window (3 doses x 2 focuses = 6 corners) on the metal clip.
+// The baseline images every corner with its own evaluate() call — its own
+// rasterization and forward FFT each time; the sweep rasterizes once and
+// shares one spectrum (and, on the incremental variant, the cached raster +
+// spectrum from the previous iteration) across all corners. The speedup is
+// the ratio of BM_WindowIndependentEvaluates to the sweep rows.
+
+void BM_WindowIndependentEvaluates(benchmark::State& state) {
+    litho::LithoSim& sim = shared_sim();
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    const litho::WindowSpec spec = litho::WindowSpec::standard(sim.config());
+    std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 2);
+    for (auto _ : state) {
+        double worst = 0.0;
+        for (int c = 0; c < spec.corner_count(); ++c) {
+            const litho::SimMetrics m = sim.evaluate(layout, offsets);
+            worst = std::max(worst, m.sum_abs_epe);
+        }
+        benchmark::DoNotOptimize(worst);
+    }
+}
+BENCHMARK(BM_WindowIndependentEvaluates);
+
+void BM_WindowSweep(benchmark::State& state) {
+    litho::LithoSim& sim = shared_sim();
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    const litho::ProcessWindowSweep sweep(sim.config(),
+                                          litho::WindowSpec::standard(sim.config()));
+    const std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()), 2);
+    for (auto _ : state) {
+        const litho::WindowMetrics w = sweep.evaluate(layout, offsets);
+        benchmark::DoNotOptimize(w.worst_epe);
+    }
+}
+BENCHMARK(BM_WindowSweep);
+
+void BM_WindowSweepIncremental(benchmark::State& state) {
+    litho::LithoSim sim(shared_sim());  // private incremental cache
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    const litho::WindowSpec spec = litho::WindowSpec::standard(sim.config());
+    const int segments = layout.num_segments();
+    std::vector<int> offsets(static_cast<std::size_t>(segments), 2);
+    benchmark::DoNotOptimize(sim.evaluate_incremental(layout, offsets).sum_abs_epe);
+
+    // One segment moves per sweep: the OPC-loop scenario where each window
+    // evaluation reuses the cached raster + spectrum via one sparse delta.
+    int cursor = 0;
+    int sign = 1;
+    for (auto _ : state) {
+        offsets[static_cast<std::size_t>(cursor++ % segments)] += sign;
+        if (cursor >= segments) {
+            cursor = 0;
+            sign = -sign;  // walk offsets back so they stay bounded
+        }
+        const litho::WindowMetrics w = sim.evaluate_window_incremental(layout, offsets, spec);
+        benchmark::DoNotOptimize(w.worst_epe);
+    }
+}
+BENCHMARK(BM_WindowSweepIncremental);
 
 void BM_SquishEncode(benchmark::State& state) {
     const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({465, 465, 535, 535})};

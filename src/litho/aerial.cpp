@@ -4,6 +4,26 @@
 
 namespace camo::litho {
 
+geo::Raster rasterize_clip(const LithoConfig& cfg, std::span<const geo::Polygon> mask,
+                           std::span<const geo::Polygon> srafs, int clip_size_nm) {
+    const int off = cfg.clip_frame_offset_nm(clip_size_nm);
+    geo::Raster raster(cfg.grid, cfg.pixel_nm);
+
+    auto add_translated = [&raster, off](const geo::Polygon& p) {
+        std::vector<geo::Point> verts = p.vertices();
+        for (geo::Point& v : verts) {
+            v.x += off;
+            v.y += off;
+        }
+        raster.add_polygon(geo::Polygon(std::move(verts)));
+    };
+
+    for (const geo::Polygon& p : mask) add_translated(p);
+    for (const geo::Polygon& p : srafs) add_translated(p);
+    raster.clamp01();
+    return raster;
+}
+
 std::vector<Complex> mask_spectrum(const geo::Raster& mask) {
     const int n = mask.n();
     std::vector<Complex> buf(static_cast<std::size_t>(n) * n);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geometry/raster.hpp"
+#include "litho/config.hpp"
 #include "litho/fft.hpp"
 #include "litho/tcc.hpp"
 
@@ -12,6 +13,13 @@ namespace camo::litho {
 
 /// Forward-FFT a coverage raster into a mask spectrum (row-major n*n).
 std::vector<Complex> mask_spectrum(const geo::Raster& mask);
+
+/// Rasterize mask + SRAF polygons (clip coordinates) onto cfg's simulation
+/// grid, centring a clip of `clip_size_nm`. The one rasterization routine
+/// behind LithoSim::evaluate and the process-window sweep — sharing it keeps
+/// their rasters bit-identical.
+geo::Raster rasterize_clip(const LithoConfig& cfg, std::span<const geo::Polygon> mask,
+                           std::span<const geo::Polygon> srafs, int clip_size_nm);
 
 /// Applies one kernel set to mask spectra. The applicator precomputes the
 /// wrapped lattice addresses of the kernel support and the set of occupied

@@ -6,6 +6,11 @@
 
 namespace camo::litho {
 
+/// Two focus values denote the same physical plane when they differ by less
+/// than this (used to resolve window-spec planes onto the standard kernel
+/// sets; far tighter than the registry's 1e-3 nm focus-key quantization).
+inline constexpr double kFocusMatchTolNm = 1e-6;
+
 /// Immersion ArF scanner model with annular illumination and a constant
 /// threshold resist. Process window corners are (dose_max, best focus) for
 /// the outermost printed contour and (dose_min, defocus_nm) for the
@@ -56,6 +61,14 @@ struct LithoConfig {
     std::string cache_dir = "data";
 
     [[nodiscard]] double clip_span_nm() const { return grid * pixel_nm; }
+
+    /// Offset that centres a clip of `clip_size_nm` in the simulation frame.
+    /// The one copy of this arithmetic: LithoSim, the incremental evaluator
+    /// and the process-window sweep all offset through it, which the
+    /// bit-identical nominal-corner guarantee depends on.
+    [[nodiscard]] int clip_frame_offset_nm(int clip_size_nm) const {
+        return static_cast<int>((clip_span_nm() - clip_size_nm) / 2.0);
+    }
 
     /// Stable hash of every physics- and grid-affecting field, used to key
     /// the kernel cache.

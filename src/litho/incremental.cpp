@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "litho/aerial.hpp"
+#include "litho/kernel_registry.hpp"
 
 namespace camo::litho {
 namespace {
@@ -156,13 +157,13 @@ IncrementalEvaluator::IncrementalEvaluator(const LithoConfig& cfg, double thresh
 
     // Union of both supports with per-condition gather maps. The two
     // conditions share the pupil support disk, so the union is typically
-    // identical to either, but nothing below assumes it.
-    std::map<std::pair<int, int>, int> index;
+    // identical to either, but nothing below assumes it. Extra focus planes
+    // of a window sweep extend the union lazily through union_index().
     auto add_support = [&](const KernelSet& ks, std::vector<int>& map) {
         map.reserve(ks.support.size());
         for (const FreqIndex& f : ks.support) {
-            const auto [it, inserted] = index.try_emplace({f.kx, f.ky},
-                                                          static_cast<int>(union_kx_.size()));
+            const auto [it, inserted] = union_lookup_.try_emplace(
+                {f.kx, f.ky}, static_cast<int>(union_kx_.size()));
             if (inserted) {
                 union_kx_.push_back(wrap(f.kx, n));
                 union_ky_.push_back(wrap(f.ky, n));
@@ -222,7 +223,7 @@ void IncrementalEvaluator::rebuild_cache(const geo::SegmentedLayout& layout,
     layout_key_ = layout_fingerprint(layout);
     cache_valid_ = true;
     clip_size_nm_ = layout.clip_size_nm();
-    clip_offset_ = static_cast<int>((cfg_.clip_span_nm() - clip_size_nm_) / 2.0);
+    clip_offset_ = cfg_.clip_frame_offset_nm(clip_size_nm_);
     offsets_.assign(offsets.begin(), offsets.end());
 
     acc_.assign(nn, 0.0);
@@ -305,22 +306,76 @@ void IncrementalEvaluator::update_spectrum(const std::vector<PixelDelta>& deltas
     }
 }
 
-SimMetrics IncrementalEvaluator::metrics_from_cache(const geo::SegmentedLayout& layout) const {
-    std::vector<Complex> nominal_vals(map_nominal_.size());
-    for (std::size_t i = 0; i < map_nominal_.size(); ++i) {
-        const std::complex<double>& v = spectrum_[static_cast<std::size_t>(map_nominal_[i])];
-        nominal_vals[i] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+geo::Raster IncrementalEvaluator::aerial_from_cache(const SupportApplicator& applicator,
+                                                    const std::vector<int>& map) const {
+    std::vector<Complex> vals(map.size());
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        const std::complex<double>& v = spectrum_[static_cast<std::size_t>(map[i])];
+        vals[i] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
     }
-    std::vector<Complex> defocus_vals(map_defocus_.size());
-    for (std::size_t i = 0; i < map_defocus_.size(); ++i) {
-        const std::complex<double>& v = spectrum_[static_cast<std::size_t>(map_defocus_[i])];
-        defocus_vals[i] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
-    }
+    return applicator.apply(vals, cfg_.pixel_nm);
+}
 
-    const geo::Raster nom = nominal_.apply(nominal_vals, cfg_.pixel_nm);
-    const geo::Raster def = defocus_.apply(defocus_vals, cfg_.pixel_nm);
+SimMetrics IncrementalEvaluator::metrics_from_cache(const geo::SegmentedLayout& layout) const {
+    const geo::Raster nom = aerial_from_cache(nominal_, map_nominal_);
+    const geo::Raster def = aerial_from_cache(defocus_, map_defocus_);
     return compute_sim_metrics(layout, nom, def, threshold_, clip_offset_, cfg_.epe_range_nm,
                                cfg_.dose_min, cfg_.dose_max);
+}
+
+int IncrementalEvaluator::union_index(int kx, int ky) {
+    const auto [it, inserted] =
+        union_lookup_.try_emplace({kx, ky}, static_cast<int>(union_kx_.size()));
+    if (!inserted) return it->second;
+
+    // A focus plane introduced a frequency the standard supports lack
+    // (cannot happen with the cfg-only pupil support, but stays correct if
+    // the optics model ever grows focus-dependent supports): extend the
+    // union and, when a mask is cached, fill the new spectrum entry by a
+    // direct DFT over the clamped coverage. Later sparse updates then keep
+    // it current like every other entry.
+    const int n = cfg_.grid;
+    union_kx_.push_back(wrap(kx, n));
+    union_ky_.push_back(wrap(ky, n));
+    union_pos_.push_back(wrap(ky, n) * n + wrap(kx, n));
+
+    std::complex<double> val{0.0, 0.0};
+    if (cache_valid_) {
+        const int wkx = union_kx_.back();
+        const int wky = union_ky_.back();
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                const float m = clamped_[static_cast<std::size_t>(r) * n + c];
+                if (m == 0.0F) continue;
+                const int t = (wkx * c + wky * r) % n;
+                val += static_cast<double>(m) * twiddle_[static_cast<std::size_t>(t)];
+            }
+        }
+    }
+    spectrum_.push_back(val);
+    return it->second;
+}
+
+std::pair<const SupportApplicator*, const std::vector<int>*> IncrementalEvaluator::plane_for(
+    double defocus_nm) {
+    if (std::abs(defocus_nm) < kFocusMatchTolNm) return {&nominal_, &map_nominal_};
+    if (std::abs(defocus_nm - cfg_.defocus_nm) < kFocusMatchTolNm) {
+        return {&defocus_, &map_defocus_};
+    }
+    for (const auto& plane : extra_planes_) {
+        if (std::abs(plane->defocus_nm - defocus_nm) < kFocusMatchTolNm) {
+            return {&plane->applicator, &plane->map};
+        }
+    }
+
+    const auto applicator = acquire_focus_applicator(cfg_, defocus_nm);
+    const KernelSet& ks = applicator->kernels();
+    std::vector<int> map;
+    map.reserve(ks.support.size());
+    for (const FreqIndex& f : ks.support) map.push_back(union_index(f.kx, f.ky));
+    extra_planes_.push_back(std::make_unique<FocusPlane>(
+        defocus_nm, SupportApplicator(ks, cfg_.grid), std::move(map)));
+    return {&extra_planes_.back()->applicator, &extra_planes_.back()->map};
 }
 
 SimMetrics IncrementalEvaluator::evaluate_full(const geo::SegmentedLayout& layout,
@@ -334,33 +389,28 @@ SimMetrics IncrementalEvaluator::evaluate_full(const geo::SegmentedLayout& layou
     return metrics_;
 }
 
-SimMetrics IncrementalEvaluator::evaluate(const geo::SegmentedLayout& layout,
-                                          std::span<const int> offsets,
-                                          std::span<const int> dirty) {
+IncrementalEvaluator::CacheUpdate IncrementalEvaluator::refresh_cache(
+    const geo::SegmentedLayout& layout, std::span<const int> offsets) {
     const int segments = layout.num_segments();
-    if (static_cast<int>(offsets.size()) != segments) {
-        throw std::invalid_argument("evaluate: offsets size mismatch");
-    }
-
     const bool cache_ok = cache_valid_ && static_cast<int>(offsets_.size()) == segments &&
                           layout_key_ == layout_fingerprint(layout);
-    if (!cache_ok) return evaluate_full(layout, offsets);
+    if (!cache_ok) {
+        rebuild_cache(layout, offsets);
+        return CacheUpdate::kRebuilt;
+    }
 
-    // Verify the dirty hint against the cached offsets: the true dirty set
-    // is what actually changed, whatever the caller believes.
+    // Verify against the cached offsets: the true dirty set is what actually
+    // changed, whatever the caller believes.
     std::vector<int> changed;
-    changed.reserve(dirty.size());
     for (int i = 0; i < segments; ++i) {
         if (offsets[i] != offsets_[static_cast<std::size_t>(i)]) changed.push_back(i);
     }
-    if (changed.empty()) {  // nothing moved: cached metrics are exact
-        ++incremental_count_;
-        return metrics_;
-    }
+    if (changed.empty()) return CacheUpdate::kUnchanged;
 
     if (static_cast<double>(changed.size()) >
         cfg_.incremental_fallback_fraction * static_cast<double>(segments)) {
-        return evaluate_full(layout, offsets);
+        rebuild_cache(layout, offsets);
+        return CacheUpdate::kRebuilt;
     }
 
     // Dirty polygons: a segment's move affects exactly its owning polygon.
@@ -378,10 +428,89 @@ SimMetrics IncrementalEvaluator::evaluate(const geo::SegmentedLayout& layout,
     }
     offsets_.assign(offsets.begin(), offsets.end());
     update_spectrum(deltas);
+    return CacheUpdate::kSparse;
+}
 
-    metrics_ = metrics_from_cache(layout);
-    ++incremental_count_;
-    return metrics_;
+SimMetrics IncrementalEvaluator::evaluate(const geo::SegmentedLayout& layout,
+                                          std::span<const int> offsets,
+                                          std::span<const int> /*dirty*/) {
+    const int segments = layout.num_segments();
+    if (static_cast<int>(offsets.size()) != segments) {
+        throw std::invalid_argument("evaluate: offsets size mismatch");
+    }
+
+    switch (refresh_cache(layout, offsets)) {
+        case CacheUpdate::kUnchanged:  // nothing moved: cached metrics are exact
+            ++incremental_count_;
+            return metrics_;
+        case CacheUpdate::kSparse:
+            metrics_ = metrics_from_cache(layout);
+            ++incremental_count_;
+            return metrics_;
+        case CacheUpdate::kRebuilt:
+            metrics_ = metrics_from_cache(layout);
+            ++full_count_;
+            return metrics_;
+    }
+    throw std::logic_error("unreachable");
+}
+
+WindowMetrics IncrementalEvaluator::evaluate_window(const geo::SegmentedLayout& layout,
+                                                    std::span<const int> offsets,
+                                                    const WindowSpec& spec) {
+    spec.validate();
+    if (static_cast<int>(offsets.size()) != layout.num_segments()) {
+        throw std::invalid_argument("evaluate_window: offsets size mismatch");
+    }
+
+    const CacheUpdate update = refresh_cache(layout, offsets);
+
+    // One aerial per focus plane from the cached support spectrum. Resolve
+    // every plane first: an extra plane may extend the union spectrum, and
+    // the pointers stay valid because extra_planes_ elements are
+    // individually heap-allocated.
+    std::vector<std::pair<const SupportApplicator*, const std::vector<int>*>> planes;
+    planes.reserve(spec.defocus_nm.size());
+    for (double f : spec.defocus_nm) planes.push_back(plane_for(f));
+
+    std::vector<geo::Raster> aerials;
+    aerials.reserve(planes.size());
+    for (const auto& [applicator, map] : planes) {
+        aerials.push_back(aerial_from_cache(*applicator, *map));
+    }
+
+    const WindowMetrics wm = window_metrics_from_aerials(layout, spec, aerials, threshold_,
+                                                         clip_offset_, cfg_);
+
+    // Keep the cached standard metrics consistent with the (possibly
+    // updated) cache so a later evaluate() with unchanged offsets can still
+    // return them outright. On the standard window the aggregation above
+    // already produced them with identical arguments — the dose-1.0 corner's
+    // EPE profile (threshold / 1.0 on the best-focus aerial) and the
+    // two-corner band over dose extremes equal to cfg's — so reuse those
+    // outright; otherwise recompute from the window's aerials (plane_for
+    // resolves the standard planes to the same applicators
+    // metrics_from_cache uses, so the arithmetic is identical either way).
+    if (update != CacheUpdate::kUnchanged) {
+        const int f_best = spec.find_focus(0.0);
+        const int f_def = spec.find_focus(cfg_.defocus_nm);
+        const CornerResult* nominal = wm.nominal_corner();
+        const auto [lo_it, hi_it] = std::minmax_element(spec.doses.begin(), spec.doses.end());
+        if (nominal != nullptr && wm.pv_band_two_corner_nm2 >= 0.0 &&
+            *lo_it == cfg_.dose_min && *hi_it == cfg_.dose_max) {
+            metrics_ = nominal->metrics;
+            metrics_.pvband_nm2 = wm.pv_band_two_corner_nm2;
+        } else if (f_best >= 0 && f_def >= 0) {
+            metrics_ = compute_sim_metrics(layout, aerials[static_cast<std::size_t>(f_best)],
+                                           aerials[static_cast<std::size_t>(f_def)], threshold_,
+                                           clip_offset_, cfg_.epe_range_nm, cfg_.dose_min,
+                                           cfg_.dose_max);
+        } else {
+            metrics_ = metrics_from_cache(layout);
+        }
+    }
+    update == CacheUpdate::kRebuilt ? ++full_count_ : ++incremental_count_;
+    return wm;
 }
 
 }  // namespace camo::litho

@@ -1,8 +1,11 @@
 #include "litho/kernel_registry.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <future>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 #include "common/logging.hpp"
 #include "geometry/polygon.hpp"
@@ -19,6 +22,14 @@ using RegistryKey = std::pair<std::uint64_t, std::string>;
 
 std::mutex g_registry_mu;
 std::map<RegistryKey, std::shared_future<SharedKernels>> g_registry;
+
+// Extra focus planes (process-window sweeps beyond the two standard
+// conditions), keyed on (physics hash, defocus quantized to 1e-3 nm). These
+// never touch the disk cache, so cache_dir is not part of the key.
+using FocusKey = std::pair<std::uint64_t, long long>;
+
+std::mutex g_focus_registry_mu;
+std::map<FocusKey, std::shared_future<std::shared_ptr<const KernelApplicator>>> g_focus_registry;
 
 // Threshold = aerial intensity at the edge midpoint of a large isolated
 // square, so large features print at size and small ones under-print.
@@ -92,9 +103,67 @@ SharedKernels acquire_kernels(const LithoConfig& cfg) {
     return future.get();
 }
 
+int interpolated_kernel_count(const LithoConfig& cfg, double defocus_nm) {
+    const double t = cfg.defocus_nm > 0.0
+                         ? std::clamp(std::abs(defocus_nm) / cfg.defocus_nm, 0.0, 1.0)
+                         : 1.0;
+    const double count = cfg.kernels_nominal + t * (cfg.kernels_defocus - cfg.kernels_nominal);
+    return std::max(1, static_cast<int>(std::lround(count)));
+}
+
+std::shared_ptr<const KernelApplicator> acquire_focus_applicator(const LithoConfig& cfg,
+                                                                 double defocus_nm) {
+    if (!std::isfinite(defocus_nm)) {
+        throw std::invalid_argument("acquire_focus_applicator: defocus must be finite");
+    }
+    // Standard planes: reuse the acquire_kernels sets (already built or
+    // loaded from disk); nothing new is computed.
+    if (std::abs(defocus_nm) < kFocusMatchTolNm) return acquire_kernels(cfg).nominal;
+    if (std::abs(defocus_nm - cfg.defocus_nm) < kFocusMatchTolNm) {
+        return acquire_kernels(cfg).defocus;
+    }
+
+    const FocusKey key{cfg.physics_hash(), std::llround(defocus_nm * 1e3)};
+
+    std::promise<std::shared_ptr<const KernelApplicator>> promise;
+    std::shared_future<std::shared_ptr<const KernelApplicator>> future;
+    bool is_builder = false;
+    {
+        std::lock_guard<std::mutex> lock(g_focus_registry_mu);
+        auto it = g_focus_registry.find(key);
+        if (it != g_focus_registry.end()) {
+            future = it->second;
+        } else {
+            is_builder = true;
+            future = promise.get_future().share();
+            g_focus_registry.emplace(key, future);
+        }
+    }
+
+    if (is_builder) {
+        try {
+            log_info("building SOCS kernels for focus plane " + std::to_string(defocus_nm) +
+                     " nm (one-time, shared in-process)");
+            KernelSet ks =
+                compute_socs_kernels(cfg, defocus_nm, interpolated_kernel_count(cfg, defocus_nm));
+            promise.set_value(
+                std::make_shared<const KernelApplicator>(std::move(ks), cfg.grid));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(g_focus_registry_mu);
+            g_focus_registry.erase(key);  // waiters still observe the exception
+        }
+    }
+    return future.get();
+}
+
 void clear_kernel_registry() {
-    std::lock_guard<std::mutex> lock(g_registry_mu);
-    g_registry.clear();
+    {
+        std::lock_guard<std::mutex> lock(g_registry_mu);
+        g_registry.clear();
+    }
+    std::lock_guard<std::mutex> lock(g_focus_registry_mu);
+    g_focus_registry.clear();
 }
 
 }  // namespace camo::litho

@@ -31,6 +31,22 @@ struct SharedKernels {
 /// and the entry is dropped so a later call can retry.
 SharedKernels acquire_kernels(const LithoConfig& cfg);
 
+/// Acquire the shared kernel applicator for one focus plane of `cfg`. The
+/// two standard planes (0 and cfg.defocus_nm, within 1e-6 nm) resolve to the
+/// acquire_kernels() sets without building anything; every other defocus
+/// builds a SOCS kernel set once per process, with the kernel count
+/// interpolated between kernels_nominal and kernels_defocus by
+/// |defocus| / cfg.defocus_nm (clamped; defocused TCCs concentrate energy in
+/// fewer kernels, so intermediate planes need an intermediate count).
+/// Extra planes are registry-resident only — they are not written to the
+/// disk cache. Thread-safe with the same build-once semantics as
+/// acquire_kernels.
+std::shared_ptr<const KernelApplicator> acquire_focus_applicator(const LithoConfig& cfg,
+                                                                 double defocus_nm);
+
+/// Kernel count used by acquire_focus_applicator for an extra focus plane.
+int interpolated_kernel_count(const LithoConfig& cfg, double defocus_nm);
+
 /// Drop every in-memory entry (test hook). Outstanding SharedKernels remain
 /// valid: entries are reference-counted, not owned by the registry alone.
 void clear_kernel_registry();

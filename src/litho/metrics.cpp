@@ -47,23 +47,21 @@ double pv_band_nm2(const geo::Raster& aerial_nominal, const geo::Raster& aerial_
 
     long long band = 0;
     for (std::size_t i = 0; i < nom.size(); ++i) {
-        const bool outer = nom[i] * dose_max >= threshold;
-        const bool inner = def[i] * dose_min >= threshold;
+        const bool outer = pixel_prints(nom[i], dose_max, threshold);
+        const bool inner = pixel_prints(def[i], dose_min, threshold);
         if (outer && !inner) ++band;
     }
     return static_cast<double>(band) * px * px;
 }
 
-SimMetrics compute_sim_metrics(const geo::SegmentedLayout& layout, const geo::Raster& nominal,
-                               const geo::Raster& defocus, double threshold,
-                               double clip_offset_nm, double epe_range_nm, double dose_min,
-                               double dose_max) {
+SimMetrics compute_epe_profile(const geo::SegmentedLayout& layout, const geo::Raster& aerial,
+                               double threshold, double clip_offset_nm, double epe_range_nm) {
     SimMetrics m;
     m.epe_segment.reserve(layout.segments().size());
     for (const geo::Segment& s : layout.segments()) {
         const geo::FPoint c = s.control();
         const double epe =
-            measure_epe(nominal, threshold, {c.x + clip_offset_nm, c.y + clip_offset_nm},
+            measure_epe(aerial, threshold, {c.x + clip_offset_nm, c.y + clip_offset_nm},
                         s.normal(), epe_range_nm);
         m.epe_segment.push_back(epe);
         if (s.measured) {
@@ -71,6 +69,14 @@ SimMetrics compute_sim_metrics(const geo::SegmentedLayout& layout, const geo::Ra
             m.sum_abs_epe += std::abs(epe);
         }
     }
+    return m;
+}
+
+SimMetrics compute_sim_metrics(const geo::SegmentedLayout& layout, const geo::Raster& nominal,
+                               const geo::Raster& defocus, double threshold,
+                               double clip_offset_nm, double epe_range_nm, double dose_min,
+                               double dose_max) {
+    SimMetrics m = compute_epe_profile(layout, nominal, threshold, clip_offset_nm, epe_range_nm);
     m.pvband_nm2 = pv_band_nm2(nominal, defocus, threshold, dose_min, dose_max);
     return m;
 }

@@ -25,28 +25,13 @@ LithoSim::LithoSim(const LithoSim& other)
 LithoSim::~LithoSim() = default;
 
 int LithoSim::clip_offset_nm(int clip_size_nm) const {
-    return static_cast<int>((cfg_.clip_span_nm() - clip_size_nm) / 2.0);
+    return cfg_.clip_frame_offset_nm(clip_size_nm);
 }
 
 geo::Raster LithoSim::rasterize(std::span<const geo::Polygon> mask,
                                 std::span<const geo::Polygon> srafs,
                                 int clip_size_nm) const {
-    const int off = clip_offset_nm(clip_size_nm);
-    geo::Raster raster(cfg_.grid, cfg_.pixel_nm);
-
-    auto add_translated = [&raster, off](const geo::Polygon& p) {
-        std::vector<geo::Point> verts = p.vertices();
-        for (geo::Point& v : verts) {
-            v.x += off;
-            v.y += off;
-        }
-        raster.add_polygon(geo::Polygon(std::move(verts)));
-    };
-
-    for (const geo::Polygon& p : mask) add_translated(p);
-    for (const geo::Polygon& p : srafs) add_translated(p);
-    raster.clamp01();
-    return raster;
+    return rasterize_clip(cfg_, mask, srafs, clip_size_nm);
 }
 
 geo::Raster LithoSim::aerial_nominal(const geo::Raster& mask) const {
@@ -95,6 +80,26 @@ SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
     return incremental_->evaluate(layout, offsets, dirty);
 }
 
+WindowMetrics LithoSim::evaluate_window(const geo::SegmentedLayout& layout,
+                                        std::span<const int> offsets,
+                                        const WindowSpec& spec) const {
+    evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    const ProcessWindowSweep sweep(cfg_, spec);
+    return sweep.evaluate(layout, offsets);
+}
+
+WindowMetrics LithoSim::evaluate_window_incremental(const geo::SegmentedLayout& layout,
+                                                    std::span<const int> offsets,
+                                                    const WindowSpec& spec) {
+    evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!incremental_) {
+        incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
+                                                              nominal_->kernels(),
+                                                              defocus_->kernels());
+    }
+    return incremental_->evaluate_window(layout, offsets, spec);
+}
+
 long long LithoSim::incremental_hit_count() const {
     return incremental_ ? incremental_->incremental_count() : 0;
 }
@@ -108,7 +113,7 @@ geo::Raster LithoSim::printed(const geo::Raster& aerial, double dose) const {
     const auto src = aerial.data();
     auto dst = out.data();
     for (std::size_t i = 0; i < src.size(); ++i) {
-        dst[i] = (src[i] * dose >= threshold_) ? 1.0F : 0.0F;
+        dst[i] = pixel_prints(src[i], dose, threshold_) ? 1.0F : 0.0F;
     }
     return out;
 }

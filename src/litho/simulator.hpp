@@ -26,6 +26,7 @@
 #include "litho/aerial.hpp"
 #include "litho/config.hpp"
 #include "litho/metrics.hpp"
+#include "litho/process_window.hpp"
 
 namespace camo::litho {
 
@@ -81,7 +82,30 @@ public:
                                                   std::span<const int> offsets,
                                                   std::span<const int> dirty);
 
-    /// Binary printed image at a dose (pixels with I * dose >= threshold).
+    /// Multi-corner process-window evaluation through the dense (exact)
+    /// path: one rasterization + one forward FFT serve every corner, one
+    /// aerial image per focus plane serves every dose at that focus. The
+    /// (dose 1.0, best focus) corner is bit-identical to evaluate(). Const
+    /// and thread-safe; repeated sweeps with one spec should hold a
+    /// ProcessWindowSweep instead (this convenience wrapper re-resolves the
+    /// per-focus applicators from the registry on every call — cheap, but
+    /// not free).
+    [[nodiscard]] WindowMetrics evaluate_window(const geo::SegmentedLayout& layout,
+                                                std::span<const int> offsets,
+                                                const WindowSpec& spec) const;
+
+    /// Window evaluation riding the incremental cache: refreshes the cached
+    /// raster + support spectrum exactly like evaluate_incremental (sparse
+    /// delta-DFT for small moves, outright reuse for none), then images
+    /// every corner from the cached spectrum — no per-corner rasterization
+    /// or forward FFT. Matches evaluate_window within the incremental
+    /// tolerances of litho/incremental.hpp. Not thread-safe on one instance.
+    [[nodiscard]] WindowMetrics evaluate_window_incremental(const geo::SegmentedLayout& layout,
+                                                            std::span<const int> offsets,
+                                                            const WindowSpec& spec);
+
+    /// Binary printed image at a dose, per the shared epsilon-stable
+    /// pixel_prints predicate (litho/metrics.hpp).
     [[nodiscard]] geo::Raster printed(const geo::Raster& aerial, double dose = 1.0) const;
 
     /// Number of lithography evaluations performed (for runtime accounting).

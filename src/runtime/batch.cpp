@@ -6,23 +6,42 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "litho/kernel_registry.hpp"
 
 namespace camo::runtime {
 
 std::string BatchResult::summary() const {
-    char buf[320];
+    char buf[448];
     std::snprintf(buf, sizeof buf,
                   "%zu clips (%d failed) on %d threads: wall %.2fs, %.2f clips/s, "
-                  "sum|EPE| %.1f -> %.1f nm, PVB %.0f nm^2, %lld litho evals "
+                  "sum|EPE| %.1f -> %.1f nm (avg %.1f), PVB %.0f nm^2, %lld litho evals "
                   "(%.0f%% incremental)",
                   clips.size(), failed, threads, wall_s, throughput_cps, sum_initial_epe,
-                  sum_final_epe, sum_pvband_nm2, litho_evaluations,
+                  sum_final_epe, avg_final_epe(), sum_pvband_nm2, litho_evaluations,
                   100.0 * incremental_hit_rate());
-    return buf;
+    std::string out = buf;
+    if (window_mode) {
+        std::snprintf(buf, sizeof buf,
+                      "; window: worst|EPE| avg %.1f nm, exact PVB avg %.0f nm^2",
+                      avg_worst_window_epe(), avg_pv_band_exact_nm2());
+        out += buf;
+    }
+    return out;
 }
 
 BatchScheduler::BatchScheduler(const litho::LithoConfig& litho_cfg, BatchOptions opt)
     : opt_(std::move(opt)), pool_(opt_.threads) {
+    if (opt_.window) {
+        if (opt_.window_spec.doses.empty() && opt_.window_spec.defocus_nm.empty()) {
+            opt_.window_spec = litho::WindowSpec::standard(litho_cfg);
+        }
+        opt_.window_spec.validate();
+        // Resolve the per-focus kernel sets once, up front: workers then hit
+        // the registry's fast path instead of racing the first build.
+        for (double f : opt_.window_spec.defocus_nm) {
+            (void)litho::acquire_focus_applicator(litho_cfg, f);
+        }
+    }
     // The first simulator builds (or loads) the shared kernels; the copies
     // are shallow and per-worker so evaluation counters stay uncontended.
     sims_.reserve(static_cast<std::size_t>(pool_.size()));
@@ -35,6 +54,7 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
                                 const std::vector<std::string>& names) {
     Timer wall;
     BatchResult batch;
+    batch.window_mode = opt_.window;
     batch.threads = pool_.size();
     batch.clips.resize(clips.size());
 
@@ -68,6 +88,15 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
                 slot.pvband_nm2 = res.final_metrics.pvband_nm2;
                 slot.runtime_s = res.runtime_s;
                 slot.offsets = res.final_offsets;
+                if (opt_.window) {
+                    // The engine's last incremental evaluation primed this
+                    // worker's cache at (or near) the final offsets, so the
+                    // sweep reuses the cached raster + spectrum; the cache
+                    // was primed by this job, so results stay independent of
+                    // scheduling order.
+                    slot.window = sim.evaluate_window_incremental(layout, res.final_offsets,
+                                                                  opt_.window_spec);
+                }
             }));
         }
     } catch (...) {
@@ -102,6 +131,10 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
         batch.sum_final_epe += c.final_epe;
         batch.sum_pvband_nm2 += c.pvband_nm2;
         batch.sum_clip_runtime_s += c.runtime_s;
+        if (c.window) {
+            batch.sum_worst_window_epe += c.window->worst_epe;
+            batch.sum_pv_band_exact_nm2 += c.window->pv_band_exact_nm2;
+        }
     }
     for (const litho::LithoSim& sim : sims_) {
         batch.litho_evaluations += sim.evaluate_count();
@@ -111,8 +144,7 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
     batch.litho_evaluations -= evals_before;
     batch.incremental_hits -= hits_before;
     batch.incremental_fulls -= fulls_before;
-    const int ok = static_cast<int>(batch.clips.size()) - batch.failed;
-    batch.throughput_cps = batch.wall_s > 0.0 ? ok / batch.wall_s : 0.0;
+    batch.throughput_cps = batch.wall_s > 0.0 ? batch.ok() / batch.wall_s : 0.0;
     return batch;
 }
 

@@ -19,11 +19,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/camo.hpp"
 #include "geometry/layout.hpp"
+#include "litho/process_window.hpp"
 #include "litho/simulator.hpp"
 #include "opc/engine.hpp"
 #include "opc/rule_engine.hpp"
@@ -36,6 +38,14 @@ struct BatchOptions {
     std::uint64_t seed = 42;     ///< batch seed; job i runs with derive_seed(seed, i)
     bool stochastic = false;     ///< CAMO path: sample actions from the per-job Rng
     opc::OpcOptions opc;         ///< per-clip OPC protocol (iterations, exits, bias)
+
+    /// Window mode: after OPC, evaluate each clip's final mask at every
+    /// corner of `window_spec` (empty axes = the standard window of the
+    /// litho config). The sweep rides the worker simulator's incremental
+    /// cache, which the engine just primed with the final offsets, so it
+    /// typically costs only one aerial per focus plane per clip.
+    bool window = false;
+    litho::WindowSpec window_spec;
 };
 
 /// Outcome of one clip job. `error` is non-empty when the job threw; the
@@ -50,12 +60,14 @@ struct ClipResult {
     double pvband_nm2 = 0.0;
     double runtime_s = 0.0;     ///< per-clip engine wall time
     std::vector<int> offsets;   ///< final per-segment offsets
+    std::optional<litho::WindowMetrics> window;  ///< populated in window mode
     std::string error;
 };
 
 /// Aggregated batch outcome, in clip-index order.
 struct BatchResult {
     std::vector<ClipResult> clips;
+    bool window_mode = false;
     int threads = 1;
     double wall_s = 0.0;            ///< end-to-end batch wall time
     double throughput_cps = 0.0;    ///< successful clips per second
@@ -68,6 +80,13 @@ struct BatchResult {
     double sum_pvband_nm2 = 0.0;
     double sum_clip_runtime_s = 0.0;  ///< summed per-clip time (vs wall_s = parallel time)
 
+    // Window-mode aggregates over successful clips (0 outside window mode).
+    double sum_worst_window_epe = 0.0;
+    double sum_pv_band_exact_nm2 = 0.0;
+
+    /// Successful clip count (clips.size() - failed).
+    [[nodiscard]] int ok() const { return static_cast<int>(clips.size()) - failed; }
+
     /// Fraction of litho evaluations served by the incremental path.
     [[nodiscard]] double incremental_hit_rate() const {
         const long long total = incremental_hits + incremental_fulls;
@@ -75,8 +94,20 @@ struct BatchResult {
                          : 0.0;
     }
 
+    // Per-clip averages over successful clips. Every ratio below is guarded
+    // against zero-evaluation batches (no clips, or all failed): an empty
+    // run reports zeros, never NaN.
+    [[nodiscard]] double avg_final_epe() const { return per_ok(sum_final_epe); }
+    [[nodiscard]] double avg_pvband_nm2() const { return per_ok(sum_pvband_nm2); }
+    [[nodiscard]] double avg_clip_runtime_s() const { return per_ok(sum_clip_runtime_s); }
+    [[nodiscard]] double avg_worst_window_epe() const { return per_ok(sum_worst_window_epe); }
+    [[nodiscard]] double avg_pv_band_exact_nm2() const { return per_ok(sum_pv_band_exact_nm2); }
+
     /// One-line human-readable digest.
     [[nodiscard]] std::string summary() const;
+
+private:
+    [[nodiscard]] double per_ok(double sum) const { return ok() > 0 ? sum / ok() : 0.0; }
 };
 
 /// Per-clip optimizer run by the workers. Called concurrently: it must only

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -163,6 +166,77 @@ TEST(BatchScheduler, StochasticCamoUsesPerJobSeeds) {
     for (std::size_t i = 0; i < clips.size(); ++i) {
         EXPECT_EQ(r1.clips[i].offsets, r4.clips[i].offsets) << "clip " << i;
     }
+}
+
+TEST(BatchScheduler, EmptyBatchSummaryPrintsZerosNotNaN) {
+    BatchScheduler scheduler(test_litho_config(), batch_options(2));
+    const BatchResult res = scheduler.run_rule({});
+
+    EXPECT_EQ(res.clips.size(), 0U);
+    EXPECT_EQ(res.ok(), 0);
+    // Every ratio is guarded: an empty (or fully failed) batch reports
+    // finite zeros, and the digest never shows "nan" or "inf".
+    EXPECT_EQ(res.incremental_hit_rate(), 0.0);
+    EXPECT_EQ(res.avg_final_epe(), 0.0);
+    EXPECT_EQ(res.avg_pvband_nm2(), 0.0);
+    EXPECT_EQ(res.avg_clip_runtime_s(), 0.0);
+    EXPECT_EQ(res.avg_worst_window_epe(), 0.0);
+    EXPECT_EQ(res.avg_pv_band_exact_nm2(), 0.0);
+    EXPECT_TRUE(std::isfinite(res.throughput_cps));
+    const std::string digest = res.summary();
+    EXPECT_EQ(digest.find("nan"), std::string::npos) << digest;
+    EXPECT_EQ(digest.find("inf"), std::string::npos) << digest;
+
+    // Same guards when every clip fails.
+    const auto clips = test_clips(2);
+    const BatchResult all_failed = scheduler.run(
+        clips, [](const geo::SegmentedLayout&, litho::LithoSim&, const opc::OpcOptions&,
+                  std::uint64_t) -> opc::EngineResult {
+            throw std::runtime_error("boom");
+        });
+    EXPECT_EQ(all_failed.failed, 2);
+    EXPECT_EQ(all_failed.ok(), 0);
+    EXPECT_EQ(all_failed.avg_final_epe(), 0.0);
+    const std::string failed_digest = all_failed.summary();
+    EXPECT_EQ(failed_digest.find("nan"), std::string::npos) << failed_digest;
+}
+
+TEST(BatchScheduler, WindowModeEvaluatesEveryCornerDeterministically) {
+    const auto clips = test_clips(3);
+    BatchOptions opt = batch_options(1);
+    opt.window = true;  // empty spec resolves to the standard window
+    BatchOptions opt4 = batch_options(4);
+    opt4.window = true;
+
+    BatchScheduler one(test_litho_config(), opt);
+    BatchScheduler four(test_litho_config(), opt4);
+    ASSERT_EQ(one.options().window_spec.corner_count(), 6);
+
+    const BatchResult r1 = one.run_rule(clips);
+    const BatchResult r4 = four.run_rule(clips);
+    EXPECT_TRUE(r1.window_mode);
+    EXPECT_EQ(r1.failed, 0);
+    EXPECT_EQ(r4.failed, 0);
+    EXPECT_GT(r1.sum_pv_band_exact_nm2, 0.0);
+
+    for (std::size_t i = 0; i < clips.size(); ++i) {
+        ASSERT_TRUE(r1.clips[i].window.has_value()) << "clip " << i;
+        ASSERT_TRUE(r4.clips[i].window.has_value()) << "clip " << i;
+        const litho::WindowMetrics& w1 = *r1.clips[i].window;
+        const litho::WindowMetrics& w4 = *r4.clips[i].window;
+        ASSERT_EQ(w1.corners.size(), 6U);
+        // Per-clip caches are primed per job, so window metrics are
+        // bit-identical at any thread count.
+        EXPECT_EQ(w1.worst_epe, w4.worst_epe) << "clip " << i;
+        EXPECT_EQ(w1.pv_band_exact_nm2, w4.pv_band_exact_nm2) << "clip " << i;
+        // The exact band covers at least the two-corner approximation.
+        EXPECT_GE(w1.pv_band_exact_nm2, w1.pv_band_two_corner_nm2) << "clip " << i;
+        // The worst corner is no better than the nominal one.
+        ASSERT_NE(w1.nominal_corner(), nullptr);
+        EXPECT_GE(w1.worst_epe, w1.nominal_corner()->metrics.sum_abs_epe) << "clip " << i;
+    }
+    const std::string digest = r1.summary();
+    EXPECT_NE(digest.find("window:"), std::string::npos) << digest;
 }
 
 TEST(SplitMix, DerivedSeedsAreStableAndDistinct) {

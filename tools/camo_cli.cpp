@@ -2,6 +2,7 @@
 //
 //   camo_cli --in layout.gds --out result.gds [options]
 //   camo_cli batch [batch options]
+//   camo_cli sweep [batch options] [--doses a,b,..] [--focuses a,b,..]
 //
 // Single-clip mode reads target polygons from a GDSII file (layer 1 by
 // default), runs the selected OPC engine against the lithography simulator,
@@ -21,9 +22,18 @@
 //
 //   camo_cli batch [--clips N] [--threads N] [--engine rule|camo]
 //                  [--seed S] [--iterations N] [--quiet]
+//
+// Sweep mode is batch mode plus a multi-corner process-window evaluation of
+// every corrected mask (defaults to the standard {dose_min, 1, dose_max} x
+// {0, defocus} window; --doses/--focuses set an arbitrary grid):
+//
+//   camo_cli sweep [batch options] [--doses 0.96,1.0,1.04]
+//                  [--focuses 0,12.5,25]
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "core/experiment.hpp"
@@ -90,7 +100,27 @@ struct BatchCliOptions {
     std::uint64_t seed = core::Experiment::kDatasetSeed;
     int iterations = -1;
     bool quiet = false;
+    bool window = false;             // sweep mode
+    std::vector<double> doses;       // empty = standard window
+    std::vector<double> focuses_nm;  // empty = standard window
 };
+
+// "0.96,1.0,1.04" -> {0.96, 1.0, 1.04}; throws on malformed input.
+std::vector<double> parse_double_list(const std::string& s) {
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t used = 0;
+        out.push_back(std::stod(s.substr(pos), &used));
+        pos += used;
+        if (pos < s.size()) {
+            if (s[pos] != ',') throw std::invalid_argument("expected ',' in list: " + s);
+            ++pos;
+        }
+    }
+    if (out.empty()) throw std::invalid_argument("empty list");
+    return out;
+}
 
 bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
     for (int i = 2; i < argc; ++i) {
@@ -113,22 +143,30 @@ bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
             o.iterations = std::stoi(v);
         } else if (a == "--quiet") {
             o.quiet = true;
+        } else if (o.window && a == "--doses" && next(v)) {
+            o.doses = parse_double_list(v);
+        } else if (o.window && a == "--focuses" && next(v)) {
+            o.focuses_nm = parse_double_list(v);
         } else {
             std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
             return false;
         }
     }
-    return o.clips > 0 && (o.engine == "rule" || o.engine == "camo");
+    // 0 clips is a legal degenerate batch (the summary prints zeros).
+    return o.clips >= 0 && (o.engine == "rule" || o.engine == "camo");
 } catch (const std::exception&) {  // non-numeric / out-of-range values
     return false;
 }
 
-int batch_main(int argc, char** argv) {
+int batch_main(int argc, char** argv, bool window) {
     BatchCliOptions cli;
+    cli.window = window;
     if (!parse_batch_args(argc, argv, cli)) {
         std::fprintf(stderr,
-                     "usage: camo_cli batch [--clips N] [--threads N] [--engine rule|camo]"
-                     " [--seed S] [--iterations N] [--quiet]\n");
+                     "usage: camo_cli %s [--clips N] [--threads N] [--engine rule|camo]"
+                     " [--seed S] [--iterations N] [--quiet]%s\n",
+                     window ? "sweep" : "batch",
+                     window ? " [--doses a,b,..] [--focuses a,b,..]" : "");
         return 2;
     }
     if (!cli.quiet) set_log_level(LogLevel::kInfo);
@@ -144,6 +182,19 @@ int batch_main(int argc, char** argv) {
     opt.seed = cli.seed;
     opt.opc = core::Experiment::via_options();
     if (cli.iterations > 0) opt.opc.max_iterations = cli.iterations;
+    if (cli.window) {
+        opt.window = true;
+        litho::WindowSpec spec = litho::WindowSpec::standard(core::Experiment::litho_config());
+        if (!cli.doses.empty()) spec.doses = cli.doses;
+        if (!cli.focuses_nm.empty()) spec.defocus_nm = cli.focuses_nm;
+        try {
+            spec.validate();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bad window spec: %s\n", e.what());
+            return 2;
+        }
+        opt.window_spec = spec;
+    }
 
     runtime::BatchScheduler scheduler(core::Experiment::litho_config(), opt);
 
@@ -161,15 +212,37 @@ int batch_main(int argc, char** argv) {
         res = scheduler.run_camo(clips, engine, names);
     }
 
-    std::printf("%-6s %6s %6s %10s %10s %10s %6s\n", "Clip", "Segs", "Iters", "EPE0",
-                "EPE", "PVB", "RT");
-    for (const runtime::ClipResult& c : res.clips) {
-        if (!c.error.empty()) {
-            std::printf("%-6s FAILED: %s\n", c.name.c_str(), c.error.c_str());
-            continue;
+    if (cli.window) {
+        const litho::WindowSpec& spec = scheduler.options().window_spec;
+        std::printf("process window: %d doses x %d focus planes = %d corners\n",
+                    spec.dose_count(), spec.focus_count(), spec.corner_count());
+        std::printf("%-6s %6s %6s %10s %10s %10s %10s %12s\n", "Clip", "Segs", "Iters", "EPE",
+                    "WorstEPE", "PVBexact", "PVB2c", "CDrange");
+        for (const runtime::ClipResult& c : res.clips) {
+            if (!c.error.empty()) {
+                std::printf("%-6s FAILED: %s\n", c.name.c_str(), c.error.c_str());
+                continue;
+            }
+            const litho::WindowMetrics& w = *c.window;
+            char two_corner[32] = "n/a";  // window lacks the standard planes
+            if (w.pv_band_two_corner_nm2 >= 0.0) {
+                std::snprintf(two_corner, sizeof two_corner, "%.0f", w.pv_band_two_corner_nm2);
+            }
+            std::printf("%-6s %6d %6d %10.1f %10.1f %10.0f %10s %12.0f\n", c.name.c_str(),
+                        c.segments, c.iterations, c.final_epe, w.worst_epe,
+                        w.pv_band_exact_nm2, two_corner, w.cd_range_nm2());
         }
-        std::printf("%-6s %6d %6d %10.1f %10.1f %10.0f %6.2f\n", c.name.c_str(), c.segments,
-                    c.iterations, c.initial_epe, c.final_epe, c.pvband_nm2, c.runtime_s);
+    } else {
+        std::printf("%-6s %6s %6s %10s %10s %10s %6s\n", "Clip", "Segs", "Iters", "EPE0",
+                    "EPE", "PVB", "RT");
+        for (const runtime::ClipResult& c : res.clips) {
+            if (!c.error.empty()) {
+                std::printf("%-6s FAILED: %s\n", c.name.c_str(), c.error.c_str());
+                continue;
+            }
+            std::printf("%-6s %6d %6d %10.1f %10.1f %10.0f %6.2f\n", c.name.c_str(), c.segments,
+                        c.iterations, c.initial_epe, c.final_epe, c.pvband_nm2, c.runtime_s);
+        }
     }
     std::printf("%s\n", res.summary().c_str());
     return res.failed == 0 ? 0 : 1;
@@ -178,7 +251,8 @@ int batch_main(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return batch_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return batch_main(argc, argv, false);
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) return batch_main(argc, argv, true);
 
     CliOptions cli;
     if (!parse_args(argc, argv, cli)) {
