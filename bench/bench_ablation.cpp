@@ -7,11 +7,16 @@
 //  B. Lithography substrate: SOCS kernel-count sweep — EPE/PVB drift vs
 //     the full-rank reference as the kernel budget shrinks.
 //  C. Modulator exponent sweep (f(x) = k x^n + b).
+//  D. Reward mode: nominal vs worst-corner vs weighted-corner objective at
+//     an equal step budget — the nominal-vs-window rows behind the
+//     window-aware reward (worst-corner |EPE| and exact PV band of the
+//     final masks, judged through one shared dense sweep).
 #include <cstdio>
 
 #include "common/logging.hpp"
 #include "core/experiment.hpp"
 #include "core/modulator.hpp"
+#include "opc/rule_engine.hpp"
 
 namespace {
 
@@ -99,6 +104,58 @@ void kernel_count_ablation() {
     }
 }
 
+void reward_mode_ablation(litho::LithoSim& sim) {
+    std::printf("\n=== Ablation D: reward mode (rule engine, equal step budget) ===\n");
+    std::printf("%-8s %-16s %12s %12s %14s %12s\n", "layer", "mode", "EPE(nom)", "EPE(worst)",
+                "PVBexact", "CDrange");
+
+    const auto via_clips = layout::via_test_set(core::Experiment::kDatasetSeed);
+    const auto metal_clips = layout::metal_test_set(core::Experiment::kDatasetSeed);
+    struct Layer {
+        const char* name;
+        std::vector<geo::SegmentedLayout> clips;
+        opc::OpcOptions opt;
+    };
+    Layer layers[] = {
+        {"via", core::fragment_via_clips({via_clips[0], via_clips[2]}),
+         core::Experiment::via_options()},
+        {"metal", core::fragment_metal_clips({metal_clips[0]}),
+         core::Experiment::metal_options()},
+    };
+    const litho::WindowSpec spec = litho::WindowSpec::standard(sim.config());
+
+    const rl::RewardMode modes[] = {rl::RewardMode::kNominal, rl::RewardMode::kWorstCorner,
+                                    rl::RewardMode::kWeightedCorner};
+    for (const Layer& layer : layers) {
+        for (rl::RewardMode mode : modes) {
+            opc::OpcOptions opt = layer.opt;
+            opt.exit_epe_per_feature = 0.0;  // equal budget: no early exit
+            opt.exit_epe_per_point = 0.0;
+            opt.objective = mode;
+
+            double nominal_epe = 0.0;
+            double worst_epe = 0.0;
+            double pvb_exact = 0.0;
+            double cd_range = 0.0;
+            for (const auto& layout : layer.clips) {
+                opc::RuleEngine engine({.gain = 0.6, .max_step_nm = 2, .early_exit = false});
+                litho::LithoSim run_sim(sim);  // private incremental cache per run
+                const auto res = engine.optimize(layout, run_sim, opt);
+                // Judge every mode's final mask through the same dense sweep.
+                const litho::WindowMetrics judged =
+                    sim.evaluate_window(layout, res.final_offsets, spec);
+                nominal_epe += judged.nominal_corner()->metrics.sum_abs_epe;
+                worst_epe += judged.worst_epe;
+                pvb_exact += judged.pv_band_exact_nm2;
+                cd_range += judged.cd_range_nm2();
+            }
+            std::printf("%-8s %-16s %12.1f %12.1f %14.0f %12.0f\n", layer.name,
+                        rl::reward_mode_name(mode), nominal_epe, worst_epe, pvb_exact,
+                        cd_range);
+        }
+    }
+}
+
 void modulator_exponent_ablation() {
     std::printf("\n=== Ablation C: modulator exponent (peak preference vs EPE) ===\n");
     std::printf("%-6s", "EPE");
@@ -123,6 +180,7 @@ int main() {
     litho::LithoSim sim(core::Experiment::litho_config());
     coordination_ablation(sim);
     kernel_count_ablation();
+    reward_mode_ablation(sim);
     modulator_exponent_ablation();
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "litho/process_window.hpp"
 #include "litho/simulator.hpp"
 #include "opc/sraf.hpp"
+#include "rl/reward.hpp"
 
 namespace {
 
@@ -207,6 +208,65 @@ void BM_WindowSweepIncremental(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_WindowSweepIncremental);
+
+// ---- Nominal vs window reward: per-step cost of the RL reward modes --------
+// One policy step on the metal clip scored under each reward mode: the
+// nominal row pays one incremental evaluation + step_reward, the
+// worst-corner row one incremental window sweep (cached spectrum serving
+// every corner) + window_step_reward. The ratio is the per-step price of
+// optimizing through the window instead of the nominal corner.
+
+void BM_RewardNominalStep(benchmark::State& state) {
+    litho::LithoSim sim(shared_sim());  // private incremental cache
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    const int segments = layout.num_segments();
+    std::vector<int> offsets(static_cast<std::size_t>(segments), 2);
+    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
+
+    int cursor = 0;
+    int sign = 1;
+    for (auto _ : state) {
+        const int i = cursor++ % segments;
+        offsets[static_cast<std::size_t>(i)] += sign;
+        if (cursor >= segments) {
+            cursor = 0;
+            sign = -sign;  // walk offsets back so they stay bounded
+        }
+        const std::vector<int> dirty{i};
+        const litho::SimMetrics m2 = sim.evaluate_incremental(layout, offsets, dirty);
+        const double r =
+            rl::step_reward(m.sum_abs_epe, m2.sum_abs_epe, m.pvband_nm2, m2.pvband_nm2);
+        benchmark::DoNotOptimize(r);
+        m = m2;
+    }
+}
+BENCHMARK(BM_RewardNominalStep);
+
+void BM_RewardWorstCornerStep(benchmark::State& state) {
+    litho::LithoSim sim(shared_sim());  // private incremental cache
+    const geo::SegmentedLayout& layout = incremental_bench_layout();
+    const litho::WindowSpec spec = litho::WindowSpec::standard(sim.config());
+    rl::WindowRewardConfig reward;
+    reward.mode = rl::RewardMode::kWorstCorner;
+    const int segments = layout.num_segments();
+    std::vector<int> offsets(static_cast<std::size_t>(segments), 2);
+    litho::WindowMetrics w = sim.evaluate_window_prime(layout, offsets, spec);
+
+    int cursor = 0;
+    int sign = 1;
+    for (auto _ : state) {
+        offsets[static_cast<std::size_t>(cursor++ % segments)] += sign;
+        if (cursor >= segments) {
+            cursor = 0;
+            sign = -sign;  // walk offsets back so they stay bounded
+        }
+        const litho::WindowMetrics w2 = sim.evaluate_window_incremental(layout, offsets, spec);
+        const double r = rl::window_step_reward(w, w2, reward);
+        benchmark::DoNotOptimize(r);
+        w = w2;
+    }
+}
+BENCHMARK(BM_RewardWorstCornerStep);
 
 void BM_SquishEncode(benchmark::State& state) {
     const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({465, 465, 535, 535})};

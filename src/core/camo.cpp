@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "nn/softmax.hpp"
+#include "opc/objective.hpp"
 
 namespace camo::core {
 namespace {
@@ -118,13 +119,15 @@ opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout, litho::L
                                     const opc::OpcOptions& opt, Rng* rng) const {
     Timer timer;
     opc::EngineResult res;
+    const opc::WindowObjective objective(opt, sim.config(), cfg_.reward);
     const Graph graph = build_segment_graph(layout, cfg_.graph_threshold_nm);
 
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
     // First evaluation primes the per-clip incremental cache; iterations then
-    // pass the acted-on segments so only those are re-rasterized.
-    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
+    // re-evaluate only what the actions touched (nominal mode: the dirty-set
+    // path; window modes: one cached-spectrum sweep serving every corner).
+    litho::SimMetrics m = objective.prime(sim, layout, offsets, &res.final_window);
     res.epe_history.push_back(m.sum_abs_epe);
     res.pvb_history.push_back(m.pvband_nm2);
 
@@ -139,7 +142,7 @@ opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout, litho::L
         const auto actions = pick_actions(logits, m.epe_segment, cfg_.modulator, rng);
 
         const auto dirty = apply_actions(offsets, actions, opt.max_total_offset_nm);
-        m = sim.evaluate_incremental(layout, offsets, dirty);
+        m = objective.evaluate(sim, layout, offsets, dirty, &res.final_window);
         res.epe_history.push_back(m.sum_abs_epe);
         res.pvb_history.push_back(m.pvband_nm2);
         ++res.iterations;
@@ -236,6 +239,14 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
     }
 
     // ---- Phase 2: modulated REINFORCE. -----------------------------------
+    // Under a window objective the per-step reward is window_step_reward on
+    // the before/after sweeps — worst-corner (or weighted-corner) |EPE| and
+    // the exact PV band — and the modulation/exploration signal is the
+    // objective corner's per-segment EPE, so phase-2 credit assignment
+    // optimizes the same quantity the evaluation reports. Every sweep rides
+    // the cached support spectrum (evaluate_window_incremental): one sparse
+    // delta-DFT per step serves every corner.
+    const opc::WindowObjective objective(opt, sim.config(), cfg_.reward);
     for (int ep = 0; ep < cfg_.phase2_episodes; ++ep) {
         double reward_sum = 0.0;
         int reward_count = 0;
@@ -243,7 +254,9 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
             const geo::SegmentedLayout& layout = clips[c];
             std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                                      opt.initial_bias_nm);
-            litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
+            std::optional<litho::WindowMetrics> window_before;
+            std::optional<litho::WindowMetrics> window_after;
+            litho::SimMetrics m = objective.prime(sim, layout, offsets, &window_before);
             const int features_count = static_cast<int>(layout.targets().size());
             const int points = static_cast<int>(m.epe.size());
 
@@ -255,9 +268,14 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
                 const auto actions = select_actions(logits, m.epe_segment, /*stochastic=*/true);
 
                 const auto dirty = apply_actions(offsets, actions, opt.max_total_offset_nm);
-                const litho::SimMetrics m2 = sim.evaluate_incremental(layout, offsets, dirty);
-                const double r = rl::step_reward(m.sum_abs_epe, m2.sum_abs_epe, m.pvband_nm2,
-                                                 m2.pvband_nm2, cfg_.reward);
+                const litho::SimMetrics m2 =
+                    objective.evaluate(sim, layout, offsets, dirty, &window_after);
+                const double r =
+                    objective.active()
+                        ? rl::window_step_reward(*window_before, *window_after,
+                                                 objective.reward())
+                        : rl::step_reward(m.sum_abs_epe, m2.sum_abs_epe, m.pvband_nm2,
+                                          m2.pvband_nm2, cfg_.reward);
                 reward_sum += r;
                 ++reward_count;
 
@@ -277,6 +295,7 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
                 policy_.backward(dlogits);
                 optimizer_step();
                 m = m2;
+                window_before = std::move(window_after);
             }
         }
         stats.phase2_reward.push_back(reward_sum / std::max(1, reward_count));

@@ -31,6 +31,12 @@ namespace camo::core {
 struct CamoConfig {
     PolicyConfig policy;
     ModulatorConfig modulator;
+
+    /// Base Eq. (3) parameters (epsilon, beta). The reward *mode* — nominal,
+    /// worst-corner or weighted-corner — is per-run, carried by
+    /// opc::OpcOptions::objective: under a window objective, phase-2 updates
+    /// and inference both ride evaluate_window_incremental and score steps
+    /// with rl::window_step_reward built from this base config.
     rl::RewardConfig reward;
     SquishOptions squish;  ///< squish.size must equal policy.squish_size
     double graph_threshold_nm = 250.0;

@@ -103,8 +103,17 @@ CamoConfig Experiment::metal_rlopc_config() {
     return cfg;
 }
 
-std::string Experiment::weights_path(const CamoConfig& cfg, const std::string& layer_tag) {
+std::string Experiment::weights_path(const CamoConfig& cfg, const std::string& layer_tag,
+                                     rl::RewardMode objective) {
     std::uint64_t h = 14695981039346656037ULL;
+    // Nominal mode contributes nothing so pre-existing cache paths survive;
+    // window modes both hash AND tag the name, keeping the distinction
+    // visible in data/ listings.
+    std::string tag = layer_tag;
+    if (objective != rl::RewardMode::kNominal) {
+        h = fnv_mix(h, static_cast<long long>(objective));
+        tag += std::string("-") + rl::reward_mode_name(objective);
+    }
     h = fnv_mix(h, cfg.policy.squish_size);
     h = fnv_mix(h, cfg.policy.embed_dim);
     h = fnv_mix(h, cfg.policy.rnn_hidden);
@@ -119,7 +128,7 @@ std::string Experiment::weights_path(const CamoConfig& cfg, const std::string& l
     for (int b : cfg.teacher_biases) h = fnv_mix(h, b);
     h = fnv_mix(h, static_cast<long long>(Experiment::kDatasetSeed));
     h = fnv_mix(h, static_cast<long long>(cfg.seed));
-    return "data/weights_" + cfg.name + "_" + layer_tag + "_" + std::to_string(h) + ".bin";
+    return "data/weights_" + cfg.name + "_" + tag + "_" + std::to_string(h) + ".bin";
 }
 
 std::vector<geo::SegmentedLayout> fragment_via_clips(const std::vector<layout::Clip>& clips) {

@@ -49,8 +49,11 @@ struct Experiment {
     static constexpr std::uint64_t kDatasetSeed = 42;
 
     /// Weight-cache path for an engine configuration ("" if caching is
-    /// impossible). Encodes the architecture and trainer settings.
-    static std::string weights_path(const CamoConfig& cfg, const std::string& layer_tag);
+    /// impossible). Encodes the architecture, trainer settings and the
+    /// training reward mode — a policy trained under one objective must
+    /// never be silently served to runs requesting another.
+    static std::string weights_path(const CamoConfig& cfg, const std::string& layer_tag,
+                                    rl::RewardMode objective = rl::RewardMode::kNominal);
 };
 
 /// Fragment via clips (SRAF insertion included) into segmented layouts.

@@ -462,9 +462,23 @@ WindowMetrics IncrementalEvaluator::evaluate_window(const geo::SegmentedLayout& 
     if (static_cast<int>(offsets.size()) != layout.num_segments()) {
         throw std::invalid_argument("evaluate_window: offsets size mismatch");
     }
+    return window_from_cache(layout, spec, refresh_cache(layout, offsets));
+}
 
-    const CacheUpdate update = refresh_cache(layout, offsets);
+WindowMetrics IncrementalEvaluator::evaluate_window_full(const geo::SegmentedLayout& layout,
+                                                         std::span<const int> offsets,
+                                                         const WindowSpec& spec) {
+    spec.validate();
+    if (static_cast<int>(offsets.size()) != layout.num_segments()) {
+        throw std::invalid_argument("evaluate_window_full: offsets size mismatch");
+    }
+    rebuild_cache(layout, offsets);
+    return window_from_cache(layout, spec, CacheUpdate::kRebuilt);
+}
 
+WindowMetrics IncrementalEvaluator::window_from_cache(const geo::SegmentedLayout& layout,
+                                                      const WindowSpec& spec,
+                                                      CacheUpdate update) {
     // One aerial per focus plane from the cached support spectrum. Resolve
     // every plane first: an extra plane may extend the union spectrum, and
     // the pointers stay valid because extra_planes_ elements are

@@ -123,6 +123,13 @@ public:
     WindowMetrics evaluate_window(const geo::SegmentedLayout& layout,
                                   std::span<const int> offsets, const WindowSpec& spec);
 
+    /// Window evaluation that always (re)primes the cache with a full
+    /// rebuild first — the window counterpart of evaluate_full(), used for a
+    /// job's first evaluation so results never depend on what this evaluator
+    /// saw before (the batch determinism contract).
+    WindowMetrics evaluate_window_full(const geo::SegmentedLayout& layout,
+                                       std::span<const int> offsets, const WindowSpec& spec);
+
     [[nodiscard]] long long incremental_count() const { return incremental_count_; }
     [[nodiscard]] long long full_count() const { return full_count_; }
 
@@ -147,6 +154,10 @@ private:
     enum class CacheUpdate { kUnchanged, kSparse, kRebuilt };
 
     CacheUpdate refresh_cache(const geo::SegmentedLayout& layout, std::span<const int> offsets);
+    /// Shared tail of the window paths: images every corner from the (just
+    /// refreshed) cache and keeps the cached standard metrics consistent.
+    WindowMetrics window_from_cache(const geo::SegmentedLayout& layout, const WindowSpec& spec,
+                                    CacheUpdate update);
     void rebuild_cache(const geo::SegmentedLayout& layout, std::span<const int> offsets);
     void apply_polygon_delta(const geo::Polygon& old_poly, const geo::Polygon& new_poly,
                              std::vector<PixelDelta>& deltas);

@@ -100,6 +100,18 @@ WindowMetrics LithoSim::evaluate_window_incremental(const geo::SegmentedLayout& 
     return incremental_->evaluate_window(layout, offsets, spec);
 }
 
+WindowMetrics LithoSim::evaluate_window_prime(const geo::SegmentedLayout& layout,
+                                              std::span<const int> offsets,
+                                              const WindowSpec& spec) {
+    evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!incremental_) {
+        incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
+                                                              nominal_->kernels(),
+                                                              defocus_->kernels());
+    }
+    return incremental_->evaluate_window_full(layout, offsets, spec);
+}
+
 long long LithoSim::incremental_hit_count() const {
     return incremental_ ? incremental_->incremental_count() : 0;
 }

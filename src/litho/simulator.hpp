@@ -104,6 +104,16 @@ public:
                                                             std::span<const int> offsets,
                                                             const WindowSpec& spec);
 
+    /// Window evaluation that always (re)primes the per-instance cache with
+    /// a full rebuild — the window counterpart of the no-dirty
+    /// evaluate_incremental overload. Window-objective engines call this for
+    /// the first evaluation of a clip, then evaluate_window_incremental
+    /// inside the loop, so a job's window metrics never depend on what this
+    /// simulator evaluated before. Not thread-safe on one instance.
+    [[nodiscard]] WindowMetrics evaluate_window_prime(const geo::SegmentedLayout& layout,
+                                                      std::span<const int> offsets,
+                                                      const WindowSpec& spec);
+
     /// Binary printed image at a dose, per the shared epsilon-stable
     /// pixel_prints predicate (litho/metrics.hpp).
     [[nodiscard]] geo::Raster printed(const geo::Raster& aerial, double dose = 1.0) const;

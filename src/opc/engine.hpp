@@ -2,11 +2,13 @@
 // tables (Calibre-proxy rule engine, DAMO-proxy one-shot, RL-OPC, CAMO).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "geometry/layout.hpp"
 #include "litho/simulator.hpp"
+#include "rl/reward.hpp"
 
 namespace camo::opc {
 
@@ -27,15 +29,41 @@ struct OpcOptions {
 
     /// Total per-segment offset is clamped into +/- this bound.
     int max_total_offset_nm = 25;
+
+    /// Which corner(s) of the process window the engine optimizes.
+    /// kNominal preserves the legacy single-corner loop bit for bit. The
+    /// window modes ride LithoSim::evaluate_window_incremental — one cached
+    /// spectrum serving every corner per step — and drive feedback, early
+    /// exit and the histories off the window objective.
+    rl::RewardMode objective = rl::RewardMode::kNominal;
+
+    /// Window for the window objectives; empty axes resolve to
+    /// litho::WindowSpec::standard of the simulator's config. Ignored in
+    /// kNominal mode.
+    litho::WindowSpec window;
+
+    /// Per-corner weights for kWeightedCorner in WindowSpec::corner order
+    /// (empty = uniform). Ignored in the other modes.
+    std::vector<double> corner_weights;
 };
 
 struct EngineResult {
     std::vector<int> final_offsets;
+
+    /// In kNominal mode: the legacy single-corner metrics. In the window
+    /// modes: the objective view (sum_abs_epe = the scalar window objective,
+    /// pvband_nm2 = the exact band, epe/epe_segment = the objective
+    /// corner(s)' profile) — see opc::objective_view.
     litho::SimMetrics final_metrics;
-    std::vector<double> epe_history;  ///< sum |EPE| per iteration, entry 0 = initial mask
+
+    std::vector<double> epe_history;  ///< objective sum |EPE| per iteration, entry 0 = initial mask
     std::vector<double> pvb_history;
     int iterations = 0;
     double runtime_s = 0.0;
+
+    /// Full per-corner metrics of the final mask; populated only under a
+    /// window objective (the per-step sweep's last result, for free).
+    std::optional<litho::WindowMetrics> final_window;
 };
 
 class Engine {

@@ -1,15 +1,47 @@
 #include "opc/ilt.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/timer.hpp"
 #include "litho/aerial.hpp"
 #include "litho/fft.hpp"
+#include "litho/kernel_registry.hpp"
+#include "opc/objective.hpp"
 
 namespace camo::opc {
 namespace {
 
 double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// One focus plane of the window loss: its kernel set, wrapped support
+// addresses, and the per-iteration coherent fields / intensity shared by
+// every dose corner at this plane.
+struct Plane {
+    std::shared_ptr<const litho::KernelApplicator> applicator;  ///< keeps kernels alive
+    const litho::KernelSet* kernels = nullptr;
+    std::vector<int> pos;
+    std::vector<std::vector<litho::Complex>> fields;
+    std::vector<double> intensity;
+};
+
+// A (dose, plane) corner with its objective weight.
+struct CornerRef {
+    int plane = 0;
+    double dose = 1.0;
+    double weight = 1.0;
+};
+
+std::vector<int> wrapped_positions(const litho::KernelSet& kernels, int n) {
+    std::vector<int> pos(kernels.support.size());
+    for (std::size_t i = 0; i < kernels.support.size(); ++i) {
+        const int row = ((kernels.support[i].ky % n) + n) % n;
+        const int col = ((kernels.support[i].kx % n) + n) % n;
+        pos[i] = row * n + col;
+    }
+    return pos;
+}
 
 }  // namespace
 
@@ -18,8 +50,54 @@ IltResult IltEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSi
     const auto& cfg = sim.config();
     const int n = cfg.grid;
     const std::size_t n2 = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-    const litho::KernelSet& kernels = sim.nominal_kernels();
     const double thr = sim.threshold();
+    const bool windowed = opt_.objective != rl::RewardMode::kNominal;
+
+    // Resolve the objective's planes and corners. Nominal mode is the legacy
+    // single-corner loss: one plane (the nominal kernels), dose 1.0 — the
+    // arithmetic below multiplies intensities by dose 1.0, so it reproduces
+    // the pre-window loss bit for bit.
+    litho::WindowSpec spec;
+    if (windowed) {
+        rl::WindowRewardConfig reward;
+        reward.mode = opt_.objective;
+        reward.corner_weights = opt_.corner_weights;
+        spec = resolve_objective_window(opt_.window, reward, cfg);
+    } else {
+        spec.doses = {1.0};
+        spec.defocus_nm = {0.0};
+    }
+
+    std::vector<Plane> planes;
+    planes.reserve(spec.defocus_nm.size());
+    for (double f : spec.defocus_nm) {
+        Plane p;
+        if (windowed) {
+            p.applicator = litho::acquire_focus_applicator(cfg, f);
+            p.kernels = &p.applicator->kernels();
+        } else {
+            p.kernels = &sim.nominal_kernels();
+        }
+        p.pos = wrapped_positions(*p.kernels, n);
+        p.fields.assign(p.kernels->coeffs.size(), std::vector<litho::Complex>(n2));
+        p.intensity.assign(n2, 0.0);
+        planes.push_back(std::move(p));
+    }
+
+    std::vector<CornerRef> corners;
+    corners.reserve(static_cast<std::size_t>(spec.corner_count()));
+    for (int i = 0; i < spec.corner_count(); ++i) {
+        CornerRef ref;
+        ref.plane = i / spec.dose_count();
+        ref.dose = spec.corner(i).dose;
+        ref.weight = (opt_.objective == rl::RewardMode::kWeightedCorner &&
+                      !opt_.corner_weights.empty())
+                         ? opt_.corner_weights[static_cast<std::size_t>(i)]
+                         : 1.0;
+        corners.push_back(ref);
+    }
+    double weight_sum = 0.0;
+    for (const CornerRef& c : corners) weight_sum += c.weight;
 
     // Target image Z in the simulation frame.
     geo::Raster target(n, cfg.pixel_nm);
@@ -38,22 +116,15 @@ IltResult IltEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSi
     std::vector<double> theta(n2);
     for (std::size_t i = 0; i < n2; ++i) theta[i] = target.data()[i] > 0.5F ? 1.0 : -1.0;
 
-    // Precompute wrapped kernel addresses.
-    std::vector<int> pos(kernels.support.size());
-    for (std::size_t i = 0; i < kernels.support.size(); ++i) {
-        const int row = ((kernels.support[i].ky % n) + n) % n;
-        const int col = ((kernels.support[i].kx % n) + n) % n;
-        pos[i] = row * n + col;
-    }
-
     IltResult res;
     res.mask = geo::Raster(n, cfg.pixel_nm);
+    res.corner_loss.assign(corners.size(), 0.0);
 
     std::vector<litho::Complex> spectrum(n2);
     std::vector<litho::Complex> field(n2);
     std::vector<litho::Complex> back(n2);
-    std::vector<std::vector<litho::Complex>> fields(kernels.coeffs.size(),
-                                                    std::vector<litho::Complex>(n2));
+    std::vector<double> corner_loss(corners.size(), 0.0);
+    std::vector<double> corner_dl_scale(corners.size(), 0.0);
 
     for (int it = 0; it <= opt_.iterations; ++it) {
         // m = sigmoid(mask_steepness * theta)
@@ -62,52 +133,112 @@ IltResult IltEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSi
             mval[i] = static_cast<float>(sigmoid(opt_.mask_steepness * theta[i]));
         }
 
-        // Aerial image via SOCS, keeping per-kernel fields for the adjoint.
+        // One forward FFT; per plane, SOCS fields kept for the adjoint.
         for (std::size_t i = 0; i < n2; ++i) spectrum[i] = litho::Complex(mval[i], 0.0F);
         litho::fft2d_forward(spectrum, n);
 
-        std::vector<double> intensity(n2, 0.0);
-        for (std::size_t k = 0; k < kernels.coeffs.size(); ++k) {
-            std::fill(field.begin(), field.end(), litho::Complex{});
-            for (std::size_t i = 0; i < pos.size(); ++i) {
-                field[static_cast<std::size_t>(pos[i])] =
-                    kernels.coeffs[k][i] * spectrum[static_cast<std::size_t>(pos[i])];
+        for (Plane& plane : planes) {
+            std::fill(plane.intensity.begin(), plane.intensity.end(), 0.0);
+            for (std::size_t k = 0; k < plane.kernels->coeffs.size(); ++k) {
+                std::fill(field.begin(), field.end(), litho::Complex{});
+                for (std::size_t i = 0; i < plane.pos.size(); ++i) {
+                    field[static_cast<std::size_t>(plane.pos[i])] =
+                        plane.kernels->coeffs[k][i] *
+                        spectrum[static_cast<std::size_t>(plane.pos[i])];
+                }
+                litho::fft2d_inverse(field, n);
+                const double lam = plane.kernels->eigenvalues[k];
+                for (std::size_t i = 0; i < n2; ++i) {
+                    plane.intensity[i] += lam * std::norm(field[i]);
+                }
+                plane.fields[k] = field;
             }
-            litho::fft2d_inverse(field, n);
-            const double lam = kernels.eigenvalues[k];
-            for (std::size_t i = 0; i < n2; ++i) intensity[i] += lam * std::norm(field[i]);
-            fields[k] = field;
         }
 
-        // Soft-resist loss L = sum (sigmoid(rs*(I-thr)) - Z)^2.
+        // Per-corner soft-resist losses L_c = sum (sigmoid(rs*(I*d-thr)) - Z)^2.
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+            const Plane& plane = planes[static_cast<std::size_t>(corners[c].plane)];
+            const double d = corners[c].dose;
+            double loss = 0.0;
+            for (std::size_t i = 0; i < n2; ++i) {
+                const double s =
+                    sigmoid(opt_.resist_steepness * (plane.intensity[i] * d - thr));
+                const double diff = s - target.data()[i];
+                loss += diff * diff;
+            }
+            corner_loss[c] = loss;
+        }
+
+        // The scalar objective and each corner's gradient weight. Worst mode
+        // descends on the currently-worst corner only (subgradient of max).
         double loss = 0.0;
-        std::vector<double> dl_di(n2);
-        for (std::size_t i = 0; i < n2; ++i) {
-            const double s = sigmoid(opt_.resist_steepness * (intensity[i] - thr));
-            const double diff = s - target.data()[i];
-            loss += diff * diff;
-            dl_di[i] = 2.0 * diff * opt_.resist_steepness * s * (1.0 - s);
+        std::fill(corner_dl_scale.begin(), corner_dl_scale.end(), 0.0);
+        switch (opt_.objective) {
+            case rl::RewardMode::kNominal:
+                loss = corner_loss[0];
+                corner_dl_scale[0] = 1.0;
+                break;
+            case rl::RewardMode::kWorstCorner: {
+                const std::size_t worst = static_cast<std::size_t>(
+                    std::max_element(corner_loss.begin(), corner_loss.end()) -
+                    corner_loss.begin());
+                loss = corner_loss[worst];
+                corner_dl_scale[worst] = 1.0;
+                break;
+            }
+            case rl::RewardMode::kWeightedCorner:
+                for (std::size_t c = 0; c < corners.size(); ++c) {
+                    loss += corners[c].weight * corner_loss[c];
+                    corner_dl_scale[c] = corners[c].weight / weight_sum;
+                }
+                loss /= weight_sum;
+                break;
         }
         res.loss_history.push_back(loss);
         if (it == 0) res.initial_loss = loss;
         res.final_loss = loss;
+        res.corner_loss = corner_loss;
         if (it == opt_.iterations) break;
 
-        // Adjoint: dL/dm = sum_k 2 lam Re{ C_k^H [ dL/dI .* f_k ] }.
+        // Adjoint per plane: dL/dI_f accumulates over this plane's dose
+        // corners (chain rule through I*d adds a factor d), then
+        // dL/dm = sum_k 2 lam Re{ C_k^H [ dL/dI .* f_k ] }.
         std::vector<double> grad(n2, 0.0);
-        for (std::size_t k = 0; k < kernels.coeffs.size(); ++k) {
-            for (std::size_t i = 0; i < n2; ++i) {
-                back[i] = static_cast<float>(dl_di[i]) * fields[k][i];
+        for (std::size_t f = 0; f < planes.size(); ++f) {
+            const Plane& plane = planes[f];
+            std::vector<double> dl_di(n2, 0.0);
+            bool any = false;
+            for (std::size_t c = 0; c < corners.size(); ++c) {
+                if (corners[c].plane != static_cast<int>(f) || corner_dl_scale[c] == 0.0) {
+                    continue;
+                }
+                any = true;
+                const double d = corners[c].dose;
+                const double scale = corner_dl_scale[c];
+                for (std::size_t i = 0; i < n2; ++i) {
+                    const double s =
+                        sigmoid(opt_.resist_steepness * (plane.intensity[i] * d - thr));
+                    const double diff = s - target.data()[i];
+                    dl_di[i] +=
+                        scale * 2.0 * diff * opt_.resist_steepness * s * (1.0 - s) * d;
+                }
             }
-            litho::fft2d_forward(back, n);
-            std::vector<litho::Complex> filtered(n2);
-            for (std::size_t i = 0; i < pos.size(); ++i) {
-                const auto p = static_cast<std::size_t>(pos[i]);
-                filtered[p] = std::conj(kernels.coeffs[k][i]) * back[p];
+            if (!any) continue;
+
+            for (std::size_t k = 0; k < plane.kernels->coeffs.size(); ++k) {
+                for (std::size_t i = 0; i < n2; ++i) {
+                    back[i] = static_cast<float>(dl_di[i]) * plane.fields[k][i];
+                }
+                litho::fft2d_forward(back, n);
+                std::vector<litho::Complex> filtered(n2);
+                for (std::size_t i = 0; i < plane.pos.size(); ++i) {
+                    const auto p = static_cast<std::size_t>(plane.pos[i]);
+                    filtered[p] = std::conj(plane.kernels->coeffs[k][i]) * back[p];
+                }
+                litho::fft2d_inverse(filtered, n);
+                const double lam = plane.kernels->eigenvalues[k];
+                for (std::size_t i = 0; i < n2; ++i) grad[i] += 2.0 * lam * filtered[i].real();
             }
-            litho::fft2d_inverse(filtered, n);
-            const double lam = kernels.eigenvalues[k];
-            for (std::size_t i = 0; i < n2; ++i) grad[i] += 2.0 * lam * filtered[i].real();
         }
 
         // Descend on theta through the mask sigmoid.
@@ -117,12 +248,32 @@ IltResult IltEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSi
         }
     }
 
-    // EPE of the final mask at the layout's measure points.
+    // EPE of the final mask at the layout's measure points (nominal corner),
+    // plus the worst corner through the window in the window modes.
     const geo::Raster aerial = sim.aerial_nominal(res.mask);
     for (const geo::MeasurePoint& mp : layout.measure_points()) {
         const double epe = litho::measure_epe(aerial, thr, {mp.pos.x + off, mp.pos.y + off},
                                               mp.normal, cfg.epe_range_nm);
         res.sum_abs_epe += std::abs(epe);
+    }
+    if (windowed) {
+        std::vector<geo::Raster> plane_aerials;
+        plane_aerials.reserve(planes.size());
+        for (const Plane& plane : planes) {
+            plane_aerials.push_back(plane.applicator->apply(spectrum, cfg.pixel_nm));
+        }
+        for (const CornerRef& corner : corners) {
+            const geo::Raster& corner_aerial =
+                plane_aerials[static_cast<std::size_t>(corner.plane)];
+            double sum = 0.0;
+            for (const geo::MeasurePoint& mp : layout.measure_points()) {
+                const double epe = litho::measure_epe(
+                    corner_aerial, thr / corner.dose, {mp.pos.x + off, mp.pos.y + off},
+                    mp.normal, cfg.epe_range_nm);
+                sum += std::abs(epe);
+            }
+            res.worst_corner_epe = std::max(res.worst_corner_epe, sum);
+        }
     }
     res.runtime_s = timer.seconds();
     return res;

@@ -5,11 +5,21 @@
 // mask is a free pixel image m = sigmoid(theta), the printed image is
 // approximated by a sigmoid resist, and theta follows the analytic gradient
 // of the L2 contour error through the SOCS imaging operator.
+//
+// The window objective (same modes as the segment engines, for fair
+// ablations) generalizes the loss over a dose x focus grid: per focus plane
+// the coherent fields are computed once and shared by every dose at that
+// plane (dose scales the intensity, i.e. the resist argument is I*d - thr),
+// so the window loss costs one extra SOCS forward/adjoint pass per extra
+// focus plane, not per corner. kWeightedCorner descends on the weighted sum
+// of per-corner losses; kWorstCorner takes the subgradient of the max —
+// each iteration descends on the currently-worst corner's loss.
 #pragma once
 
 #include "geometry/layout.hpp"
 #include "geometry/raster.hpp"
 #include "litho/simulator.hpp"
+#include "rl/reward.hpp"
 
 namespace camo::opc {
 
@@ -18,15 +28,33 @@ struct IltOptions {
     double step = 4.0;           ///< gradient step on theta
     double mask_steepness = 4.0; ///< sigmoid slope of m(theta)
     double resist_steepness = 40.0;  ///< sigmoid slope of the soft resist
+
+    /// Window objective, mirroring OpcOptions::objective for the segment
+    /// engines. kNominal preserves the legacy single-corner loss bit for
+    /// bit; the window modes optimize the process-window loss above.
+    rl::RewardMode objective = rl::RewardMode::kNominal;
+
+    /// Window for the window objectives; empty axes resolve to
+    /// litho::WindowSpec::standard of the simulator's config.
+    litho::WindowSpec window;
+
+    /// Per-corner weights for kWeightedCorner (empty = uniform).
+    std::vector<double> corner_weights;
 };
 
 struct IltResult {
     geo::Raster mask{1, 1.0};   ///< final continuous mask (grid frame)
-    double initial_loss = 0.0;  ///< L2 contour error before optimization
+    double initial_loss = 0.0;  ///< objective loss before optimization
     double final_loss = 0.0;
-    double sum_abs_epe = 0.0;   ///< |EPE| at the layout's measure points
+    double sum_abs_epe = 0.0;   ///< |EPE| at the layout's measure points (nominal corner)
     std::vector<double> loss_history;
     double runtime_s = 0.0;
+
+    /// Window modes only: worst-corner sum |EPE| of the final mask and the
+    /// final per-corner soft-resist losses in WindowSpec::corner order
+    /// (empty / 0 in kNominal mode).
+    double worst_corner_epe = 0.0;
+    std::vector<double> corner_loss;
 };
 
 class IltEngine {

@@ -1,0 +1,139 @@
+#include "opc/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace camo::opc {
+
+litho::SimMetrics objective_view(const litho::WindowMetrics& wm,
+                                 const rl::WindowRewardConfig& cfg) {
+    litho::SimMetrics view;
+    switch (cfg.mode) {
+        case rl::RewardMode::kNominal: {
+            const litho::CornerResult* nominal = wm.nominal_corner();
+            if (nominal == nullptr) {
+                throw std::invalid_argument("objective_view: window lacks the nominal corner");
+            }
+            view = nominal->metrics;
+            break;
+        }
+        case rl::RewardMode::kWorstCorner: {
+            if (wm.worst_corner < 0 ||
+                wm.worst_corner >= static_cast<int>(wm.corners.size())) {
+                throw std::invalid_argument("objective_view: window has no worst corner");
+            }
+            // Minimax feedback: a segment move shifts every corner's printed
+            // edge by roughly the same amount, so the move that minimises a
+            // segment's worst-corner |EPE| is the one that centres its
+            // per-corner EPE range. Chasing the argmax corner's profile
+            // instead oscillates — the worst corner flips between the
+            // underprinting and overprinting extremes every iteration.
+            const std::size_t points = wm.corners.front().metrics.epe.size();
+            const std::size_t segments = wm.corners.front().metrics.epe_segment.size();
+            const auto range_midpoints = [&wm](std::size_t count, auto&& values) {
+                std::vector<double> mid(count, 0.0);
+                for (std::size_t i = 0; i < count; ++i) {
+                    double lo = values(wm.corners.front().metrics, i);
+                    double hi = lo;
+                    for (const litho::CornerResult& c : wm.corners) {
+                        const double e = values(c.metrics, i);
+                        lo = std::min(lo, e);
+                        hi = std::max(hi, e);
+                    }
+                    mid[i] = 0.5 * (lo + hi);
+                }
+                return mid;
+            };
+            view.epe = range_midpoints(
+                points, [](const litho::SimMetrics& m, std::size_t i) { return m.epe[i]; });
+            view.epe_segment = range_midpoints(
+                segments,
+                [](const litho::SimMetrics& m, std::size_t i) { return m.epe_segment[i]; });
+            break;
+        }
+        case rl::RewardMode::kWeightedCorner: {
+            cfg.validate(static_cast<int>(wm.corners.size()));
+            if (wm.corners.empty()) {
+                throw std::invalid_argument("objective_view: window has no corners");
+            }
+            const std::size_t points = wm.corners.front().metrics.epe.size();
+            const std::size_t segments = wm.corners.front().metrics.epe_segment.size();
+            view.epe.assign(points, 0.0);
+            view.epe_segment.assign(segments, 0.0);
+            double weight_sum = 0.0;
+            for (std::size_t c = 0; c < wm.corners.size(); ++c) {
+                const double w = cfg.corner_weights.empty() ? 1.0 : cfg.corner_weights[c];
+                const litho::SimMetrics& m = wm.corners[c].metrics;
+                for (std::size_t i = 0; i < points; ++i) view.epe[i] += w * m.epe[i];
+                for (std::size_t i = 0; i < segments; ++i) {
+                    view.epe_segment[i] += w * m.epe_segment[i];
+                }
+                weight_sum += w;
+            }
+            if (weight_sum > 0.0) {
+                for (double& e : view.epe) e /= weight_sum;
+                for (double& e : view.epe_segment) e /= weight_sum;
+            }
+            break;
+        }
+    }
+    // The scalar objective and band come from the shared reward reductions,
+    // so window_step_reward on the (before, after) sweeps equals step_reward
+    // on the (before, after) views by construction.
+    view.sum_abs_epe = rl::window_objective_epe(wm, cfg);
+    view.pvband_nm2 = rl::window_objective_pvb(wm, cfg);
+    return view;
+}
+
+litho::WindowSpec resolve_objective_window(const litho::WindowSpec& window,
+                                           const rl::WindowRewardConfig& reward,
+                                           const litho::LithoConfig& cfg) {
+    litho::WindowSpec spec = window;
+    if (spec.doses.empty() && spec.defocus_nm.empty()) {
+        spec = litho::WindowSpec::standard(cfg);
+    }
+    spec.validate();
+    reward.validate(spec.corner_count());
+    return spec;
+}
+
+WindowObjective::WindowObjective(const OpcOptions& opt, const litho::LithoConfig& cfg,
+                                 const rl::RewardConfig& base) {
+    reward_.base = base;
+    reward_.mode = opt.objective;
+    reward_.corner_weights = opt.corner_weights;
+    if (!active()) return;
+    spec_ = resolve_objective_window(opt.window, reward_, cfg);
+}
+
+litho::SimMetrics WindowObjective::prime(litho::LithoSim& sim,
+                                         const geo::SegmentedLayout& layout,
+                                         std::span<const int> offsets,
+                                         std::optional<litho::WindowMetrics>* window) const {
+    if (!active()) {
+        if (window != nullptr) window->reset();
+        return sim.evaluate_incremental(layout, offsets);
+    }
+    litho::WindowMetrics wm = sim.evaluate_window_prime(layout, offsets, spec_);
+    litho::SimMetrics view = objective_view(wm, reward_);
+    if (window != nullptr) *window = std::move(wm);
+    return view;
+}
+
+litho::SimMetrics WindowObjective::evaluate(litho::LithoSim& sim,
+                                            const geo::SegmentedLayout& layout,
+                                            std::span<const int> offsets,
+                                            std::span<const int> dirty,
+                                            std::optional<litho::WindowMetrics>* window) const {
+    if (!active()) {
+        if (window != nullptr) window->reset();
+        return sim.evaluate_incremental(layout, offsets, dirty);
+    }
+    litho::WindowMetrics wm = sim.evaluate_window_incremental(layout, offsets, spec_);
+    litho::SimMetrics view = objective_view(wm, reward_);
+    if (window != nullptr) *window = std::move(wm);
+    return view;
+}
+
+}  // namespace camo::opc

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.hpp"
+#include "opc/objective.hpp"
 
 namespace camo::opc {
 
@@ -11,10 +12,11 @@ EngineResult OneShotEngine::optimize(const geo::SegmentedLayout& layout, litho::
                                      const OpcOptions& opt) {
     Timer timer;
     EngineResult res;
+    const WindowObjective objective(opt, sim.config());
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
 
-    const litho::SimMetrics m0 = sim.evaluate_incremental(layout, offsets);
+    const litho::SimMetrics m0 = objective.prime(sim, layout, offsets, &res.final_window);
     res.epe_history.push_back(m0.sum_abs_epe);
     res.pvb_history.push_back(m0.pvband_nm2);
 
@@ -34,7 +36,7 @@ EngineResult OneShotEngine::optimize(const geo::SegmentedLayout& layout, litho::
     }
     res.iterations = 1;
 
-    res.final_metrics = sim.evaluate_incremental(layout, offsets, dirty);
+    res.final_metrics = objective.evaluate(sim, layout, offsets, dirty, &res.final_window);
     res.epe_history.push_back(res.final_metrics.sum_abs_epe);
     res.pvb_history.push_back(res.final_metrics.pvband_nm2);
     res.final_offsets = std::move(offsets);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.hpp"
+#include "opc/objective.hpp"
 
 namespace camo::opc {
 
@@ -56,10 +57,11 @@ EngineResult RuleEngine::optimize(const geo::SegmentedLayout& layout, litho::Lit
                                   const OpcOptions& opt) {
     Timer timer;
     EngineResult res;
+    const WindowObjective objective(opt, sim.config());
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
 
-    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
+    litho::SimMetrics m = objective.prime(sim, layout, offsets, &res.final_window);
     res.epe_history.push_back(m.sum_abs_epe);
     res.pvb_history.push_back(m.pvband_nm2);
 
@@ -70,7 +72,7 @@ EngineResult RuleEngine::optimize(const geo::SegmentedLayout& layout, litho::Lit
         if (opt_.early_exit && should_exit_early(m.sum_abs_epe, features, points, opt)) break;
         const auto moves = feedback_moves(m.epe_segment, opt_.gain, opt_.max_step_nm);
         const auto dirty = apply_moves(offsets, moves, opt.max_total_offset_nm);
-        m = sim.evaluate_incremental(layout, offsets, dirty);
+        m = objective.evaluate(sim, layout, offsets, dirty, &res.final_window);
         res.epe_history.push_back(m.sum_abs_epe);
         res.pvb_history.push_back(m.pvband_nm2);
         ++res.iterations;
@@ -86,9 +88,18 @@ rl::Trajectory RuleEngine::record_trajectory(const geo::SegmentedLayout& layout,
                                              litho::LithoSim& sim, const OpcOptions& opt,
                                              int steps) const {
     rl::Trajectory traj;
+    const WindowObjective objective(opt, sim.config());
     std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
                              opt.initial_bias_nm);
-    litho::SimMetrics m = sim.evaluate_incremental(layout, offsets);
+    std::optional<litho::WindowMetrics> window;
+    litho::SimMetrics m = objective.prime(sim, layout, offsets, &window);
+
+    const auto corner_epes = [](const litho::WindowMetrics& wm) {
+        std::vector<double> epes;
+        epes.reserve(wm.corners.size());
+        for (const litho::CornerResult& c : wm.corners) epes.push_back(c.metrics.sum_abs_epe);
+        return epes;
+    };
 
     for (int t = 0; t < steps; ++t) {
         // Teacher moves clamped to the learned engines' action space.
@@ -98,15 +109,25 @@ rl::Trajectory RuleEngine::record_trajectory(const geo::SegmentedLayout& layout,
         rec.offsets_before = offsets;
         rec.sum_abs_epe_before = m.sum_abs_epe;
         rec.pvband_before = m.pvband_nm2;
+        if (window) {
+            rec.worst_epe_before = window->worst_epe;
+            rec.pv_band_exact_before = window->pv_band_exact_nm2;
+            rec.corner_epe_before = corner_epes(*window);
+        }
         rec.actions.reserve(moves.size());
         for (int mv : moves) rec.actions.push_back(rl::move_to_action(mv));
         traj.steps.push_back(std::move(rec));
 
         const auto dirty = apply_moves(offsets, moves, opt.max_total_offset_nm);
-        m = sim.evaluate_incremental(layout, offsets, dirty);
+        m = objective.evaluate(sim, layout, offsets, dirty, &window);
     }
     traj.final_sum_abs_epe = m.sum_abs_epe;
     traj.final_pvband = m.pvband_nm2;
+    if (window) {
+        traj.final_worst_epe = window->worst_epe;
+        traj.final_pv_band_exact = window->pv_band_exact_nm2;
+        traj.final_corner_epe = corner_epes(*window);
+    }
     return traj;
 }
 

@@ -10,6 +10,14 @@
 
 namespace camo::runtime {
 
+namespace {
+
+bool same_window_spec(const litho::WindowSpec& a, const litho::WindowSpec& b) {
+    return a.doses == b.doses && a.defocus_nm == b.defocus_nm;
+}
+
+}  // namespace
+
 std::string BatchResult::summary() const {
     char buf[448];
     std::snprintf(buf, sizeof buf,
@@ -20,6 +28,10 @@ std::string BatchResult::summary() const {
                   sum_final_epe, avg_final_epe(), sum_pvband_nm2, litho_evaluations,
                   100.0 * incremental_hit_rate());
     std::string out = buf;
+    if (reward_mode != rl::RewardMode::kNominal) {
+        std::snprintf(buf, sizeof buf, "; reward %s", rl::reward_mode_name(reward_mode));
+        out += buf;
+    }
     if (window_mode) {
         std::snprintf(buf, sizeof buf,
                       "; window: worst|EPE| avg %.1f nm, exact PVB avg %.0f nm^2",
@@ -42,6 +54,17 @@ BatchScheduler::BatchScheduler(const litho::LithoConfig& litho_cfg, BatchOptions
             (void)litho::acquire_focus_applicator(litho_cfg, f);
         }
     }
+    if (opt_.opc.objective != rl::RewardMode::kNominal) {
+        // Window reward mode: resolve and pre-acquire the objective's window
+        // the same way, so worker engines never race the first kernel build.
+        if (opt_.opc.window.doses.empty() && opt_.opc.window.defocus_nm.empty()) {
+            opt_.opc.window = litho::WindowSpec::standard(litho_cfg);
+        }
+        opt_.opc.window.validate();
+        for (double f : opt_.opc.window.defocus_nm) {
+            (void)litho::acquire_focus_applicator(litho_cfg, f);
+        }
+    }
     // The first simulator builds (or loads) the shared kernels; the copies
     // are shallow and per-worker so evaluation counters stay uncontended.
     sims_.reserve(static_cast<std::size_t>(pool_.size()));
@@ -54,7 +77,8 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
                                 const std::vector<std::string>& names) {
     Timer wall;
     BatchResult batch;
-    batch.window_mode = opt_.window;
+    batch.reward_mode = opt_.opc.objective;
+    batch.window_mode = opt_.window || opt_.opc.objective != rl::RewardMode::kNominal;
     batch.threads = pool_.size();
     batch.clips.resize(clips.size());
 
@@ -81,14 +105,19 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
                 const int worker = pool_.worker_index();
                 litho::LithoSim& sim = sims_[static_cast<std::size_t>(worker < 0 ? 0 : worker)];
                 slot.segments = layout.num_segments();
-                const opc::EngineResult res = optimize(layout, sim, opt_.opc, job_seed);
+                opc::EngineResult res = optimize(layout, sim, opt_.opc, job_seed);
                 slot.iterations = res.iterations;
                 slot.initial_epe = res.epe_history.empty() ? 0.0 : res.epe_history.front();
                 slot.final_epe = res.final_metrics.sum_abs_epe;
                 slot.pvband_nm2 = res.final_metrics.pvband_nm2;
                 slot.runtime_s = res.runtime_s;
                 slot.offsets = res.final_offsets;
-                if (opt_.window) {
+                if (res.final_window &&
+                    (!opt_.window || same_window_spec(opt_.window_spec, opt_.opc.window))) {
+                    // Window reward mode: the engine's in-loop sweep already
+                    // evaluated the final mask at every corner.
+                    slot.window = std::move(res.final_window);
+                } else if (opt_.window) {
                     // The engine's last incremental evaluation primed this
                     // worker's cache at (or near) the final offsets, so the
                     // sweep reuses the cached raster + spectrum; the cache

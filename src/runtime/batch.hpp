@@ -44,6 +44,11 @@ struct BatchOptions {
     /// litho config). The sweep rides the worker simulator's incremental
     /// cache, which the engine just primed with the final offsets, so it
     /// typically costs only one aerial per focus plane per clip.
+    ///
+    /// Reward mode (opc.objective != kNominal) composes with this: the
+    /// engines then optimize the window objective in-loop and return the
+    /// final sweep themselves, which run() reuses when its spec matches
+    /// window_spec (ClipResult::window is populated in either mode).
     bool window = false;
     litho::WindowSpec window_spec;
 };
@@ -67,7 +72,8 @@ struct ClipResult {
 /// Aggregated batch outcome, in clip-index order.
 struct BatchResult {
     std::vector<ClipResult> clips;
-    bool window_mode = false;
+    bool window_mode = false;  ///< window sweep or window reward mode active
+    rl::RewardMode reward_mode = rl::RewardMode::kNominal;
     int threads = 1;
     double wall_s = 0.0;            ///< end-to-end batch wall time
     double throughput_cps = 0.0;    ///< successful clips per second

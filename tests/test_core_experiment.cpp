@@ -62,6 +62,20 @@ TEST(Experiment, WeightsPathDistinguishesConfigs) {
     CamoConfig changed = camo;
     changed.phase1_epochs += 1;
     EXPECT_NE(Experiment::weights_path(camo, "via"), Experiment::weights_path(changed, "via"));
+
+    // The training reward mode is part of the key: a policy trained under
+    // one objective must never be served to runs requesting another.
+    // Nominal mode keeps the pre-existing path unchanged.
+    EXPECT_EQ(Experiment::weights_path(camo, "via"),
+              Experiment::weights_path(camo, "via", rl::RewardMode::kNominal));
+    EXPECT_NE(Experiment::weights_path(camo, "via"),
+              Experiment::weights_path(camo, "via", rl::RewardMode::kWorstCorner));
+    EXPECT_NE(Experiment::weights_path(camo, "via", rl::RewardMode::kWorstCorner),
+              Experiment::weights_path(camo, "via", rl::RewardMode::kWeightedCorner));
+    // The mode is visible in the filename, not just hashed.
+    EXPECT_NE(Experiment::weights_path(camo, "via", rl::RewardMode::kWorstCorner)
+                  .find("worst-corner"),
+              std::string::npos);
 }
 
 TEST(Experiment, FragmentViaClipsIncludesSrafs) {

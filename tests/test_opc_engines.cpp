@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "opc/ilt.hpp"
 #include "opc/one_shot.hpp"
 #include "opc/rule_engine.hpp"
@@ -103,6 +105,82 @@ TEST_F(OpcEngineTest, IltReducesContourLoss) {
     EXPECT_LT(res.final_loss, res.initial_loss);
     EXPECT_EQ(res.loss_history.size(), 11U);
     EXPECT_GE(res.sum_abs_epe, 0.0);
+}
+
+TEST_F(OpcEngineTest, OneShotWindowObjectiveCarriesFinalSweep) {
+    OneShotEngine engine;
+    OpcOptions opt;
+    opt.objective = rl::RewardMode::kWorstCorner;
+    litho::LithoSim sim(*sim_);
+    const EngineResult res = engine.optimize(via_layout(), sim, opt);
+    EXPECT_EQ(res.iterations, 1);
+    ASSERT_TRUE(res.final_window.has_value());
+    EXPECT_EQ(res.final_window->corners.size(), 6U);  // standard window
+    // The objective view reports the worst corner.
+    EXPECT_EQ(res.final_metrics.sum_abs_epe, res.final_window->worst_epe);
+    EXPECT_EQ(res.final_metrics.pvband_nm2, res.final_window->pv_band_exact_nm2);
+    // Worst corner never beats nominal.
+    ASSERT_NE(res.final_window->nominal_corner(), nullptr);
+    EXPECT_GE(res.final_window->worst_epe,
+              res.final_window->nominal_corner()->metrics.sum_abs_epe);
+}
+
+TEST_F(OpcEngineTest, TrajectoryCarriesWindowMetricsUnderWindowObjective) {
+    RuleEngine teacher({.gain = 0.6, .max_step_nm = 2, .early_exit = false});
+    OpcOptions opt;
+    opt.objective = rl::RewardMode::kWorstCorner;
+    litho::LithoSim sim(*sim_);
+    const rl::Trajectory traj = teacher.record_trajectory(via_layout(), sim, opt, 3);
+    ASSERT_EQ(traj.steps.size(), 3U);
+    for (const rl::StepRecord& s : traj.steps) {
+        EXPECT_GT(s.worst_epe_before, 0.0);
+        EXPECT_GE(s.worst_epe_before, s.sum_abs_epe_before - 1e-9);
+        EXPECT_GT(s.pv_band_exact_before, 0.0);
+        EXPECT_EQ(s.corner_epe_before.size(), 6U);
+        EXPECT_EQ(*std::max_element(s.corner_epe_before.begin(), s.corner_epe_before.end()),
+                  s.worst_epe_before);
+    }
+    EXPECT_GT(traj.final_worst_epe, 0.0);
+    EXPECT_EQ(traj.final_corner_epe.size(), 6U);
+    // The teacher improves the worst corner over its trajectory.
+    EXPECT_LT(traj.final_worst_epe, traj.steps.front().worst_epe_before);
+
+    // Nominal trajectories leave the window fields empty, as before.
+    const rl::Trajectory plain = teacher.record_trajectory(via_layout(), sim, OpcOptions{}, 2);
+    EXPECT_EQ(plain.steps.front().corner_epe_before.size(), 0U);
+    EXPECT_EQ(plain.final_worst_epe, 0.0);
+}
+
+TEST_F(OpcEngineTest, IltWindowObjectiveReducesWorstCornerLoss) {
+    const IltOptions base{.iterations = 8, .step = 4.0, .mask_steepness = 4.0,
+                          .resist_steepness = 40.0};
+    // Nominal path is byte-compatible with the legacy single-corner loss.
+    IltEngine nominal(base);
+    const IltResult nom = nominal.optimize(via_layout(), *sim_);
+    EXPECT_LT(nom.final_loss, nom.initial_loss);
+    EXPECT_EQ(nom.worst_corner_epe, 0.0);
+    ASSERT_EQ(nom.corner_loss.size(), 1U);
+    EXPECT_EQ(nom.corner_loss.front(), nom.final_loss);
+
+    IltOptions wopt = base;
+    wopt.objective = rl::RewardMode::kWorstCorner;
+    IltEngine worst(wopt);
+    const IltResult wres = worst.optimize(via_layout(), *sim_);
+    EXPECT_LT(wres.final_loss, wres.initial_loss);
+    EXPECT_EQ(wres.corner_loss.size(), 6U);  // standard window
+    // final_loss is the max corner loss in worst mode.
+    EXPECT_EQ(*std::max_element(wres.corner_loss.begin(), wres.corner_loss.end()),
+              wres.final_loss);
+    EXPECT_GT(wres.worst_corner_epe, 0.0);
+    EXPECT_GE(wres.worst_corner_epe, wres.sum_abs_epe - 1e-9);
+
+    IltOptions mean_opt = base;
+    mean_opt.objective = rl::RewardMode::kWeightedCorner;
+    mean_opt.corner_weights = {1.0, 1.0, 1.0, 1.0, 1.0, 2.0};
+    IltEngine weighted(mean_opt);
+    const IltResult mres = weighted.optimize(via_layout(), *sim_);
+    EXPECT_LT(mres.final_loss, mres.initial_loss);
+    EXPECT_EQ(mres.corner_loss.size(), 6U);
 }
 
 TEST(OpcExit, EarlyExitRules) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -237,6 +238,92 @@ TEST(BatchScheduler, WindowModeEvaluatesEveryCornerDeterministically) {
     }
     const std::string digest = r1.summary();
     EXPECT_NE(digest.find("window:"), std::string::npos) << digest;
+}
+
+TEST(BatchScheduler, WorstCornerObjectiveBitIdenticalAcrossThreadCounts) {
+    // Window reward mode rides evaluate_window_incremental inside the engine
+    // loop; per-clip caches are still primed per job, so results remain
+    // bit-identical at any thread count.
+    const auto clips = test_clips(4);
+    BatchOptions opt = batch_options(1);
+    opt.opc.objective = rl::RewardMode::kWorstCorner;
+    BatchOptions opt4 = batch_options(4);
+    opt4.opc.objective = rl::RewardMode::kWorstCorner;
+
+    BatchScheduler one(test_litho_config(), opt);
+    BatchScheduler four(test_litho_config(), opt4);
+    // The objective's window resolved to the standard spec up front.
+    ASSERT_EQ(one.options().opc.window.corner_count(), 6);
+
+    const BatchResult r1 = one.run_rule(clips);
+    const BatchResult r4 = four.run_rule(clips);
+    EXPECT_EQ(r1.failed, 0);
+    EXPECT_EQ(r4.failed, 0);
+    EXPECT_TRUE(r1.window_mode);  // reward mode implies window aggregates
+    EXPECT_EQ(r1.reward_mode, rl::RewardMode::kWorstCorner);
+
+    for (std::size_t i = 0; i < clips.size(); ++i) {
+        EXPECT_EQ(r1.clips[i].offsets, r4.clips[i].offsets) << "clip " << i;
+        EXPECT_EQ(r1.clips[i].final_epe, r4.clips[i].final_epe) << "clip " << i;
+        // The engines returned their in-loop final sweep: populated without
+        // the batch window flag, bit-identical across thread counts.
+        ASSERT_TRUE(r1.clips[i].window.has_value()) << "clip " << i;
+        ASSERT_TRUE(r4.clips[i].window.has_value()) << "clip " << i;
+        EXPECT_EQ(r1.clips[i].window->worst_epe, r4.clips[i].window->worst_epe)
+            << "clip " << i;
+        EXPECT_EQ(r1.clips[i].window->pv_band_exact_nm2, r4.clips[i].window->pv_band_exact_nm2)
+            << "clip " << i;
+        // final_epe reports the objective: the worst corner's sum |EPE|.
+        EXPECT_EQ(r1.clips[i].final_epe, r1.clips[i].window->worst_epe) << "clip " << i;
+    }
+    const std::string digest = r1.summary();
+    EXPECT_NE(digest.find("worst-corner"), std::string::npos) << digest;
+    EXPECT_NE(digest.find("window:"), std::string::npos) << digest;
+}
+
+TEST(BatchScheduler, WorstCornerPhase2TraceIsByteIdentical) {
+    // Golden determinism for window-aware training: a short fixed-seed
+    // phase-2 run in worst-corner mode reproduces its phase2_reward trace
+    // exactly, independent of how many batch workers previously shared the
+    // process-wide kernel registry (training itself is single-threaded by
+    // design).
+    const auto clips = test_clips(2);
+    core::CamoConfig cfg;
+    cfg.phase1_epochs = 1;
+    cfg.teacher_steps = 2;
+    cfg.phase2_episodes = 2;
+
+    opc::OpcOptions opt = test_opc_options();
+    opt.max_iterations = 2;
+    opt.objective = rl::RewardMode::kWorstCorner;
+
+    const auto train_once = [&](int scheduler_threads) {
+        // A scheduler with its own thread count runs a batch first, sharing
+        // the kernel registry with the training simulator.
+        BatchOptions bopt = batch_options(scheduler_threads);
+        bopt.opc.objective = rl::RewardMode::kWorstCorner;
+        BatchScheduler scheduler(test_litho_config(), bopt);
+        (void)scheduler.run_rule(clips);
+
+        core::CamoEngine engine(cfg);
+        litho::LithoSim sim(test_litho_config());
+        return engine.train(clips, sim, opt);
+    };
+
+    const core::TrainStats a = train_once(1);
+    const core::TrainStats b = train_once(4);
+    ASSERT_EQ(a.phase2_reward.size(), 2U);
+    ASSERT_EQ(a.phase2_reward.size(), b.phase2_reward.size());
+    for (std::size_t i = 0; i < a.phase2_reward.size(); ++i) {
+        const double ra = a.phase2_reward[i];
+        const double rb = b.phase2_reward[i];
+        EXPECT_EQ(0, std::memcmp(&ra, &rb, sizeof ra)) << "episode " << i;
+        EXPECT_TRUE(std::isfinite(ra)) << "episode " << i;
+    }
+    ASSERT_EQ(a.phase1_loss.size(), b.phase1_loss.size());
+    for (std::size_t i = 0; i < a.phase1_loss.size(); ++i) {
+        EXPECT_EQ(a.phase1_loss[i], b.phase1_loss[i]) << "epoch " << i;
+    }
 }
 
 TEST(SplitMix, DerivedSeedsAreStableAndDistinct) {

@@ -15,13 +15,20 @@
 //   --layer N                    input layer number      [1]
 //   --clip N                     clip size in nm         [2000]
 //   --iterations N               max OPC iterations      [style default]
+//   --reward-mode M              nominal|worst|weighted: which corner(s) of
+//                                the process window the engine optimizes
+//                                [nominal]
+//   --window                     evaluate the final mask through the
+//                                standard process window and print the
+//                                worst-corner |EPE| / exact PV band
 //   --quiet                      suppress progress logs
 //
 // Batch mode runs the parallel runtime over a generated via-clip stream and
 // prints per-clip results plus aggregate throughput:
 //
 //   camo_cli batch [--clips N] [--threads N] [--engine rule|camo]
-//                  [--seed S] [--iterations N] [--quiet]
+//                  [--seed S] [--iterations N] [--reward-mode M] [--window]
+//                  [--quiet]
 //
 // Sweep mode is batch mode plus a multi-corner process-window evaluation of
 // every corrected mask (defaults to the standard {dose_min, 1, dose_max} x
@@ -55,8 +62,24 @@ struct CliOptions {
     int layer = 1;
     int clip_nm = 2000;
     int iterations = -1;
+    rl::RewardMode reward_mode = rl::RewardMode::kNominal;
+    bool window = false;
     bool quiet = false;
 };
+
+// "nominal" | "worst[-corner]" | "weighted[-corner]" -> RewardMode.
+bool parse_reward_mode(const std::string& s, rl::RewardMode& mode) {
+    if (s == "nominal") {
+        mode = rl::RewardMode::kNominal;
+    } else if (s == "worst" || s == "worst-corner") {
+        mode = rl::RewardMode::kWorstCorner;
+    } else if (s == "weighted" || s == "weighted-corner") {
+        mode = rl::RewardMode::kWeightedCorner;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 bool parse_args(int argc, char** argv, CliOptions& o) try {
     for (int i = 1; i < argc; ++i) {
@@ -81,6 +104,13 @@ bool parse_args(int argc, char** argv, CliOptions& o) try {
             o.clip_nm = std::stoi(v);
         } else if (a == "--iterations" && next(v)) {
             o.iterations = std::stoi(v);
+        } else if (a == "--reward-mode" && next(v)) {
+            if (!parse_reward_mode(v, o.reward_mode)) {
+                std::fprintf(stderr, "unknown reward mode: %s\n", v.c_str());
+                return false;
+            }
+        } else if (a == "--window") {
+            o.window = true;
         } else if (a == "--quiet") {
             o.quiet = true;
         } else {
@@ -99,8 +129,9 @@ struct BatchCliOptions {
     std::string engine = "rule";
     std::uint64_t seed = core::Experiment::kDatasetSeed;
     int iterations = -1;
+    rl::RewardMode reward_mode = rl::RewardMode::kNominal;
     bool quiet = false;
-    bool window = false;             // sweep mode
+    bool window = false;             // sweep mode / batch --window
     std::vector<double> doses;       // empty = standard window
     std::vector<double> focuses_nm;  // empty = standard window
 };
@@ -141,6 +172,13 @@ bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
             o.seed = std::stoull(v);
         } else if (a == "--iterations" && next(v)) {
             o.iterations = std::stoi(v);
+        } else if (a == "--reward-mode" && next(v)) {
+            if (!parse_reward_mode(v, o.reward_mode)) {
+                std::fprintf(stderr, "unknown reward mode: %s\n", v.c_str());
+                return false;
+            }
+        } else if (a == "--window") {
+            o.window = true;  // batch --window == sweep mode
         } else if (a == "--quiet") {
             o.quiet = true;
         } else if (o.window && a == "--doses" && next(v)) {
@@ -164,9 +202,10 @@ int batch_main(int argc, char** argv, bool window) {
     if (!parse_batch_args(argc, argv, cli)) {
         std::fprintf(stderr,
                      "usage: camo_cli %s [--clips N] [--threads N] [--engine rule|camo]"
-                     " [--seed S] [--iterations N] [--quiet]%s\n",
+                     " [--seed S] [--iterations N] [--reward-mode nominal|worst|weighted]"
+                     " [--quiet]%s\n",
                      window ? "sweep" : "batch",
-                     window ? " [--doses a,b,..] [--focuses a,b,..]" : "");
+                     window ? " [--doses a,b,..] [--focuses a,b,..]" : " [--window]");
         return 2;
     }
     if (!cli.quiet) set_log_level(LogLevel::kInfo);
@@ -182,6 +221,7 @@ int batch_main(int argc, char** argv, bool window) {
     opt.seed = cli.seed;
     opt.opc = core::Experiment::via_options();
     if (cli.iterations > 0) opt.opc.max_iterations = cli.iterations;
+    opt.opc.objective = cli.reward_mode;
     if (cli.window) {
         opt.window = true;
         litho::WindowSpec spec = litho::WindowSpec::standard(core::Experiment::litho_config());
@@ -194,6 +234,9 @@ int batch_main(int argc, char** argv, bool window) {
             return 2;
         }
         opt.window_spec = spec;
+        // A custom sweep window also becomes the reward-mode objective, so
+        // the engines optimize the same corners the report evaluates.
+        if (cli.reward_mode != rl::RewardMode::kNominal) opt.opc.window = spec;
     }
 
     runtime::BatchScheduler scheduler(core::Experiment::litho_config(), opt);
@@ -208,14 +251,16 @@ int batch_main(int argc, char** argv, bool window) {
         const auto train = core::fragment_via_clips(
             layout::via_training_set(core::Experiment::kDatasetSeed));
         core::ensure_trained(engine, train, train_sim, opt.opc,
-                             core::Experiment::weights_path(cfg, "via"));
+                             core::Experiment::weights_path(cfg, "via", cli.reward_mode));
         res = scheduler.run_camo(clips, engine, names);
     }
 
-    if (cli.window) {
-        const litho::WindowSpec& spec = scheduler.options().window_spec;
-        std::printf("process window: %d doses x %d focus planes = %d corners\n",
-                    spec.dose_count(), spec.focus_count(), spec.corner_count());
+    if (cli.window || cli.reward_mode != rl::RewardMode::kNominal) {
+        const litho::WindowSpec& spec = cli.window ? scheduler.options().window_spec
+                                                   : scheduler.options().opc.window;
+        std::printf("process window: %d doses x %d focus planes = %d corners (reward %s)\n",
+                    spec.dose_count(), spec.focus_count(), spec.corner_count(),
+                    rl::reward_mode_name(cli.reward_mode));
         std::printf("%-6s %6s %6s %10s %10s %10s %10s %12s\n", "Clip", "Segs", "Iters", "EPE",
                     "WorstEPE", "PVBexact", "PVB2c", "CDrange");
         for (const runtime::ClipResult& c : res.clips) {
@@ -223,6 +268,7 @@ int batch_main(int argc, char** argv, bool window) {
                 std::printf("%-6s FAILED: %s\n", c.name.c_str(), c.error.c_str());
                 continue;
             }
+            if (!c.window) continue;
             const litho::WindowMetrics& w = *c.window;
             char two_corner[32] = "n/a";  // window lacks the standard planes
             if (w.pv_band_two_corner_nm2 >= 0.0) {
@@ -259,7 +305,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: camo_cli --in layout.gds --out result.gds"
                      " [--engine rule|oneshot|camo] [--style via|metal] [--layer N]"
-                     " [--clip N] [--iterations N] [--quiet]\n");
+                     " [--clip N] [--iterations N]"
+                     " [--reward-mode nominal|worst|weighted] [--window] [--quiet]\n");
         return 2;
     }
     if (!cli.quiet) set_log_level(LogLevel::kInfo);
@@ -291,6 +338,7 @@ int main(int argc, char** argv) {
     opc::OpcOptions opt =
         via_style ? core::Experiment::via_options() : core::Experiment::metal_options();
     if (cli.iterations > 0) opt.max_iterations = cli.iterations;
+    opt.objective = cli.reward_mode;
 
     // Select and run the engine.
     opc::EngineResult res;
@@ -312,7 +360,7 @@ int main(int argc, char** argv) {
                 : core::fragment_metal_clips(
                       layout::metal_training_set(core::Experiment::kDatasetSeed, 5));
         core::ensure_trained(engine, train, sim, opt,
-                             core::Experiment::weights_path(cfg, tag));
+                             core::Experiment::weights_path(cfg, tag, cli.reward_mode));
         res = engine.optimize(layout, sim, opt);
     } else {
         std::fprintf(stderr, "unknown engine: %s\n", cli.engine.c_str());
@@ -322,6 +370,18 @@ int main(int argc, char** argv) {
     std::printf("%d segments, %d iterations: sum|EPE| %.1f -> %.1f nm, PVB %.0f nm^2, %.2f s\n",
                 layout.num_segments(), res.iterations, res.epe_history.front(),
                 res.final_metrics.sum_abs_epe, res.final_metrics.pvband_nm2, res.runtime_s);
+    if (cli.window || cli.reward_mode != rl::RewardMode::kNominal) {
+        // Window-objective runs carry the final sweep for free; a plain
+        // --window run sweeps the final mask at the standard window.
+        const litho::WindowMetrics w =
+            res.final_window ? *res.final_window
+                             : sim.evaluate_window(layout, res.final_offsets,
+                                                   litho::WindowSpec::standard(sim.config()));
+        std::printf("window (%s reward): worst|EPE| %.1f nm, exact PVB %.0f nm^2, "
+                    "CD range %.0f nm^2\n",
+                    rl::reward_mode_name(cli.reward_mode), w.worst_epe, w.pv_band_exact_nm2,
+                    w.cd_range_nm2());
+    }
 
     layout::GdsLibrary out;
     out.name = "CAMO_OPC";
