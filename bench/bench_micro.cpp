@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/experiment.hpp"
 #include "core/graph.hpp"
 #include "core/modulator.hpp"
 #include "core/policy.hpp"
@@ -267,6 +268,72 @@ void BM_RewardWorstCornerStep(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_RewardWorstCornerStep);
+
+// ---- Data-parallel training runtime ----------------------------------------
+// Teacher-trajectory collection and one phase-1 imitation epoch on the via
+// training set, swept over the worker count (Arg). Results are bit-identical
+// at any width (the trainer's fixed-order gradient reduction), so the rows
+// measure pure scaling; the speedup table is the ratio of the Arg 1 row to
+// each wider row. The epoch row uses whole-epoch minibatches (phase1_batch
+// 0) — the configuration with the most exposed parallelism, since samples
+// within a minibatch run concurrently and minibatches are sequential.
+
+camo::core::CamoConfig train_bench_config(int workers) {
+    camo::core::CamoConfig cfg;
+    cfg.policy.squish_size = 32;
+    cfg.squish.size = 32;
+    cfg.teacher_steps = 5;
+    cfg.teacher_biases = {3, 0, 8};
+    cfg.train_workers = workers;
+    cfg.phase1_batch = 0;  // whole-epoch minibatch: maximum exposed parallelism
+    cfg.seed = 7;
+    return cfg;
+}
+
+const std::vector<geo::SegmentedLayout>& train_bench_clips() {
+    static const std::vector<geo::SegmentedLayout> clips = [] {
+        layout::ViaGenOptions gen;
+        gen.clip_nm = 1000;  // fits the shared 256-grid simulator's span
+        gen.margin_nm = 200;
+        gen.min_spacing_nm = 120;
+        return core::fragment_via_clips(layout::via_batch_set(7, 3, gen));
+    }();
+    return clips;
+}
+
+void BM_TeacherCollect(benchmark::State& state) {
+    const int workers = static_cast<int>(state.range(0));
+    core::CamoEngine engine(train_bench_config(workers));
+    litho::LithoSim sim(shared_sim());
+    const opc::OpcOptions opt = core::Experiment::via_options();
+    std::size_t samples = 0;
+    for (auto _ : state) {
+        const core::Phase1Dataset data =
+            engine.collect_teacher_data(train_bench_clips(), sim, opt);
+        samples = data.samples.size();
+        benchmark::DoNotOptimize(samples);
+    }
+    state.counters["samples"] = static_cast<double>(samples);
+    state.counters["workers"] = workers;
+}
+BENCHMARK(BM_TeacherCollect)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Phase1Epoch(benchmark::State& state) {
+    const int workers = static_cast<int>(state.range(0));
+    core::CamoEngine engine(train_bench_config(workers));
+    litho::LithoSim sim(shared_sim());
+    const core::Phase1Dataset data =
+        engine.collect_teacher_data(train_bench_clips(), sim, core::Experiment::via_options());
+    for (auto _ : state) {
+        const double nll = engine.run_phase1_epoch(data);
+        benchmark::DoNotOptimize(nll);
+    }
+    state.counters["samples"] = static_cast<double>(data.samples.size());
+    state.counters["workers"] = workers;
+}
+BENCHMARK(BM_Phase1Epoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SquishEncode(benchmark::State& state) {
     const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({465, 465, 535, 535})};

@@ -5,8 +5,10 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "nn/grad_buffer.hpp"
 #include "nn/softmax.hpp"
 #include "opc/objective.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace camo::core {
 namespace {
@@ -64,8 +66,30 @@ CamoConfig make_rlopc_config(const CamoConfig& base) {
     return cfg;
 }
 
+// Per-worker state of the data-parallel training runtime. Workers compute
+// per-sample gradients on their own policy replica (synced from the master
+// weights before each wave), so the master's Parameter::grad is only ever
+// touched by the fixed-order reduction on the coordinating thread.
+struct CamoEngine::TrainRuntime {
+    int workers = 1;
+    std::unique_ptr<runtime::ThreadPool> pool;             ///< null when workers == 1
+    std::vector<std::unique_ptr<PolicyNetwork>> replicas;  ///< one per worker when pooled
+
+    /// Copy the master weights into every replica (called once per wave,
+    /// after the previous optimizer step made the replicas stale).
+    void sync_replicas(PolicyNetwork& master) {
+        for (auto& r : replicas) r->copy_weights_from(master);
+    }
+
+    /// The replica of the calling pool worker.
+    PolicyNetwork& worker_replica() {
+        const int w = pool->worker_index();
+        return *replicas[static_cast<std::size_t>(w < 0 ? 0 : w)];
+    }
+};
+
 CamoEngine::CamoEngine(CamoConfig cfg)
-    : cfg_(std::move(cfg)), policy_(cfg_.policy), sample_rng_(cfg_.seed ^ 0x5A17ULL) {
+    : cfg_(std::move(cfg)), policy_(cfg_.policy) {
     if (cfg_.squish.size != cfg_.policy.squish_size) {
         throw std::invalid_argument("CamoEngine: squish.size != policy.squish_size");
     }
@@ -79,6 +103,26 @@ CamoEngine::CamoEngine(CamoConfig cfg)
                                                         .clip_norm = cfg_.clip_norm,
                                                         .weight_decay = cfg_.weight_decay});
     }
+}
+
+CamoEngine::~CamoEngine() = default;
+
+CamoEngine::TrainRuntime& CamoEngine::train_runtime() {
+    int workers = cfg_.train_workers;
+    if (workers <= 0) workers = runtime::ThreadPool::default_threads();
+    if (!train_rt_ || train_rt_->workers != workers) {
+        auto rt = std::make_unique<TrainRuntime>();
+        rt->workers = workers;
+        if (workers > 1) {
+            rt->pool = std::make_unique<runtime::ThreadPool>(workers);
+            rt->replicas.reserve(static_cast<std::size_t>(workers));
+            for (int i = 0; i < workers; ++i) {
+                rt->replicas.push_back(std::make_unique<PolicyNetwork>(cfg_.policy));
+            }
+        }
+        train_rt_ = std::move(rt);
+    }
+    return *train_rt_;
 }
 
 void CamoEngine::optimizer_step() {
@@ -101,13 +145,6 @@ std::vector<nn::Tensor> CamoEngine::encode_state(const geo::SegmentedLayout& lay
         feats.push_back(encode_squish_window(all_mask, layout.targets(), s.control(), cfg_.squish));
     }
     return feats;
-}
-
-std::vector<int> CamoEngine::select_actions(const nn::Tensor& logits,
-                                            const std::vector<double>& epe_segment,
-                                            bool stochastic) {
-    return pick_actions(logits, epe_segment, cfg_.modulator,
-                        stochastic ? &sample_rng_ : nullptr);
 }
 
 opc::EngineResult CamoEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSim& sim,
@@ -154,39 +191,75 @@ opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout, litho::L
     return res;
 }
 
-TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
-                             litho::LithoSim& sim, const opc::OpcOptions& opt) {
-    TrainStats stats;
-
-    // ---- Phase 1: imitate rule-engine trajectories. ----------------------
-    struct Sample {
-        int clip = 0;
-        std::vector<nn::Tensor> features;
-        std::vector<int> actions;
-    };
-    std::vector<Sample> samples;
-    std::vector<Graph> graphs;
-    graphs.reserve(clips.size());
+Phase1Dataset CamoEngine::collect_teacher_data(const std::vector<geo::SegmentedLayout>& clips,
+                                               litho::LithoSim& sim,
+                                               const opc::OpcOptions& opt) {
+    Phase1Dataset data;
+    data.graphs.reserve(clips.size());
+    for (const geo::SegmentedLayout& c : clips) {
+        data.graphs.push_back(build_segment_graph(c, cfg_.graph_threshold_nm));
+    }
 
     std::vector<int> biases = cfg_.teacher_biases;
     if (biases.empty()) biases.push_back(opt.initial_bias_nm);
 
-    opc::RuleEngine teacher({.gain = 0.6, .max_step_nm = 2, .early_exit = false});
+    // Canonical job order: clip-major, bias-minor. The gathered dataset is a
+    // pure function of this order, never of which worker ran which job.
+    // Segment-free clips produce no (state, action) pairs — skipping them
+    // here keeps degenerate training inputs finite instead of feeding the
+    // policy an empty node set.
+    struct Job {
+        int clip = 0;
+        int bias = 0;
+    };
+    std::vector<Job> jobs;
     for (std::size_t c = 0; c < clips.size(); ++c) {
-        graphs.push_back(build_segment_graph(clips[c], cfg_.graph_threshold_nm));
-        for (int bias : biases) {
-            opc::OpcOptions teacher_opt = opt;
-            teacher_opt.initial_bias_nm = bias;
-            const rl::Trajectory traj =
-                teacher.record_trajectory(clips[c], sim, teacher_opt, cfg_.teacher_steps);
-            for (const rl::StepRecord& step : traj.steps) {
-                Sample s;
-                s.clip = static_cast<int>(c);
-                s.features = encode_state(clips[c], step.offsets_before);
-                s.actions = step.actions;
-                samples.push_back(std::move(s));
-            }
+        if (clips[c].num_segments() == 0) continue;
+        for (int bias : biases) jobs.push_back({static_cast<int>(c), bias});
+    }
+
+    const opc::RuleEngine teacher({.gain = 0.6, .max_step_nm = 2, .early_exit = false});
+    std::vector<std::vector<TeacherSample>> per_job(jobs.size());
+    data.trajectories.resize(jobs.size());
+
+    // record_trajectory primes the simulator's incremental cache with a full
+    // rebuild, so a job's result depends only on (clip, bias) — identical
+    // whether jobs share one simulator serially or run on per-worker copies.
+    const auto run_job = [&](litho::LithoSim& job_sim, int j) {
+        const Job& job = jobs[static_cast<std::size_t>(j)];
+        opc::OpcOptions teacher_opt = opt;
+        teacher_opt.initial_bias_nm = job.bias;
+        rl::Trajectory traj = teacher.record_trajectory(clips[static_cast<std::size_t>(job.clip)],
+                                                        job_sim, teacher_opt, cfg_.teacher_steps);
+        traj.clip_index = job.clip;
+        traj.initial_bias_nm = job.bias;
+        auto& samples = per_job[static_cast<std::size_t>(j)];
+        samples.reserve(traj.steps.size());
+        for (const rl::StepRecord& step : traj.steps) {
+            TeacherSample s;
+            s.clip = job.clip;
+            s.features = encode_state(clips[static_cast<std::size_t>(job.clip)],
+                                      step.offsets_before);
+            s.actions = step.actions;
+            samples.push_back(std::move(s));
         }
+        data.trajectories[static_cast<std::size_t>(j)] = std::move(traj);
+    };
+
+    TrainRuntime& rt = train_runtime();
+    if (rt.pool && jobs.size() > 1) {
+        // Per-worker simulator copies share the immutable kernel set.
+        std::vector<litho::LithoSim> worker_sims(static_cast<std::size_t>(rt.workers), sim);
+        rt.pool->for_each_index(static_cast<int>(jobs.size()), [&](int j) {
+            const int w = rt.pool->worker_index();
+            run_job(worker_sims[static_cast<std::size_t>(w < 0 ? 0 : w)], j);
+        });
+    } else {
+        for (std::size_t j = 0; j < jobs.size(); ++j) run_job(sim, static_cast<int>(j));
+    }
+
+    for (std::vector<TeacherSample>& job_samples : per_job) {
+        for (TeacherSample& s : job_samples) data.samples.push_back(std::move(s));
     }
 
     // Teacher data is heavily skewed toward the no-move action once its
@@ -194,51 +267,93 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
     // and +/-2 corrections from being drowned out.
     std::array<long long, rl::kNumActions> action_count{};
     long long action_total = 0;
-    for (const Sample& s : samples) {
+    for (const TeacherSample& s : data.samples) {
         for (int a : s.actions) {
             ++action_count[static_cast<std::size_t>(a)];
             ++action_total;
         }
     }
-    std::array<float, rl::kNumActions> action_weight{};
     for (int a = 0; a < rl::kNumActions; ++a) {
         const long long cnt = std::max(1LL, action_count[static_cast<std::size_t>(a)]);
         const double w = static_cast<double>(action_total) /
                          (static_cast<double>(rl::kNumActions) * static_cast<double>(cnt));
-        action_weight[static_cast<std::size_t>(a)] = static_cast<float>(std::min(w, 20.0));
+        data.action_weight[static_cast<std::size_t>(a)] = static_cast<float>(std::min(w, 20.0));
     }
+    return data;
+}
 
-    for (int epoch = 0; epoch < cfg_.phase1_epochs; ++epoch) {
-        double total_nll = 0.0;
-        long long total_nodes = 0;
-        for (const Sample& s : samples) {
-            const nn::Tensor logits = policy_.forward(s.features, graphs[static_cast<std::size_t>(s.clip)]);
+double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
+    const std::vector<TeacherSample>& samples = data.samples;
+    if (samples.empty()) return 0.0;  // degenerate dataset: no optimizer step
+    const std::size_t batch = cfg_.phase1_batch <= 0 ? samples.size()
+                                                     : static_cast<std::size_t>(cfg_.phase1_batch);
+
+    TrainRuntime& rt = train_runtime();
+    double total_nll = 0.0;
+    long long total_nodes = 0;
+    std::vector<nn::GradBuffer> buffers;
+    std::vector<double> sample_nll(batch, 0.0);
+    std::vector<long long> sample_nodes(batch, 0);
+
+    for (std::size_t start = 0; start < samples.size(); start += batch) {
+        const std::size_t count = std::min(batch, samples.size() - start);
+        buffers.assign(count, nn::GradBuffer{});
+
+        // Per-sample gradient of the class-weighted mean NLL, computed with
+        // `net`'s (master-synced) weights and captured into the sample's own
+        // buffer — the unit the fixed-order reduction folds back in.
+        const auto run_sample = [&](PolicyNetwork& net, std::size_t k) {
+            const TeacherSample& s = samples[start + k];
+            const nn::Tensor logits =
+                net.forward(s.features, data.graphs[static_cast<std::size_t>(s.clip)]);
             const int n = logits.dim(0);
             nn::Tensor dlogits({n, rl::kNumActions});
+            double nll = 0.0;
             for (int i = 0; i < n; ++i) {
                 std::array<float, rl::kNumActions> row{};
-                for (int a = 0; a < rl::kNumActions; ++a) row[static_cast<std::size_t>(a)] = logits.at(i, a);
+                for (int a = 0; a < rl::kNumActions; ++a) {
+                    row[static_cast<std::size_t>(a)] = logits.at(i, a);
+                }
                 const std::span<const float> row_span(row.data(), row.size());
                 const int act = s.actions[static_cast<std::size_t>(i)];
-                total_nll -= nn::log_prob(row_span, act);
+                nll -= nn::log_prob(row_span, act);
                 // coef = -w/n: gradient DEscent on class-weighted mean NLL.
-                const float coef = -action_weight[static_cast<std::size_t>(act)] /
+                const float coef = -data.action_weight[static_cast<std::size_t>(act)] /
                                    static_cast<float>(n);
                 const auto g = nn::policy_logit_grad(row_span, act, coef);
-                for (int a = 0; a < rl::kNumActions; ++a) dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
+                for (int a = 0; a < rl::kNumActions; ++a) {
+                    dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
+                }
             }
-            total_nodes += n;
-            policy_.backward(dlogits);
-            optimizer_step();
-        }
-        stats.phase1_loss.push_back(total_nll / static_cast<double>(std::max(1LL, total_nodes)));
-        if (epoch % 10 == 0) {
-            log_info(cfg_.name + " phase1 epoch " + std::to_string(epoch) + " nll=" +
-                     std::to_string(stats.phase1_loss.back()));
-        }
-    }
+            net.backward(dlogits);
+            buffers[k].capture(net.params());
+            sample_nll[k] = nll;
+            sample_nodes[k] = n;
+        };
 
-    // ---- Phase 2: modulated REINFORCE. -----------------------------------
+        if (rt.pool && count > 1) {
+            rt.sync_replicas(policy_);
+            rt.pool->for_each_index(static_cast<int>(count), [&](int k) {
+                run_sample(rt.worker_replica(), static_cast<std::size_t>(k));
+            });
+        } else {
+            for (std::size_t k = 0; k < count; ++k) run_sample(policy_, k);
+        }
+
+        nn::reduce_in_order(buffers, policy_.params());
+        for (std::size_t k = 0; k < count; ++k) {
+            total_nll += sample_nll[k];
+            total_nodes += sample_nodes[k];
+        }
+        optimizer_step();
+    }
+    return total_nll / static_cast<double>(std::max(1LL, total_nodes));
+}
+
+double CamoEngine::run_phase2_episode(const std::vector<geo::SegmentedLayout>& clips,
+                                      const std::vector<Graph>& graphs,
+                                      std::vector<litho::LithoSim>& clip_sims,
+                                      const opc::OpcOptions& opt, int episode) {
     // Under a window objective the per-step reward is window_step_reward on
     // the before/after sweeps — worst-corner (or weighted-corner) |EPE| and
     // the exact PV band — and the modulation/exploration signal is the
@@ -246,61 +361,154 @@ TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
     // optimizes the same quantity the evaluation reports. Every sweep rides
     // the cached support spectrum (evaluate_window_incremental): one sparse
     // delta-DFT per step serves every corner.
-    const opc::WindowObjective objective(opt, sim.config(), cfg_.reward);
-    for (int ep = 0; ep < cfg_.phase2_episodes; ++ep) {
-        double reward_sum = 0.0;
-        int reward_count = 0;
+    if (clip_sims.size() != clips.size()) {
+        throw std::invalid_argument("run_phase2_episode: clip_sims/clips size mismatch");
+    }
+    if (clips.empty()) return 0.0;  // degenerate episode: nothing to roll out
+    const opc::WindowObjective objective(opt, clip_sims.front().config(), cfg_.reward);
+
+    // Lockstep data-parallel rollout: at time step t every active clip acts
+    // with the same weight snapshot, each against its own simulator (whose
+    // incremental cache then carries that clip's state across steps) and its
+    // own splitmix RNG stream keyed by (seed, episode, clip) — never by
+    // scheduling order. The clips' Eq. (7) gradients are reduced in clip
+    // order and one optimizer step closes the wave.
+    struct ClipState {
+        bool active = false;
+        std::vector<int> offsets;
+        litho::SimMetrics m;
+        std::optional<litho::WindowMetrics> window_before;
+        std::optional<litho::WindowMetrics> window_after;
+        int features = 0;
+        int points = 0;
+        double reward = 0.0;
+        std::optional<Rng> rng;
+    };
+
+    std::vector<ClipState> st(clips.size());
+    const std::uint64_t episode_seed = derive_seed(cfg_.seed ^ 0x5A17ULL,
+                                                   static_cast<std::uint64_t>(episode));
+    for (std::size_t c = 0; c < clips.size(); ++c) {
+        const geo::SegmentedLayout& layout = clips[c];
+        if (layout.num_segments() == 0) continue;  // degenerate clip: no rollout
+        ClipState& s = st[c];
+        s.offsets.assign(static_cast<std::size_t>(layout.num_segments()), opt.initial_bias_nm);
+        s.m = objective.prime(clip_sims[c], layout, s.offsets, &s.window_before);
+        s.features = static_cast<int>(layout.targets().size());
+        s.points = static_cast<int>(s.m.epe.size());
+        s.rng.emplace(derive_seed(episode_seed, static_cast<std::uint64_t>(c)));
+        s.active = true;
+    }
+
+    TrainRuntime& rt = train_runtime();
+    double reward_sum = 0.0;
+    int reward_count = 0;
+    std::vector<int> wave;
+    std::vector<nn::GradBuffer> buffers;
+
+    for (int t = 0; t < opt.max_iterations; ++t) {
+        wave.clear();
         for (std::size_t c = 0; c < clips.size(); ++c) {
-            const geo::SegmentedLayout& layout = clips[c];
-            std::vector<int> offsets(static_cast<std::size_t>(layout.num_segments()),
-                                     opt.initial_bias_nm);
-            std::optional<litho::WindowMetrics> window_before;
-            std::optional<litho::WindowMetrics> window_after;
-            litho::SimMetrics m = objective.prime(sim, layout, offsets, &window_before);
-            const int features_count = static_cast<int>(layout.targets().size());
-            const int points = static_cast<int>(m.epe.size());
-
-            for (int t = 0; t < opt.max_iterations; ++t) {
-                if (opc::should_exit_early(m.sum_abs_epe, features_count, points, opt)) break;
-
-                const auto feats = encode_state(layout, offsets);
-                const nn::Tensor logits = policy_.forward(feats, graphs[c]);
-                const auto actions = select_actions(logits, m.epe_segment, /*stochastic=*/true);
-
-                const auto dirty = apply_actions(offsets, actions, opt.max_total_offset_nm);
-                const litho::SimMetrics m2 =
-                    objective.evaluate(sim, layout, offsets, dirty, &window_after);
-                const double r =
-                    objective.active()
-                        ? rl::window_step_reward(*window_before, *window_after,
-                                                 objective.reward())
-                        : rl::step_reward(m.sum_abs_epe, m2.sum_abs_epe, m.pvband_nm2,
-                                          m2.pvband_nm2, cfg_.reward);
-                reward_sum += r;
-                ++reward_count;
-
-                // Eq. (7): gradient ascent on r * log pi(a|s), computed on
-                // the unmodulated policy output.
-                const int n = logits.dim(0);
-                nn::Tensor dlogits({n, rl::kNumActions});
-                for (int i = 0; i < n; ++i) {
-                    std::array<float, rl::kNumActions> row{};
-                    for (int a = 0; a < rl::kNumActions; ++a) row[static_cast<std::size_t>(a)] = logits.at(i, a);
-                    const auto g = nn::policy_logit_grad(
-                        std::span<const float>(row.data(), row.size()),
-                        actions[static_cast<std::size_t>(i)],
-                        cfg_.phase2_lr_scale * static_cast<float>(-r) / static_cast<float>(n));
-                    for (int a = 0; a < rl::kNumActions; ++a) dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
-                }
-                policy_.backward(dlogits);
-                optimizer_step();
-                m = m2;
-                window_before = std::move(window_after);
+            ClipState& s = st[c];
+            if (!s.active) continue;
+            if (opc::should_exit_early(s.m.sum_abs_epe, s.features, s.points, opt)) {
+                s.active = false;
+                continue;
             }
+            wave.push_back(static_cast<int>(c));
         }
-        stats.phase2_reward.push_back(reward_sum / std::max(1, reward_count));
-        log_info(cfg_.name + " phase2 episode " + std::to_string(ep) + " mean reward=" +
-                 std::to_string(stats.phase2_reward.back()));
+        if (wave.empty()) break;
+        buffers.assign(wave.size(), nn::GradBuffer{});
+
+        const auto run_clip = [&](PolicyNetwork& net, std::size_t k) {
+            const std::size_t c = static_cast<std::size_t>(wave[k]);
+            const geo::SegmentedLayout& layout = clips[c];
+            ClipState& s = st[c];
+
+            const auto feats = encode_state(layout, s.offsets);
+            const nn::Tensor logits = net.forward(feats, graphs[c]);
+            const auto actions = pick_actions(logits, s.m.epe_segment, cfg_.modulator, &*s.rng);
+
+            const auto dirty = apply_actions(s.offsets, actions, opt.max_total_offset_nm);
+            const litho::SimMetrics m2 =
+                objective.evaluate(clip_sims[c], layout, s.offsets, dirty, &s.window_after);
+            const double r =
+                objective.active()
+                    ? rl::window_step_reward(*s.window_before, *s.window_after,
+                                             objective.reward())
+                    : rl::step_reward(s.m.sum_abs_epe, m2.sum_abs_epe, s.m.pvband_nm2,
+                                      m2.pvband_nm2, cfg_.reward);
+            s.reward = r;
+
+            // Eq. (7): gradient ascent on r * log pi(a|s), computed on the
+            // unmodulated policy output.
+            const int n = logits.dim(0);
+            nn::Tensor dlogits({n, rl::kNumActions});
+            for (int i = 0; i < n; ++i) {
+                std::array<float, rl::kNumActions> row{};
+                for (int a = 0; a < rl::kNumActions; ++a) {
+                    row[static_cast<std::size_t>(a)] = logits.at(i, a);
+                }
+                const auto g = nn::policy_logit_grad(
+                    std::span<const float>(row.data(), row.size()),
+                    actions[static_cast<std::size_t>(i)],
+                    cfg_.phase2_lr_scale * static_cast<float>(-r) / static_cast<float>(n));
+                for (int a = 0; a < rl::kNumActions; ++a) {
+                    dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
+                }
+            }
+            net.backward(dlogits);
+            buffers[k].capture(net.params());
+            s.m = m2;
+            s.window_before = std::move(s.window_after);
+        };
+
+        if (rt.pool && wave.size() > 1) {
+            rt.sync_replicas(policy_);
+            rt.pool->for_each_index(static_cast<int>(wave.size()), [&](int k) {
+                run_clip(rt.worker_replica(), static_cast<std::size_t>(k));
+            });
+        } else {
+            for (std::size_t k = 0; k < wave.size(); ++k) run_clip(policy_, k);
+        }
+
+        nn::reduce_in_order(buffers, policy_.params());
+        for (int c : wave) {
+            reward_sum += st[static_cast<std::size_t>(c)].reward;
+            ++reward_count;
+        }
+        optimizer_step();
+    }
+    return reward_sum / std::max(1, reward_count);
+}
+
+TrainStats CamoEngine::train(const std::vector<geo::SegmentedLayout>& clips,
+                             litho::LithoSim& sim, const opc::OpcOptions& opt) {
+    TrainStats stats;
+
+    // ---- Phase 1: imitate rule-engine trajectories. ----------------------
+    const Phase1Dataset data = collect_teacher_data(clips, sim, opt);
+
+    for (int epoch = 0; epoch < cfg_.phase1_epochs; ++epoch) {
+        stats.phase1_loss.push_back(run_phase1_epoch(data));
+        if (epoch % 10 == 0) {
+            log_info(cfg_.name + " phase1 epoch " + std::to_string(epoch) + " nll=" +
+                     std::to_string(stats.phase1_loss.back()));
+        }
+    }
+
+    // ---- Phase 2: modulated REINFORCE (lockstep over clips). -------------
+    if (cfg_.phase2_episodes > 0) {
+        // One simulator per clip, shared across episodes (copies share the
+        // immutable kernel set); every episode re-primes them with a full
+        // rebuild, so the carried caches never leak into results.
+        std::vector<litho::LithoSim> clip_sims(clips.size(), sim);
+        for (int ep = 0; ep < cfg_.phase2_episodes; ++ep) {
+            stats.phase2_reward.push_back(
+                run_phase2_episode(clips, data.graphs, clip_sims, opt, ep));
+            log_info(cfg_.name + " phase2 episode " + std::to_string(ep) + " mean reward=" +
+                     std::to_string(stats.phase2_reward.back()));
+        }
     }
     return stats;
 }

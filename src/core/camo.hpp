@@ -14,8 +14,11 @@
 // on the paper's early-exit rules.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/modulator.hpp"
 #include "core/policy.hpp"
@@ -56,6 +59,26 @@ struct CamoConfig {
     int teacher_steps = 5;    ///< paper: five-step Calibre trajectories
     int phase2_episodes = 4;  ///< RL fine-tuning episodes over the train set
 
+    /// Data-parallel training runtime: worker count for teacher-trajectory
+    /// collection and minibatch gradient computation. 1 = serial in the
+    /// calling thread; <= 0 = all hardware threads. Results (loss/reward
+    /// traces and trained weights) are BIT-IDENTICAL at any value — each
+    /// (clip, bias) collection job and each minibatch sample is computed
+    /// independently on a per-worker simulator / policy replica and merged
+    /// in canonical order (nn::reduce_in_order) — so this is a throughput
+    /// knob only and deliberately not part of the weight-cache key.
+    int train_workers = 1;
+
+    /// Phase-1 minibatch size: samples whose gradients are accumulated
+    /// (per-sample shadow buffers, fixed-order reduction) before each
+    /// optimizer step. 1 = per-sample steps, the schedule the paper's SGD
+    /// uses (and the serial-trainer behaviour of earlier revisions);
+    /// <= 0 = one whole-epoch batch. Parallel speedup of a phase-1 epoch is
+    /// bounded by this: samples within a minibatch run concurrently,
+    /// minibatches are sequential because each one sees the weights the
+    /// previous step produced.
+    int phase1_batch = 1;
+
     /// Step-size multiplier for the REINFORCE phase. The per-step global
     /// reward gives poor per-segment credit assignment, so full-size
     /// updates can erase a good imitation policy in a few noisy episodes.
@@ -76,9 +99,28 @@ struct TrainStats {
     std::vector<double> phase2_reward;   ///< mean step reward per episode
 };
 
+/// One phase-1 imitation sample: the squish features of the mask state a
+/// teacher step observed and the action the teacher took per segment.
+struct TeacherSample {
+    int clip = 0;
+    std::vector<nn::Tensor> features;
+    std::vector<int> actions;
+};
+
+/// The phase-1 imitation dataset: samples in canonical (clip, bias, step)
+/// order, per-clip segment graphs, inverse-frequency action weights, and the
+/// raw teacher trajectories in (clip, bias) job order (with provenance set).
+struct Phase1Dataset {
+    std::vector<TeacherSample> samples;
+    std::vector<Graph> graphs;  ///< indexed by clip
+    std::array<float, rl::kNumActions> action_weight{};
+    std::vector<rl::Trajectory> trajectories;
+};
+
 class CamoEngine : public opc::Engine {
 public:
     explicit CamoEngine(CamoConfig cfg);
+    ~CamoEngine() override;
 
     [[nodiscard]] std::string name() const override { return cfg_.name; }
 
@@ -97,9 +139,32 @@ public:
                                           litho::LithoSim& sim, const opc::OpcOptions& opt,
                                           Rng* rng = nullptr) const;
 
-    /// Two-phase training on a set of fragmented clips.
+    /// Two-phase training on a set of fragmented clips. Runs on the
+    /// data-parallel training runtime (cfg.train_workers): teacher
+    /// trajectories are collected in parallel over (clip, bias) jobs, and
+    /// both phases accumulate per-sample gradients into detached buffers
+    /// merged in canonical order before each optimizer step, so the returned
+    /// traces and the trained weights are bit-identical at any worker count.
+    /// Degenerate inputs (no clips, no teacher steps, clips without
+    /// segments) yield finite zero stats and leave the weights untouched.
     TrainStats train(const std::vector<geo::SegmentedLayout>& clips, litho::LithoSim& sim,
                      const opc::OpcOptions& opt);
+
+    /// Phase-1 teacher collection: record a rule-engine trajectory for every
+    /// (clip, bias) job — clip-major, bias-minor — and encode each step's
+    /// squish features. Jobs run in parallel on the training runtime, each
+    /// on its own simulator copy (record_trajectory primes the incremental
+    /// cache with a full rebuild, so results never depend on scheduling);
+    /// the gathered dataset is bit-identical at any cfg.train_workers.
+    /// Clips without segments contribute no jobs.
+    Phase1Dataset collect_teacher_data(const std::vector<geo::SegmentedLayout>& clips,
+                                       litho::LithoSim& sim, const opc::OpcOptions& opt);
+
+    /// One phase-1 imitation epoch over the dataset (class-weighted NLL,
+    /// minibatched per cfg.phase1_batch, per-sample gradients reduced in
+    /// fixed order). Returns the epoch's mean NLL per node — finite (0.0)
+    /// and step-free when the dataset is empty.
+    double run_phase1_epoch(const Phase1Dataset& data);
 
     /// Toggle the modulator (paper Section 4.4 / Figure 5 ablation).
     void set_modulator_enabled(bool enabled) { cfg_.modulator.enabled = enabled; }
@@ -120,14 +185,28 @@ private:
     PolicyNetwork policy_;
     std::optional<nn::Adam> adam_;
     std::optional<nn::Sgd> sgd_;
-    Rng sample_rng_;
+
+    /// Lazily-built data-parallel training runtime: a thread pool plus one
+    /// policy replica per worker (none when the resolved worker count is 1).
+    /// Rebuilt if cfg_.train_workers changes between training calls.
+    struct TrainRuntime;
+    std::unique_ptr<TrainRuntime> train_rt_;
+    TrainRuntime& train_runtime();
 
     void optimizer_step();
 
-    /// Sample or argmax one action per node from (optionally modulated)
-    /// policy probabilities.
-    std::vector<int> select_actions(const nn::Tensor& logits,
-                                    const std::vector<double>& epe_segment, bool stochastic);
+    /// One phase-2 lockstep REINFORCE episode: every clip rolls out
+    /// synchronously — at each time step the active clips act in parallel
+    /// against per-clip simulators with per-(episode, clip) splitmix RNG
+    /// streams, their Eq. (7) gradients are reduced in clip order, and one
+    /// optimizer step follows. `clip_sims` (one per clip, shared across
+    /// episodes) are re-primed with a full rebuild at episode start, so
+    /// their carried-over caches never leak into results. Returns the
+    /// episode's mean step reward.
+    double run_phase2_episode(const std::vector<geo::SegmentedLayout>& clips,
+                              const std::vector<Graph>& graphs,
+                              std::vector<litho::LithoSim>& clip_sims,
+                              const opc::OpcOptions& opt, int episode);
 };
 
 /// The RL-OPC baseline [12]: same training scheme, but per-segment

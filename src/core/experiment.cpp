@@ -105,7 +105,15 @@ CamoConfig Experiment::metal_rlopc_config() {
 
 std::string Experiment::weights_path(const CamoConfig& cfg, const std::string& layer_tag,
                                      rl::RewardMode objective) {
+    // Bumped whenever the trainer's update schedule or RNG derivation
+    // changes (v2: data-parallel trainer — phase-2 lockstep waves +
+    // per-(episode, clip) splitmix streams replaced the sequential shared
+    // sampling RNG), so weights cached by an older trainer are never
+    // silently served as if the current trainer produced them.
+    constexpr long long kTrainerSchemaVersion = 2;
+
     std::uint64_t h = 14695981039346656037ULL;
+    h = fnv_mix(h, kTrainerSchemaVersion);
     // Nominal mode contributes nothing so pre-existing cache paths survive;
     // window modes both hash AND tag the name, keeping the distinction
     // visible in data/ listings.
@@ -124,6 +132,13 @@ std::string Experiment::weights_path(const CamoConfig& cfg, const std::string& l
     h = fnv_mix(h, static_cast<long long>(cfg.policy.seed));
     h = fnv_mix(h, cfg.phase1_epochs);
     h = fnv_mix(h, cfg.phase2_episodes);
+    // phase1_batch changes the optimizer-step schedule, so it is part of the
+    // key (the default per-sample schedule contributes nothing, keeping
+    // pre-existing cache paths unchanged). train_workers is deliberately
+    // NOT hashed: the trainer's fixed-order gradient reduction makes the
+    // trained weights bit-identical at any worker count, so weights cached
+    // at one worker count serve every other.
+    if (cfg.phase1_batch != 1) h = fnv_mix(h, cfg.phase1_batch);
     h = fnv_mix(h, static_cast<long long>(cfg.teacher_biases.size()));
     for (int b : cfg.teacher_biases) h = fnv_mix(h, b);
     h = fnv_mix(h, static_cast<long long>(Experiment::kDatasetSeed));
@@ -162,7 +177,8 @@ bool ensure_trained(CamoEngine& engine, const std::vector<geo::SegmentedLayout>&
     log_info(engine.name() + ": training (one-time, cached afterwards)");
     (void)engine.train(train_clips, sim, opt);
     if (!cache_path.empty()) {
-        std::filesystem::create_directories("data");
+        const std::filesystem::path parent = std::filesystem::path(cache_path).parent_path();
+        if (!parent.empty()) std::filesystem::create_directories(parent);
         engine.save_weights(cache_path);
     }
     return false;

@@ -216,6 +216,21 @@ std::vector<nn::Parameter*> PolicyNetwork::params() {
     return out;
 }
 
+void PolicyNetwork::copy_weights_from(PolicyNetwork& src) {
+    const auto dst_params = params();
+    const auto src_params = src.params();
+    if (dst_params.size() != src_params.size()) {
+        throw std::invalid_argument("PolicyNetwork::copy_weights_from: architecture mismatch");
+    }
+    for (std::size_t i = 0; i < dst_params.size(); ++i) {
+        if (dst_params[i]->value.shape() != src_params[i]->value.shape()) {
+            throw std::invalid_argument(
+                "PolicyNetwork::copy_weights_from: parameter shape mismatch");
+        }
+        dst_params[i]->value = src_params[i]->value;
+    }
+}
+
 void PolicyNetwork::save(const std::string& path) { nn::save_params(path, params()); }
 
 bool PolicyNetwork::load(const std::string& path) { return nn::load_params(path, params()); }

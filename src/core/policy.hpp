@@ -54,6 +54,12 @@ public:
 
     std::vector<nn::Parameter*> params();
 
+    /// Copy `src`'s parameter values into this network (architectures must
+    /// match). Used by the data-parallel trainer to sync per-worker replicas
+    /// with the master weights before each minibatch wave; gradients are
+    /// left untouched.
+    void copy_weights_from(PolicyNetwork& src);
+
     void save(const std::string& path);
     [[nodiscard]] bool load(const std::string& path);
 

@@ -55,13 +55,17 @@ Tensor Conv2d::backward(const Tensor& grad_out, Tape& tape) {
     const int oh = grad_out.dim(1);
     const int ow = grad_out.dim(2);
 
+    // Per-call gradients accumulate into locals and fold in with one
+    // addition per element (the Layer::backward accumulation contract).
+    Tensor gw(w_.grad.shape());
+    Tensor gb(b_.grad.shape());
     Tensor gx(x.shape());
     for (int oc = 0; oc < out_ch_; ++oc) {
         for (int oy = 0; oy < oh; ++oy) {
             for (int ox = 0; ox < ow; ++ox) {
                 const float go = grad_out.at(oc, oy, ox);
                 if (go == 0.0F) continue;
-                b_.grad[static_cast<std::size_t>(oc)] += go;
+                gb[static_cast<std::size_t>(oc)] += go;
                 const int iy0 = oy * stride_ - pad_;
                 const int ix0 = ox * stride_ - pad_;
                 for (int ic = 0; ic < in_ch_; ++ic) {
@@ -71,7 +75,7 @@ Tensor Conv2d::backward(const Tensor& grad_out, Tape& tape) {
                         for (int kx = 0; kx < k_; ++kx) {
                             const int ix = ix0 + kx;
                             if (ix < 0 || ix >= w) continue;
-                            w_.grad.at(oc, ic, ky, kx) += go * x.at(ic, iy, ix);
+                            gw.at(oc, ic, ky, kx) += go * x.at(ic, iy, ix);
                             gx.at(ic, iy, ix) += go * w_.value.at(oc, ic, ky, kx);
                         }
                     }
@@ -79,6 +83,8 @@ Tensor Conv2d::backward(const Tensor& grad_out, Tape& tape) {
             }
         }
     }
+    w_.grad.add_(gw);
+    b_.grad.add_(gb);
     return gx;
 }
 

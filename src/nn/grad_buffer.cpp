@@ -1,0 +1,41 @@
+#include "nn/grad_buffer.hpp"
+
+#include <stdexcept>
+
+namespace camo::nn {
+
+void GradBuffer::capture(const std::vector<Parameter*>& params) {
+    grads_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        grads_[i] = params[i]->grad;
+        params[i]->zero_grad();
+    }
+}
+
+void GradBuffer::merge(const GradBuffer& other) {
+    if (other.grads_.empty()) return;
+    if (grads_.empty()) {
+        grads_ = other.grads_;
+        return;
+    }
+    if (grads_.size() != other.grads_.size()) {
+        throw std::invalid_argument("GradBuffer::merge: parameter count mismatch");
+    }
+    for (std::size_t i = 0; i < grads_.size(); ++i) grads_[i].add_(other.grads_[i]);
+}
+
+void GradBuffer::add_to(const std::vector<Parameter*>& params) const {
+    if (grads_.size() != params.size()) {
+        throw std::invalid_argument("GradBuffer::add_to: parameter count mismatch");
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) params[i]->grad.add_(grads_[i]);
+}
+
+void reduce_in_order(const std::vector<GradBuffer>& buffers,
+                     const std::vector<Parameter*>& params) {
+    for (const GradBuffer& b : buffers) {
+        if (!b.empty()) b.add_to(params);
+    }
+}
+
+}  // namespace camo::nn

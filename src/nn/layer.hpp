@@ -60,6 +60,20 @@ public:
 
     /// Propagate grad_out to the input gradient; parameter gradients are
     /// *accumulated* into params()[i]->grad.
+    ///
+    /// Accumulation contract: one backward() call adds exactly ONE value per
+    /// parameter element (the per-call gradient is computed into a local
+    /// buffer and folded in with a single addition). Capturing each call
+    /// into a detached buffer (nn/grad_buffer.hpp) and reducing the buffers
+    /// in call order then reproduces direct shared-buffer accumulation bit
+    /// for bit — float addition is not associative, so interleaving a
+    /// call's partial sums with the shared buffer would round differently.
+    /// Note the granularity: the equality is per backward() CALL. A trainer
+    /// sample that invokes a shared layer several times (e.g. the CNN
+    /// encoder once per graph node) makes its per-sample buffer a partial
+    /// sum, which is why the data-parallel trainer uses the buffered path
+    /// at every worker count rather than treating serial direct
+    /// accumulation as equivalent.
     virtual Tensor backward(const Tensor& grad_out, Tape& tape) = 0;
 
     virtual std::vector<Parameter*> params() { return {}; }

@@ -82,9 +82,12 @@ Tensor Rnn::backward(const Tensor& grad_out, Tape& tape) {
         const int in_l = (l == 0) ? input_ : hidden_;
         const auto& u = u_[static_cast<std::size_t>(l)].value;
         const auto& w = w_[static_cast<std::size_t>(l)].value;
-        auto& gu = u_[static_cast<std::size_t>(l)].grad;
-        auto& gw = w_[static_cast<std::size_t>(l)].grad;
-        auto& gb = b_[static_cast<std::size_t>(l)].grad;
+        // Per-call gradients accumulate into locals across the time sweep and
+        // fold into the parameters with one addition per element at the end
+        // (the Layer::backward accumulation contract).
+        Tensor gu(u_[static_cast<std::size_t>(l)].grad.shape());
+        Tensor gw(w_[static_cast<std::size_t>(l)].grad.shape());
+        Tensor gb(b_[static_cast<std::size_t>(l)].grad.shape());
 
         Tensor gh_below({t_len, in_l});           // gradient to the layer below (or input)
         std::vector<float> carry(static_cast<std::size_t>(hidden_), 0.0F);  // dL/dh(t) via t+1
@@ -116,6 +119,10 @@ Tensor Rnn::backward(const Tensor& grad_out, Tape& tape) {
                 }
             }
         }
+
+        u_[static_cast<std::size_t>(l)].grad.add_(gu);
+        w_[static_cast<std::size_t>(l)].grad.add_(gw);
+        b_[static_cast<std::size_t>(l)].grad.add_(gb);
 
         if (l == 0) {
             gx = std::move(gh_below);

@@ -33,6 +33,15 @@ struct Trajectory {
     double final_worst_epe = 0.0;
     double final_pv_band_exact = 0.0;
     std::vector<double> final_corner_epe;
+
+    // Collection provenance, set by the parallel teacher-collection runtime:
+    // which clip this trajectory was recorded on and the initial mask bias
+    // of its (clip, bias) job. The trainer gathers trajectories in canonical
+    // clip-major, bias-minor job order regardless of worker count, and these
+    // fields let tests (and downstream consumers) verify that ordering.
+    // -1 / 0 when the trajectory was recorded outside the trainer.
+    int clip_index = -1;
+    int initial_bias_nm = 0;
 };
 
 /// Movement action space of the paper: {-2,-1,0,+1,+2} nm.

@@ -54,6 +54,32 @@ public:
         return fut;
     }
 
+    /// Blocking indexed fan-out: runs fn(i) for every i in [0, n) on the
+    /// pool and waits for all of them. Every task runs to completion even
+    /// when one throws; the first exception (in index order) is rethrown
+    /// afterwards. `fn` is shared by reference across the tasks — it must be
+    /// safe to invoke concurrently, and it outlives them because this call
+    /// blocks. Used by the data-parallel trainer's collection and minibatch
+    /// waves; must be called from outside the pool (a worker fanning out to
+    /// its own pool would deadlock waiting on tasks behind it in the queue).
+    template <typename F>
+    void for_each_index(int n, const F& fn) {
+        std::vector<std::future<void>> futures;
+        futures.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+        for (int i = 0; i < n; ++i) {
+            futures.push_back(submit([&fn, i] { fn(i); }));
+        }
+        std::exception_ptr first;
+        for (std::future<void>& f : futures) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first) first = std::current_exception();
+            }
+        }
+        if (first) std::rethrow_exception(first);
+    }
+
 private:
     using Task = std::function<void()>;
 

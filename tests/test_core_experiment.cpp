@@ -78,6 +78,32 @@ TEST(Experiment, WeightsPathDistinguishesConfigs) {
               std::string::npos);
 }
 
+TEST(Experiment, WeightsPathIndependentOfTrainWorkers) {
+    // The data-parallel trainer's reduction contract makes trained weights
+    // bit-identical at any worker count, so the cache key must NOT encode
+    // train_workers: weights trained at one width serve every other.
+    const auto base = Experiment::via_camo_config();
+    for (int workers : {0, 1, 2, 8, 64}) {
+        CamoConfig cfg = base;
+        cfg.train_workers = workers;
+        EXPECT_EQ(Experiment::weights_path(base, "via"), Experiment::weights_path(cfg, "via"))
+            << workers << " workers";
+    }
+
+    // The minibatch size DOES change the optimizer-step schedule (and hence
+    // the weights), so it is part of the key; the default per-sample
+    // schedule keeps pre-existing cache paths unchanged.
+    CamoConfig batched = base;
+    batched.phase1_batch = 8;
+    EXPECT_NE(Experiment::weights_path(base, "via"), Experiment::weights_path(batched, "via"));
+    CamoConfig epoch_batched = base;
+    epoch_batched.phase1_batch = 0;
+    EXPECT_NE(Experiment::weights_path(base, "via"),
+              Experiment::weights_path(epoch_batched, "via"));
+    EXPECT_NE(Experiment::weights_path(batched, "via"),
+              Experiment::weights_path(epoch_batched, "via"));
+}
+
 TEST(Experiment, FragmentViaClipsIncludesSrafs) {
     const auto clips = layout::via_test_set(Experiment::kDatasetSeed);
     const auto layouts = fragment_via_clips({clips[0]});

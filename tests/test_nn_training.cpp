@@ -2,10 +2,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/grad_buffer.hpp"
+#include "nn/gradcheck.hpp"
 #include "nn/linear.hpp"
+#include "nn/rnn.hpp"
 #include "nn/serialize.hpp"
 #include "nn/sequential.hpp"
 #include "nn/sgd.hpp"
@@ -180,6 +186,187 @@ TEST(Training, OverfitsTinyClassification) {
         last_loss = loss;
     }
     EXPECT_LT(last_loss, first_loss * 0.1);
+}
+
+// ---- Accumulate-then-reduce gradient path ----------------------------------
+// The data-parallel trainer captures per-sample gradients into detached
+// buffers (nn/grad_buffer.hpp) and folds them back in fixed order. Because
+// every Layer::backward adds exactly one value per parameter element per
+// call (the accumulation contract in layer.hpp), the reduced gradients must
+// equal direct single-buffer accumulation to 0 ULP — this is what makes
+// training results independent of the worker count.
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng) {
+    Tensor t(std::move(shape));
+    for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return t;
+}
+
+void zero_all(const std::vector<Parameter*>& params) {
+    for (Parameter* p : params) p->zero_grad();
+}
+
+std::vector<Tensor> grads_snapshot(const std::vector<Parameter*>& params) {
+    std::vector<Tensor> out;
+    out.reserve(params.size());
+    for (Parameter* p : params) out.push_back(p->grad);
+    return out;
+}
+
+void expect_reduce_matches_single_buffer(Layer& layer, const std::vector<Tensor>& inputs,
+                                         const std::vector<Tensor>& probes) {
+    const auto params = layer.params();
+    ASSERT_FALSE(params.empty());
+
+    // Path A: the whole minibatch accumulates into the shared grads.
+    zero_all(params);
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+        Tape tape;
+        (void)layer.forward(inputs[k], tape);
+        (void)layer.backward(probes[k], tape);
+    }
+    const std::vector<Tensor> single = grads_snapshot(params);
+
+    // Path B: per-sample buffers captured from zeroed grads, then reduced
+    // in sample order.
+    zero_all(params);
+    std::vector<GradBuffer> buffers(inputs.size());
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+        Tape tape;
+        (void)layer.forward(inputs[k], tape);
+        (void)layer.backward(probes[k], tape);
+        buffers[k].capture(params);
+    }
+    reduce_in_order(buffers, params);
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        ASSERT_EQ(params[i]->grad.numel(), single[i].numel());
+        EXPECT_EQ(0, std::memcmp(params[i]->grad.data().data(), single[i].data().data(),
+                                 single[i].numel() * sizeof(float)))
+            << "param " << i << ": reduced grads differ from single-buffer grads";
+    }
+    zero_all(params);
+}
+
+TEST(GradReduce, LinearReducedMatchesSingleBufferToZeroUlp) {
+    Rng rng(21);
+    Linear layer(7, 5, rng);
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> probes;
+    for (int k = 0; k < 6; ++k) {
+        inputs.push_back(random_tensor({7}, rng));
+        probes.push_back(random_tensor({5}, rng));
+    }
+    expect_reduce_matches_single_buffer(layer, inputs, probes);
+}
+
+TEST(GradReduce, Conv2dReducedMatchesSingleBufferToZeroUlp) {
+    Rng rng(22);
+    Conv2d layer(3, 4, 3, 2, 1, rng);
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> probes;
+    for (int k = 0; k < 5; ++k) {
+        inputs.push_back(random_tensor({3, 8, 8}, rng));
+        probes.push_back(random_tensor({4, 4, 4}, rng));
+    }
+    expect_reduce_matches_single_buffer(layer, inputs, probes);
+}
+
+TEST(GradReduce, RnnReducedMatchesSingleBufferToZeroUlp) {
+    Rng rng(23);
+    Rnn layer(6, 5, 2, rng);
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> probes;
+    for (int k = 0; k < 5; ++k) {
+        inputs.push_back(random_tensor({4, 6}, rng));
+        probes.push_back(random_tensor({4, 5}, rng));
+    }
+    expect_reduce_matches_single_buffer(layer, inputs, probes);
+}
+
+TEST(GradReduce, AnalyticGradientsSurviveLocalAccumulation) {
+    // The local-accumulate-then-add refactor must not change what the
+    // gradients mean, only how they are folded in: central differences
+    // still agree for every layer the trainer reduces.
+    {
+        Rng rng(24);
+        Linear layer(6, 4, rng);
+        const Tensor x = random_tensor({6}, rng);
+        EXPECT_TRUE(gradient_check(layer, x, rng).ok());
+    }
+    {
+        Rng rng(25);
+        Conv2d layer(2, 3, 3, 2, 1, rng);
+        const Tensor x = random_tensor({2, 8, 8}, rng);
+        EXPECT_TRUE(gradient_check(layer, x, rng).ok());
+    }
+    {
+        Rng rng(26);
+        Rnn layer(5, 4, 2, rng);
+        const Tensor x = random_tensor({3, 5}, rng);
+        EXPECT_TRUE(gradient_check(layer, x, rng).ok());
+    }
+}
+
+TEST(GradBufferApi, CaptureZeroesSourceAndAddRestores) {
+    Rng rng(27);
+    Linear layer(3, 2, rng);
+    const auto params = layer.params();
+
+    Tape tape;
+    const Tensor x = random_tensor({3}, rng);
+    (void)layer.forward(x, tape);
+    Tensor gy({2});
+    gy[0] = 1.0F;
+    gy[1] = -0.5F;
+    (void)layer.backward(gy, tape);
+    const std::vector<Tensor> before = grads_snapshot(params);
+
+    GradBuffer buf;
+    buf.capture(params);
+    for (Parameter* p : params) {
+        for (float v : p->grad.data()) EXPECT_EQ(v, 0.0F);
+    }
+
+    buf.add_to(params);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        EXPECT_EQ(0, std::memcmp(params[i]->grad.data().data(), before[i].data().data(),
+                                 before[i].numel() * sizeof(float)));
+    }
+    zero_all(params);
+}
+
+TEST(GradBufferApi, MergeSumsAndRejectsMismatch) {
+    Rng rng(28);
+    Linear a(2, 2, rng);
+    Linear other(3, 1, rng);
+
+    const auto fill_grads = [](Linear& l, float v) {
+        for (Parameter* p : l.params()) p->grad.fill(v);
+    };
+
+    fill_grads(a, 1.5F);
+    GradBuffer b1;
+    b1.capture(a.params());
+    fill_grads(a, 2.0F);
+    GradBuffer b2;
+    b2.capture(a.params());
+
+    b1.merge(b2);
+    b1.add_to(a.params());
+    for (Parameter* p : a.params()) {
+        for (float v : p->grad.data()) EXPECT_EQ(v, 3.5F);
+    }
+
+    GradBuffer wrong;
+    wrong.capture(other.params());
+    EXPECT_THROW(b1.merge(wrong), std::invalid_argument);
+    EXPECT_THROW(wrong.add_to(a.params()), std::invalid_argument);
+
+    // Merging into an empty buffer adopts the other's contents.
+    GradBuffer empty;
+    empty.merge(b2);
+    EXPECT_EQ(empty.size(), b2.size());
 }
 
 TEST(Serialize, RoundtripRestoresWeights) {

@@ -18,6 +18,10 @@
 //   --reward-mode M              nominal|worst|weighted: which corner(s) of
 //                                the process window the engine optimizes
 //                                [nominal]
+//   --train-workers N            data-parallel trainer width on a
+//                                cached-weights miss; <= 0 = all hardware
+//                                threads. Trained weights are bit-identical
+//                                at any value                [1]
 //   --window                     evaluate the final mask through the
 //                                standard process window and print the
 //                                worst-corner |EPE| / exact PV band
@@ -27,8 +31,8 @@
 // prints per-clip results plus aggregate throughput:
 //
 //   camo_cli batch [--clips N] [--threads N] [--engine rule|camo]
-//                  [--seed S] [--iterations N] [--reward-mode M] [--window]
-//                  [--quiet]
+//                  [--seed S] [--iterations N] [--train-workers N]
+//                  [--reward-mode M] [--window] [--quiet]
 //
 // Sweep mode is batch mode plus a multi-corner process-window evaluation of
 // every corrected mask (defaults to the standard {dose_min, 1, dose_max} x
@@ -62,6 +66,7 @@ struct CliOptions {
     int layer = 1;
     int clip_nm = 2000;
     int iterations = -1;
+    int train_workers = 1;  // data-parallel trainer width; <= 0 = all threads
     rl::RewardMode reward_mode = rl::RewardMode::kNominal;
     bool window = false;
     bool quiet = false;
@@ -104,6 +109,8 @@ bool parse_args(int argc, char** argv, CliOptions& o) try {
             o.clip_nm = std::stoi(v);
         } else if (a == "--iterations" && next(v)) {
             o.iterations = std::stoi(v);
+        } else if (a == "--train-workers" && next(v)) {
+            o.train_workers = std::stoi(v);
         } else if (a == "--reward-mode" && next(v)) {
             if (!parse_reward_mode(v, o.reward_mode)) {
                 std::fprintf(stderr, "unknown reward mode: %s\n", v.c_str());
@@ -129,6 +136,7 @@ struct BatchCliOptions {
     std::string engine = "rule";
     std::uint64_t seed = core::Experiment::kDatasetSeed;
     int iterations = -1;
+    int train_workers = 1;  // data-parallel trainer width; <= 0 = all threads
     rl::RewardMode reward_mode = rl::RewardMode::kNominal;
     bool quiet = false;
     bool window = false;             // sweep mode / batch --window
@@ -172,6 +180,8 @@ bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
             o.seed = std::stoull(v);
         } else if (a == "--iterations" && next(v)) {
             o.iterations = std::stoi(v);
+        } else if (a == "--train-workers" && next(v)) {
+            o.train_workers = std::stoi(v);
         } else if (a == "--reward-mode" && next(v)) {
             if (!parse_reward_mode(v, o.reward_mode)) {
                 std::fprintf(stderr, "unknown reward mode: %s\n", v.c_str());
@@ -202,7 +212,8 @@ int batch_main(int argc, char** argv, bool window) {
     if (!parse_batch_args(argc, argv, cli)) {
         std::fprintf(stderr,
                      "usage: camo_cli %s [--clips N] [--threads N] [--engine rule|camo]"
-                     " [--seed S] [--iterations N] [--reward-mode nominal|worst|weighted]"
+                     " [--seed S] [--iterations N] [--train-workers N]"
+                     " [--reward-mode nominal|worst|weighted]"
                      " [--quiet]%s\n",
                      window ? "sweep" : "batch",
                      window ? " [--doses a,b,..] [--focuses a,b,..]" : " [--window]");
@@ -245,7 +256,10 @@ int batch_main(int argc, char** argv, bool window) {
     if (cli.engine == "rule") {
         res = scheduler.run_rule(clips, {}, names);
     } else {
-        const core::CamoConfig cfg = core::Experiment::via_camo_config();
+        core::CamoConfig cfg = core::Experiment::via_camo_config();
+        // Trainer width on a cached-weights miss. Deliberately not part of
+        // the weight-cache key: results are bit-identical at any value.
+        cfg.train_workers = cli.train_workers;
         core::CamoEngine engine(cfg);
         litho::LithoSim train_sim(core::Experiment::litho_config());
         const auto train = core::fragment_via_clips(
@@ -305,7 +319,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: camo_cli --in layout.gds --out result.gds"
                      " [--engine rule|oneshot|camo] [--style via|metal] [--layer N]"
-                     " [--clip N] [--iterations N]"
+                     " [--clip N] [--iterations N] [--train-workers N]"
                      " [--reward-mode nominal|worst|weighted] [--window] [--quiet]\n");
         return 2;
     }
@@ -349,8 +363,9 @@ int main(int argc, char** argv) {
         opc::OneShotEngine engine;
         res = engine.optimize(layout, sim, opt);
     } else if (cli.engine == "camo") {
-        const core::CamoConfig cfg = via_style ? core::Experiment::via_camo_config()
-                                               : core::Experiment::metal_camo_config();
+        core::CamoConfig cfg = via_style ? core::Experiment::via_camo_config()
+                                         : core::Experiment::metal_camo_config();
+        cfg.train_workers = cli.train_workers;
         core::CamoEngine engine(cfg);
         const std::string tag = via_style ? "via" : "metal";
         const auto train =

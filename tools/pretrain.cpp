@@ -1,7 +1,16 @@
 // Pre-trains the CAMO and RL-OPC policies for both layers and stores the
 // weights under data/. The benchmark binaries load these caches; run this
 // tool (or any table bench) once after changing training configuration.
+//
+//   pretrain [--train-workers N]
+//
+// --train-workers selects the data-parallel training runtime width
+// (<= 0 = all hardware threads). The trained weights are bit-identical at
+// any value — the flag only changes wall time — which is why the cache path
+// does not encode it.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
@@ -11,10 +20,11 @@ namespace {
 
 using namespace camo;
 
-void train_one(const core::CamoConfig& cfg, const std::string& tag,
+void train_one(core::CamoConfig cfg, int train_workers, const std::string& tag,
                const std::vector<geo::SegmentedLayout>& clips, litho::LithoSim& sim,
                const opc::OpcOptions& opt) {
     Timer timer;
+    cfg.train_workers = train_workers;
     core::CamoEngine engine(cfg);
     const std::string path = core::Experiment::weights_path(cfg, tag);
     const bool cached = core::ensure_trained(engine, clips, sim, opt, path);
@@ -24,7 +34,17 @@ void train_one(const core::CamoConfig& cfg, const std::string& tag,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    int train_workers = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--train-workers") == 0 && i + 1 < argc) {
+            train_workers = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: pretrain [--train-workers N]\n");
+            return 2;
+        }
+    }
+
     set_log_level(LogLevel::kInfo);
     litho::LithoSim sim(core::Experiment::litho_config());
 
@@ -33,13 +53,13 @@ int main() {
     const auto metal_train = core::fragment_metal_clips(
         layout::metal_training_set(core::Experiment::kDatasetSeed, 5));
 
-    train_one(core::Experiment::via_camo_config(), "via", via_train, sim,
+    train_one(core::Experiment::via_camo_config(), train_workers, "via", via_train, sim,
               core::Experiment::via_options());
-    train_one(core::Experiment::via_rlopc_config(), "via", via_train, sim,
+    train_one(core::Experiment::via_rlopc_config(), train_workers, "via", via_train, sim,
               core::Experiment::via_options());
-    train_one(core::Experiment::metal_camo_config(), "metal", metal_train, sim,
+    train_one(core::Experiment::metal_camo_config(), train_workers, "metal", metal_train, sim,
               core::Experiment::metal_options());
-    train_one(core::Experiment::metal_rlopc_config(), "metal", metal_train, sim,
+    train_one(core::Experiment::metal_rlopc_config(), train_workers, "metal", metal_train, sim,
               core::Experiment::metal_options());
     return 0;
 }
