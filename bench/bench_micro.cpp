@@ -16,6 +16,7 @@
 #include "litho/aerial.hpp"
 #include "litho/process_window.hpp"
 #include "litho/simulator.hpp"
+#include "obs/trace.hpp"
 #include "opc/sraf.hpp"
 #include "rl/reward.hpp"
 
@@ -383,6 +384,35 @@ void BM_Modulator(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Modulator);
+
+// Telemetry hot-path cost: Arg(0) = disabled (one relaxed load + branch; the
+// acceptance bar is <= ~5 ns/op), Arg(1) = enabled (thread-local shard add /
+// trace-ring write). State is restored so later rows stay untelemetered.
+void BM_CounterIncrement(benchmark::State& state) {
+    const bool was_enabled = obs::metrics_enabled();
+    obs::set_metrics_enabled(state.range(0) != 0);
+    const obs::MetricId id = obs::register_counter("bench.counter_increment");
+    for (auto _ : state) {
+        obs::counter_add(id);
+    }
+    obs::set_metrics_enabled(was_enabled);
+}
+BENCHMARK(BM_CounterIncrement)->Arg(0)->Arg(1);
+
+void BM_SpanEnterExit(benchmark::State& state) {
+    const bool was_tracing = obs::tracing_enabled();
+    const bool was_metered = obs::metrics_enabled();
+    obs::set_tracing_enabled(state.range(0) != 0);
+    obs::set_metrics_enabled(state.range(0) != 0);
+    const obs::MetricId hist = obs::register_histogram("bench.span.ns");
+    for (auto _ : state) {
+        const obs::Span span("bench.span", hist);
+        benchmark::DoNotOptimize(&span);
+    }
+    obs::set_tracing_enabled(was_tracing);
+    obs::set_metrics_enabled(was_metered);
+}
+BENCHMARK(BM_SpanEnterExit)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,11 +1,14 @@
 #include "common/file_io.hpp"
 
+#include <cstdio>
+#include <sstream>
+
 #include "common/logging.hpp"
 
 namespace camo {
 
-LogLevel& log_level_ref() {
-    static LogLevel level = LogLevel::kQuiet;
+std::atomic<LogLevel>& log_level_ref() {
+    static std::atomic<LogLevel> level{LogLevel::kQuiet};
     return level;
 }
 
@@ -60,6 +63,29 @@ void BinaryReader::read_bytes(void* data, std::size_t n) {
 bool file_exists(const std::string& path) {
     std::ifstream f(path, std::ios::binary);
     return static_cast<bool>(f);
+}
+
+void write_text_atomic(const std::string& path, const std::string& content) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+        out.write(content.data(), static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out) throw std::runtime_error("write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("rename failed: " + tmp + " -> " + path);
+    }
+}
+
+std::string read_text(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open for reading: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
 }
 
 }  // namespace camo

@@ -62,4 +62,13 @@ private:
 /// True if the file exists and is readable.
 bool file_exists(const std::string& path);
 
+/// Replace `path` atomically: the content is written to `path + ".tmp"` and
+/// renamed over the destination, so readers never observe a partial file.
+/// Throws std::runtime_error on I/O failure. Used by the telemetry
+/// snapshot/trace writers (obs/report.cpp).
+void write_text_atomic(const std::string& path, const std::string& content);
+
+/// Whole file as a string; throws std::runtime_error if unreadable.
+std::string read_text(const std::string& path);
+
 }  // namespace camo

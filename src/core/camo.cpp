@@ -7,11 +7,41 @@
 #include "common/timer.hpp"
 #include "nn/grad_buffer.hpp"
 #include "nn/softmax.hpp"
+#include "obs/trace.hpp"
 #include "opc/objective.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace camo::core {
 namespace {
+
+obs::MetricId collect_hist() {
+    static const obs::MetricId id = obs::register_histogram("train.collect.ns");
+    return id;
+}
+obs::MetricId teacher_samples_counter() {
+    static const obs::MetricId id = obs::register_counter("train.teacher_samples");
+    return id;
+}
+obs::MetricId phase1_epoch_hist() {
+    static const obs::MetricId id = obs::register_histogram("train.phase1.epoch.ns");
+    return id;
+}
+obs::MetricId phase2_episode_hist() {
+    static const obs::MetricId id = obs::register_histogram("train.phase2.episode.ns");
+    return id;
+}
+obs::MetricId phase2_wave_hist() {
+    static const obs::MetricId id = obs::register_histogram("train.phase2.wave.ns");
+    return id;
+}
+obs::MetricId reduce_hist() {
+    static const obs::MetricId id = obs::register_histogram("train.reduce.ns");
+    return id;
+}
+obs::MetricId reduction_counter() {
+    static const obs::MetricId id = obs::register_counter("train.grad_reductions");
+    return id;
+}
 
 // Applies the chosen actions and returns the indices whose offset actually
 // changed (no-move actions and clamped moves stay clean) — the dirty set for
@@ -194,6 +224,7 @@ opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout, litho::L
 Phase1Dataset CamoEngine::collect_teacher_data(const std::vector<geo::SegmentedLayout>& clips,
                                                litho::LithoSim& sim,
                                                const opc::OpcOptions& opt) {
+    const obs::Span span("train.collect", collect_hist());
     Phase1Dataset data;
     data.graphs.reserve(clips.size());
     for (const geo::SegmentedLayout& c : clips) {
@@ -279,10 +310,12 @@ Phase1Dataset CamoEngine::collect_teacher_data(const std::vector<geo::SegmentedL
                          (static_cast<double>(rl::kNumActions) * static_cast<double>(cnt));
         data.action_weight[static_cast<std::size_t>(a)] = static_cast<float>(std::min(w, 20.0));
     }
+    obs::counter_add(teacher_samples_counter(), static_cast<long long>(data.samples.size()));
     return data;
 }
 
 double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
+    const obs::Span span("train.phase1.epoch", phase1_epoch_hist());
     const std::vector<TeacherSample>& samples = data.samples;
     if (samples.empty()) return 0.0;  // degenerate dataset: no optimizer step
     const std::size_t batch = cfg_.phase1_batch <= 0 ? samples.size()
@@ -340,7 +373,11 @@ double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
             for (std::size_t k = 0; k < count; ++k) run_sample(policy_, k);
         }
 
-        nn::reduce_in_order(buffers, policy_.params());
+        {
+            const obs::Span reduce_span("train.reduce", reduce_hist());
+            obs::counter_add(reduction_counter());
+            nn::reduce_in_order(buffers, policy_.params());
+        }
         for (std::size_t k = 0; k < count; ++k) {
             total_nll += sample_nll[k];
             total_nodes += sample_nodes[k];
@@ -354,6 +391,7 @@ double CamoEngine::run_phase2_episode(const std::vector<geo::SegmentedLayout>& c
                                       const std::vector<Graph>& graphs,
                                       std::vector<litho::LithoSim>& clip_sims,
                                       const opc::OpcOptions& opt, int episode) {
+    const obs::Span span("train.phase2.episode", phase2_episode_hist());
     // Under a window objective the per-step reward is window_step_reward on
     // the before/after sweeps — worst-corner (or weighted-corner) |EPE| and
     // the exact PV band — and the modulation/exploration signal is the
@@ -407,6 +445,7 @@ double CamoEngine::run_phase2_episode(const std::vector<geo::SegmentedLayout>& c
     std::vector<nn::GradBuffer> buffers;
 
     for (int t = 0; t < opt.max_iterations; ++t) {
+        const obs::Span wave_span("train.phase2.wave", phase2_wave_hist());
         wave.clear();
         for (std::size_t c = 0; c < clips.size(); ++c) {
             ClipState& s = st[c];
@@ -472,7 +511,11 @@ double CamoEngine::run_phase2_episode(const std::vector<geo::SegmentedLayout>& c
             for (std::size_t k = 0; k < wave.size(); ++k) run_clip(policy_, k);
         }
 
-        nn::reduce_in_order(buffers, policy_.params());
+        {
+            const obs::Span reduce_span("train.reduce", reduce_hist());
+            obs::counter_add(reduction_counter());
+            nn::reduce_in_order(buffers, policy_.params());
+        }
         for (int c : wave) {
             reward_sum += st[static_cast<std::size_t>(c)].reward;
             ++reward_count;

@@ -8,11 +8,38 @@
 
 #include "litho/aerial.hpp"
 #include "litho/kernel_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace camo::litho {
 namespace {
 
 int wrap(int k, int n) { return ((k % n) + n) % n; }
+
+// Registry mirrors of the per-instance hit/full counters: incremented at
+// exactly the same sites, so the registry totals equal the sums over
+// simulators that BatchResult reports.
+obs::MetricId hits_counter() {
+    static const obs::MetricId id = obs::register_counter("litho.incremental.hits");
+    return id;
+}
+obs::MetricId fulls_counter() {
+    static const obs::MetricId id = obs::register_counter("litho.incremental.fulls");
+    return id;
+}
+obs::MetricId delta_dft_hist() {
+    static const obs::MetricId id = obs::register_histogram("litho.delta_dft.ns");
+    return id;
+}
+obs::MetricId rebuild_hist() {
+    static const obs::MetricId id = obs::register_histogram("litho.incremental.rebuild.ns");
+    return id;
+}
+obs::MetricId focus_plane_hist() {
+    // Shared with ProcessWindowSweep's per-plane spans (registration is
+    // idempotent per name): one histogram covers dense and cached sweeps.
+    static const obs::MetricId id = obs::register_histogram("window.focus_plane.ns");
+    return id;
+}
 
 // FNV-1a over the layout geometry that determines the cached raster: target
 // and SRAF vertices plus the clip size. O(total vertices) per evaluation —
@@ -217,6 +244,7 @@ void IncrementalEvaluator::accumulate_polygon(const geo::Polygon& poly, double w
 
 void IncrementalEvaluator::rebuild_cache(const geo::SegmentedLayout& layout,
                                          std::span<const int> offsets) {
+    const obs::Span span("litho.incremental.rebuild", rebuild_hist());
     const int n = cfg_.grid;
     const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
 
@@ -291,6 +319,7 @@ void IncrementalEvaluator::apply_polygon_delta(const geo::Polygon& old_poly,
 }
 
 void IncrementalEvaluator::update_spectrum(const std::vector<PixelDelta>& deltas) {
+    const obs::Span span("litho.delta_dft", delta_dft_hist());
     const int n = cfg_.grid;
     const std::size_t freqs = union_kx_.size();
     const int* kx = union_kx_.data();
@@ -386,6 +415,7 @@ SimMetrics IncrementalEvaluator::evaluate_full(const geo::SegmentedLayout& layou
     rebuild_cache(layout, offsets);
     metrics_ = metrics_from_cache(layout);
     ++full_count_;
+    obs::counter_add(fulls_counter());
     return metrics_;
 }
 
@@ -442,14 +472,17 @@ SimMetrics IncrementalEvaluator::evaluate(const geo::SegmentedLayout& layout,
     switch (refresh_cache(layout, offsets)) {
         case CacheUpdate::kUnchanged:  // nothing moved: cached metrics are exact
             ++incremental_count_;
+            obs::counter_add(hits_counter());
             return metrics_;
         case CacheUpdate::kSparse:
             metrics_ = metrics_from_cache(layout);
             ++incremental_count_;
+            obs::counter_add(hits_counter());
             return metrics_;
         case CacheUpdate::kRebuilt:
             metrics_ = metrics_from_cache(layout);
             ++full_count_;
+            obs::counter_add(fulls_counter());
             return metrics_;
     }
     throw std::logic_error("unreachable");
@@ -490,6 +523,7 @@ WindowMetrics IncrementalEvaluator::window_from_cache(const geo::SegmentedLayout
     std::vector<geo::Raster> aerials;
     aerials.reserve(planes.size());
     for (const auto& [applicator, map] : planes) {
+        const obs::Span plane_span("window.focus_plane", focus_plane_hist());
         aerials.push_back(aerial_from_cache(*applicator, *map));
     }
 
@@ -523,7 +557,13 @@ WindowMetrics IncrementalEvaluator::window_from_cache(const geo::SegmentedLayout
             metrics_ = metrics_from_cache(layout);
         }
     }
-    update == CacheUpdate::kRebuilt ? ++full_count_ : ++incremental_count_;
+    if (update == CacheUpdate::kRebuilt) {
+        ++full_count_;
+        obs::counter_add(fulls_counter());
+    } else {
+        ++incremental_count_;
+        obs::counter_add(hits_counter());
+    }
     return wm;
 }
 

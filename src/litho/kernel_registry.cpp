@@ -11,9 +11,19 @@
 #include "geometry/polygon.hpp"
 #include "litho/kernel_cache.hpp"
 #include "litho/tcc.hpp"
+#include "obs/trace.hpp"
 
 namespace camo::litho {
 namespace {
+
+obs::MetricId kernel_build_counter() {
+    static const obs::MetricId id = obs::register_counter("kernels.builds");
+    return id;
+}
+obs::MetricId kernel_build_hist() {
+    static const obs::MetricId id = obs::register_histogram("kernels.build.ns");
+    return id;
+}
 
 // Keyed on (physics hash, cache_dir): cache_dir does not change the kernels,
 // but it does change the disk side effect (which cache file gets written), so
@@ -50,6 +60,8 @@ double calibrate_threshold(const LithoConfig& cfg, const KernelApplicator& nomin
 }
 
 SharedKernels build_kernels(const LithoConfig& cfg) {
+    const obs::Span span("kernels.build", kernel_build_hist());
+    obs::counter_add(kernel_build_counter());
     SharedKernels sk;
     if (auto cached = load_kernel_cache(cfg)) {
         sk.nominal =
@@ -142,6 +154,8 @@ std::shared_ptr<const KernelApplicator> acquire_focus_applicator(const LithoConf
 
     if (is_builder) {
         try {
+            const obs::Span span("kernels.build", kernel_build_hist());
+            obs::counter_add(kernel_build_counter());
             log_info("building SOCS kernels for focus plane " + std::to_string(defocus_nm) +
                      " nm (one-time, shared in-process)");
             KernelSet ks =

@@ -4,8 +4,33 @@
 
 #include "litho/incremental.hpp"
 #include "litho/kernel_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace camo::litho {
+namespace {
+
+// Telemetry handles for the evaluation facade. `litho.evaluations` counts
+// every evaluate* entry point — the same events as the per-instance
+// evaluate_count_, so the registry total equals the sum over simulators
+// (what BatchResult::litho_evaluations reports per batch).
+obs::MetricId eval_counter() {
+    static const obs::MetricId id = obs::register_counter("litho.evaluations");
+    return id;
+}
+obs::MetricId eval_hist() {
+    static const obs::MetricId id = obs::register_histogram("litho.evaluate.ns");
+    return id;
+}
+obs::MetricId eval_incremental_hist() {
+    static const obs::MetricId id = obs::register_histogram("litho.evaluate_incremental.ns");
+    return id;
+}
+obs::MetricId window_hist() {
+    static const obs::MetricId id = obs::register_histogram("litho.evaluate_window.ns");
+    return id;
+}
+
+}  // namespace
 
 LithoSim::LithoSim(LithoConfig cfg) : cfg_(std::move(cfg)) {
     if (!is_pow2(cfg_.grid)) throw std::invalid_argument("LithoSim: grid must be a power of two");
@@ -44,7 +69,9 @@ geo::Raster LithoSim::aerial_defocus(const geo::Raster& mask) const {
 
 SimMetrics LithoSim::evaluate(const geo::SegmentedLayout& layout,
                               std::span<const int> offsets) const {
+    const obs::Span span("litho.evaluate", eval_hist());
     evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add(eval_counter());
     const auto mask_polys = layout.reconstruct_mask(offsets);
     const geo::Raster mask = rasterize(mask_polys, layout.srafs(), layout.clip_size_nm());
 
@@ -59,7 +86,9 @@ SimMetrics LithoSim::evaluate(const geo::SegmentedLayout& layout,
 
 SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
                                           std::span<const int> offsets) {
+    const obs::Span span("litho.evaluate_incremental", eval_incremental_hist());
     evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add(eval_counter());
     if (!incremental_) {
         incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
                                                               nominal_->kernels(),
@@ -71,7 +100,9 @@ SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
 SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
                                           std::span<const int> offsets,
                                           std::span<const int> dirty) {
+    const obs::Span span("litho.evaluate_incremental", eval_incremental_hist());
     evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add(eval_counter());
     if (!incremental_) {
         incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
                                                               nominal_->kernels(),
@@ -83,7 +114,9 @@ SimMetrics LithoSim::evaluate_incremental(const geo::SegmentedLayout& layout,
 WindowMetrics LithoSim::evaluate_window(const geo::SegmentedLayout& layout,
                                         std::span<const int> offsets,
                                         const WindowSpec& spec) const {
+    const obs::Span span("litho.evaluate_window", window_hist());
     evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add(eval_counter());
     const ProcessWindowSweep sweep(cfg_, spec);
     return sweep.evaluate(layout, offsets);
 }
@@ -91,7 +124,9 @@ WindowMetrics LithoSim::evaluate_window(const geo::SegmentedLayout& layout,
 WindowMetrics LithoSim::evaluate_window_incremental(const geo::SegmentedLayout& layout,
                                                     std::span<const int> offsets,
                                                     const WindowSpec& spec) {
+    const obs::Span span("litho.evaluate_window", window_hist());
     evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add(eval_counter());
     if (!incremental_) {
         incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
                                                               nominal_->kernels(),
@@ -103,7 +138,9 @@ WindowMetrics LithoSim::evaluate_window_incremental(const geo::SegmentedLayout& 
 WindowMetrics LithoSim::evaluate_window_prime(const geo::SegmentedLayout& layout,
                                               std::span<const int> offsets,
                                               const WindowSpec& spec) {
+    const obs::Span span("litho.evaluate_window", window_hist());
     evaluate_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add(eval_counter());
     if (!incremental_) {
         incremental_ = std::make_unique<IncrementalEvaluator>(cfg_, threshold_,
                                                               nominal_->kernels(),

@@ -1,0 +1,215 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace camo::obs {
+namespace {
+
+constexpr int kSlotBits = 24;
+constexpr MetricId kSlotMask = (MetricId{1} << kSlotBits) - 1;
+
+constexpr MetricId make_id(MetricType type, int slot) {
+    return (static_cast<MetricId>(type) << kSlotBits) | static_cast<MetricId>(slot);
+}
+constexpr int id_slot(MetricId id) { return static_cast<int>(id & kSlotMask); }
+
+// One thread's private accumulation. Only the owning thread writes (relaxed
+// fetch_add on uncontended cache lines); snapshot/reset read or zero them
+// under the registry mutex with relaxed loads/stores.
+struct Shard {
+    std::array<std::atomic<long long>, kMaxCounters> counters{};
+    struct Hist {
+        std::array<std::atomic<long long>, kHistogramBuckets> buckets{};
+        std::atomic<long long> sum{0};
+    };
+    std::array<Hist, kMaxHistograms> hists{};
+};
+
+struct MetricInfo {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    int slot = 0;
+};
+
+struct Registry {
+    std::atomic<bool> enabled{false};
+
+    std::mutex mu;  // guards everything below
+    std::vector<MetricInfo> metrics;
+    std::unordered_map<std::string, MetricId> by_name;
+    int counter_slots = 0;
+    int gauge_slots = 0;
+    int hist_slots = 0;
+    std::array<std::atomic<double>, kMaxGauges> gauges{};
+    std::vector<std::unique_ptr<Shard>> shards;  ///< one per thread that recorded
+};
+
+// Intentionally leaked: worker threads may record during static destruction
+// (thread_local teardown order across TUs is unspecified), so the registry
+// must outlive every thread.
+Registry& reg() {
+    static Registry* r = new Registry();
+    return *r;
+}
+
+Shard& local_shard() {
+    thread_local Shard* shard = [] {
+        auto owned = std::make_unique<Shard>();
+        Shard* p = owned.get();
+        Registry& r = reg();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.shards.push_back(std::move(owned));
+        return p;
+    }();
+    return *shard;
+}
+
+MetricId register_metric(const std::string& name, MetricType type) {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.by_name.find(name);
+    if (it != r.by_name.end()) {
+        const MetricInfo& info = r.metrics[static_cast<std::size_t>(it->second)];
+        if (info.type != type) {
+            throw std::invalid_argument("obs: metric '" + name +
+                                        "' already registered with a different type");
+        }
+        return make_id(type, info.slot);
+    }
+    int* next = type == MetricType::kCounter ? &r.counter_slots
+                : type == MetricType::kGauge ? &r.gauge_slots
+                                             : &r.hist_slots;
+    const int cap = type == MetricType::kCounter ? kMaxCounters
+                    : type == MetricType::kGauge ? kMaxGauges
+                                                 : kMaxHistograms;
+    if (*next >= cap) throw std::runtime_error("obs: metric capacity exhausted for '" + name + "'");
+    const int slot = (*next)++;
+    r.by_name.emplace(name, static_cast<MetricId>(r.metrics.size()));
+    r.metrics.push_back({name, type, slot});
+    return make_id(type, slot);
+}
+
+}  // namespace
+
+MetricId register_counter(const std::string& name) {
+    return register_metric(name, MetricType::kCounter);
+}
+MetricId register_gauge(const std::string& name) {
+    return register_metric(name, MetricType::kGauge);
+}
+MetricId register_histogram(const std::string& name) {
+    return register_metric(name, MetricType::kHistogram);
+}
+
+void set_metrics_enabled(bool enabled) {
+    reg().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() { return reg().enabled.load(std::memory_order_relaxed); }
+
+void counter_add(MetricId id, long long delta) {
+    Registry& r = reg();
+    if (!r.enabled.load(std::memory_order_relaxed)) return;
+    local_shard().counters[static_cast<std::size_t>(id_slot(id))].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void gauge_set(MetricId id, double value) {
+    Registry& r = reg();
+    if (!r.enabled.load(std::memory_order_relaxed)) return;
+    r.gauges[static_cast<std::size_t>(id_slot(id))].store(value, std::memory_order_relaxed);
+}
+
+void gauge_add(MetricId id, double delta) {
+    Registry& r = reg();
+    if (!r.enabled.load(std::memory_order_relaxed)) return;
+    std::atomic<double>& g = r.gauges[static_cast<std::size_t>(id_slot(id))];
+    double cur = g.load(std::memory_order_relaxed);
+    while (!g.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+}
+
+int histogram_bucket(long long value) {
+    if (value <= 0) return 0;
+    const int b = std::bit_width(static_cast<unsigned long long>(value));
+    return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+void histogram_record(MetricId id, long long value) {
+    Registry& r = reg();
+    if (!r.enabled.load(std::memory_order_relaxed)) return;
+    Shard::Hist& h = local_shard().hists[static_cast<std::size_t>(id_slot(id))];
+    h.buckets[static_cast<std::size_t>(histogram_bucket(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<MetricSnapshot> snapshot_metrics() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<MetricSnapshot> out;
+    out.reserve(r.metrics.size());
+    for (const MetricInfo& info : r.metrics) {
+        MetricSnapshot s;
+        s.name = info.name;
+        s.type = info.type;
+        const auto slot = static_cast<std::size_t>(info.slot);
+        switch (info.type) {
+            case MetricType::kCounter:
+                for (const auto& shard : r.shards) {
+                    s.counter += shard->counters[slot].load(std::memory_order_relaxed);
+                }
+                break;
+            case MetricType::kGauge:
+                s.gauge = r.gauges[slot].load(std::memory_order_relaxed);
+                break;
+            case MetricType::kHistogram:
+                s.buckets.assign(kHistogramBuckets, 0);
+                for (const auto& shard : r.shards) {
+                    const Shard::Hist& h = shard->hists[slot];
+                    for (int b = 0; b < kHistogramBuckets; ++b) {
+                        s.buckets[static_cast<std::size_t>(b)] +=
+                            h.buckets[static_cast<std::size_t>(b)].load(
+                                std::memory_order_relaxed);
+                    }
+                    s.hist_sum += h.sum.load(std::memory_order_relaxed);
+                }
+                for (long long c : s.buckets) s.hist_count += c;
+                break;
+        }
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+    return out;
+}
+
+const MetricSnapshot* find_metric(const std::vector<MetricSnapshot>& snap,
+                                  const std::string& name) {
+    for (const MetricSnapshot& s : snap) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+void reset_metrics() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& g : r.gauges) g.store(0.0, std::memory_order_relaxed);
+    for (const auto& shard : r.shards) {
+        for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+        for (auto& h : shard->hists) {
+            for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+            h.sum.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+}  // namespace camo::obs

@@ -1,0 +1,27 @@
+// JSON exporters for the telemetry layer.
+//
+//   * render_metrics_json / write_metrics_json — the registry snapshot as
+//     one JSON object: {"counters": {...}, "gauges": {...},
+//     "histograms": {name: {count, sum, buckets: [{lt, count}, ...]}}}.
+//     Histogram buckets are powers of two; only non-empty buckets are
+//     emitted, each with its exclusive upper bound `lt`.
+//   * render_trace_json / write_trace_json — buffered spans as a Chrome
+//     trace-event file ("X" complete events, timestamps in microseconds),
+//     loadable in Perfetto or chrome://tracing. Per-thread ring overflow is
+//     reported in the top-level "droppedEvents" field.
+//
+// Files are written through common/file_io's atomic-rename path, so a
+// crash mid-export never leaves a truncated report.
+#pragma once
+
+#include <string>
+
+namespace camo::obs {
+
+[[nodiscard]] std::string render_metrics_json();
+[[nodiscard]] std::string render_trace_json();
+
+void write_metrics_json(const std::string& path);
+void write_trace_json(const std::string& path);
+
+}  // namespace camo::obs

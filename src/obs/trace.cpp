@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace camo::obs {
+namespace {
+
+struct TraceEvent {
+    const char* name = nullptr;
+    long long start_ns = 0;
+    long long dur_ns = 0;
+};
+
+struct TraceBuffer {
+    std::mutex mu;  // uncontended except against the exporter
+    int tid = 0;
+    std::vector<TraceEvent> ring;
+    std::size_t written = 0;  ///< total events ever recorded
+};
+
+struct TraceRegistry {
+    std::atomic<bool> enabled{false};
+    std::mutex mu;  // guards the buffer list
+    std::vector<std::unique_ptr<TraceBuffer>> buffers;
+};
+
+// Leaked for the same reason as the metrics registry: threads may record
+// during static destruction.
+TraceRegistry& reg() {
+    static TraceRegistry* r = new TraceRegistry();
+    return *r;
+}
+
+TraceBuffer& local_buffer() {
+    thread_local TraceBuffer* buffer = [] {
+        auto owned = std::make_unique<TraceBuffer>();
+        owned->tid = stable_thread_id();
+        owned->ring.resize(kTraceRingCapacity);
+        TraceBuffer* p = owned.get();
+        TraceRegistry& r = reg();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.buffers.push_back(std::move(owned));
+        return p;
+    }();
+    return *buffer;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) {
+    if (enabled) (void)trace_now_ns();  // pin the epoch before the first span
+    reg().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return reg().enabled.load(std::memory_order_relaxed); }
+
+long long trace_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - process_epoch())
+        .count();
+}
+
+void record_span(const char* name, long long start_ns) {
+    const long long end_ns = trace_now_ns();
+    TraceBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    TraceEvent& e = buf.ring[buf.written % kTraceRingCapacity];
+    e.name = name;
+    e.start_ns = start_ns;
+    e.dur_ns = end_ns - start_ns;
+    ++buf.written;
+}
+
+void reset_trace() {
+    TraceRegistry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& buf : r.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        buf->written = 0;
+    }
+}
+
+namespace detail {
+
+// Export hook for report.cpp: visit every buffered event oldest-first per
+// thread. Returns the total number of dropped (overwritten) events.
+long long visit_trace_events(
+    const std::function<void(int tid, const char* name, long long start_ns, long long dur_ns)>&
+        visit) {
+    TraceRegistry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    long long dropped = 0;
+    for (const auto& buf : r.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        const std::size_t kept = std::min(buf->written, kTraceRingCapacity);
+        dropped += static_cast<long long>(buf->written - kept);
+        const std::size_t begin = buf->written - kept;  // oldest surviving event
+        for (std::size_t i = 0; i < kept; ++i) {
+            const TraceEvent& e = buf->ring[(begin + i) % kTraceRingCapacity];
+            visit(buf->tid, e.name, e.start_ns, e.dur_ns);
+        }
+    }
+    return dropped;
+}
+
+}  // namespace detail
+
+}  // namespace camo::obs

@@ -1,0 +1,84 @@
+// RAII span tracing into per-thread ring buffers, exported as Chrome
+// trace-event JSON (load in Perfetto / chrome://tracing, "X" complete
+// events).
+//
+// A Span samples the shared steady clock (common/logging.hpp's
+// process_epoch, so trace timestamps line up with log prefixes) at
+// construction and records {name, start, duration, tid} at destruction.
+// Events land in a fixed-capacity per-thread ring (oldest overwritten, the
+// drop count is reported in the export) guarded by a per-thread mutex that
+// only the exporter ever contends — spans from different threads never
+// share a lock. Disabled (the default), construction is one relaxed atomic
+// load; tracing never feeds back into any computation, so results are
+// bit-identical with tracing on or off.
+//
+// Span names must be string literals (or otherwise outlive the export):
+// the ring stores the pointer, not a copy.
+#pragma once
+
+#include <functional>
+
+#include "obs/metrics.hpp"
+
+namespace camo::obs {
+
+/// Events kept per thread; older events are overwritten once exceeded.
+inline constexpr std::size_t kTraceRingCapacity = 1 << 16;
+
+void set_tracing_enabled(bool enabled);
+[[nodiscard]] bool tracing_enabled();
+
+/// Record one complete event ending now (start_ns from trace_now_ns()).
+/// Usually called via Span, exposed for irregular scopes.
+void record_span(const char* name, long long start_ns);
+
+/// Nanoseconds since the shared process epoch.
+[[nodiscard]] long long trace_now_ns();
+
+/// Discard all buffered events (buffers and thread ids survive). For tests
+/// and run boundaries.
+void reset_trace();
+
+class Span {
+public:
+    /// `duration_hist` (optional) additionally records the span's duration
+    /// in nanoseconds into that histogram when metrics are enabled — so the
+    /// registry can answer "where did the time go" without a trace file.
+    explicit Span(const char* name, MetricId duration_hist = -1)
+        : hist_(duration_hist) {
+        const bool trace = tracing_enabled();
+        const bool meter = hist_ >= 0 && metrics_enabled();
+        if (trace || meter) {
+            name_ = trace ? name : nullptr;
+            metered_ = meter;
+            start_ns_ = trace_now_ns();
+        }
+    }
+
+    ~Span() {
+        if (name_ != nullptr) record_span(name_, start_ns_);
+        if (metered_) histogram_record(hist_, trace_now_ns() - start_ns_);
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* name_ = nullptr;  ///< non-null iff a trace event is armed
+    long long start_ns_ = 0;
+    MetricId hist_ = -1;
+    bool metered_ = false;
+};
+
+namespace detail {
+
+/// Visit every buffered event, oldest-first per thread, under the buffer
+/// locks. Returns the number of events lost to ring overwrite. Used by the
+/// trace exporter (obs/report.cpp) and tests.
+long long visit_trace_events(
+    const std::function<void(int tid, const char* name, long long start_ns, long long dur_ns)>&
+        visit);
+
+}  // namespace detail
+
+}  // namespace camo::obs

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "litho/kernel_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace camo::runtime {
 
@@ -14,6 +15,38 @@ namespace {
 
 bool same_window_spec(const litho::WindowSpec& a, const litho::WindowSpec& b) {
     return a.doses == b.doses && a.defocus_nm == b.defocus_nm;
+}
+
+// Migrated BatchResult counters: the registry deltas recorded at the end of
+// run() equal the litho_evaluations / incremental_hits / incremental_fulls
+// fields of the BatchResult returned by that run.
+obs::MetricId clips_counter() {
+    static const obs::MetricId id = obs::register_counter("batch.clips");
+    return id;
+}
+obs::MetricId failed_counter() {
+    static const obs::MetricId id = obs::register_counter("batch.failed");
+    return id;
+}
+obs::MetricId batch_evals_counter() {
+    static const obs::MetricId id = obs::register_counter("batch.litho_evaluations");
+    return id;
+}
+obs::MetricId batch_hits_counter() {
+    static const obs::MetricId id = obs::register_counter("batch.incremental_hits");
+    return id;
+}
+obs::MetricId batch_fulls_counter() {
+    static const obs::MetricId id = obs::register_counter("batch.incremental_fulls");
+    return id;
+}
+obs::MetricId batch_hist() {
+    static const obs::MetricId id = obs::register_histogram("batch.run.ns");
+    return id;
+}
+obs::MetricId clip_hist() {
+    static const obs::MetricId id = obs::register_histogram("batch.clip.ns");
+    return id;
 }
 
 }  // namespace
@@ -75,6 +108,7 @@ BatchScheduler::BatchScheduler(const litho::LithoConfig& litho_cfg, BatchOptions
 BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
                                 const ClipOptimizer& optimize,
                                 const std::vector<std::string>& names) {
+    const obs::Span run_span("batch.run", batch_hist());
     Timer wall;
     BatchResult batch;
     batch.reward_mode = opt_.opc.objective;
@@ -102,6 +136,7 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
             const std::uint64_t job_seed = derive_seed(opt_.seed, i);
 
             jobs.push_back(pool_.submit([this, &optimize, &layout, &slot, job_seed] {
+                const obs::Span clip_span("batch.clip", clip_hist());
                 const int worker = pool_.worker_index();
                 litho::LithoSim& sim = sims_[static_cast<std::size_t>(worker < 0 ? 0 : worker)];
                 slot.segments = layout.num_segments();
@@ -174,6 +209,11 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
     batch.incremental_hits -= hits_before;
     batch.incremental_fulls -= fulls_before;
     batch.throughput_cps = batch.wall_s > 0.0 ? batch.ok() / batch.wall_s : 0.0;
+    obs::counter_add(clips_counter(), static_cast<long long>(batch.clips.size()));
+    obs::counter_add(failed_counter(), batch.failed);
+    obs::counter_add(batch_evals_counter(), batch.litho_evaluations);
+    obs::counter_add(batch_hits_counter(), batch.incremental_hits);
+    obs::counter_add(batch_fulls_counter(), batch.incremental_fulls);
     return batch;
 }
 

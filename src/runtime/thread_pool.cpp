@@ -2,12 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace camo::runtime {
 namespace {
 
 // Which pool (if any) the current thread belongs to, and its index there.
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local int tls_index = -1;
+
+obs::MetricId tasks_counter() {
+    static const obs::MetricId id = obs::register_counter("pool.tasks");
+    return id;
+}
+obs::MetricId steals_counter() {
+    static const obs::MetricId id = obs::register_counter("pool.steals");
+    return id;
+}
+obs::MetricId queue_depth_gauge() {
+    static const obs::MetricId id = obs::register_gauge("pool.queue_depth");
+    return id;
+}
 
 }  // namespace
 
@@ -46,6 +61,8 @@ void ThreadPool::enqueue(Task task) {
     // fetch_sub) the instant the queue mutex is released, and the unsigned
     // counter must never transiently underflow.
     pending_.fetch_add(1, std::memory_order_release);
+    obs::counter_add(tasks_counter());
+    obs::gauge_add(queue_depth_gauge(), 1.0);
     {
         std::lock_guard<std::mutex> lock(queues_[static_cast<std::size_t>(target)]->mu);
         queues_[static_cast<std::size_t>(target)]->tasks.push_back(std::move(task));
@@ -62,6 +79,7 @@ bool ThreadPool::try_pop_local(int self, Task& out) {
     if (q.tasks.empty()) return false;
     out = std::move(q.tasks.back());
     q.tasks.pop_back();
+    obs::gauge_add(queue_depth_gauge(), -1.0);
     return true;
 }
 
@@ -73,6 +91,8 @@ bool ThreadPool::try_steal(int self, Task& out) {
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.front());
             q.tasks.pop_front();
+            obs::counter_add(steals_counter());
+            obs::gauge_add(queue_depth_gauge(), -1.0);
             return true;
         }
     }

@@ -26,6 +26,14 @@
 //                                standard process window and print the
 //                                worst-corner |EPE| / exact PV band
 //   --quiet                      suppress progress logs
+//   --log-level L                quiet|info|debug (overrides --quiet)
+//   --metrics-json PATH          enable the metrics registry and write its
+//                                snapshot to PATH on exit
+//   --trace PATH                 enable span tracing and write a Chrome
+//                                trace-event file (Perfetto-loadable)
+//
+// Telemetry is observational only: all numeric outputs, GDS bytes, and
+// trained weights are bit-identical with the flags on or off.
 //
 // Batch mode runs the parallel runtime over a generated via-clip stream and
 // prints per-clip results plus aggregate throughput:
@@ -49,6 +57,8 @@
 #include "common/logging.hpp"
 #include "core/experiment.hpp"
 #include "layout/gdsii.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "opc/one_shot.hpp"
 #include "opc/rule_engine.hpp"
 #include "opc/sraf.hpp"
@@ -57,6 +67,48 @@
 namespace {
 
 using namespace camo;
+
+// Shared telemetry/logging switches (--metrics-json / --trace / --log-level).
+struct ObsCliOptions {
+    std::string metrics_json;  ///< empty = metrics registry disabled
+    std::string trace;         ///< empty = span tracing disabled
+    std::string log_level;     ///< empty = derived from --quiet
+};
+
+bool parse_log_level(const std::string& s, LogLevel& lvl) {
+    if (s == "quiet") {
+        lvl = LogLevel::kQuiet;
+    } else if (s == "info") {
+        lvl = LogLevel::kInfo;
+    } else if (s == "debug") {
+        lvl = LogLevel::kDebug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/// Returns false (after printing a diagnostic) on a bad --log-level value.
+bool apply_obs_options(const ObsCliOptions& o, bool quiet) {
+    LogLevel lvl = quiet ? LogLevel::kQuiet : LogLevel::kInfo;
+    if (!o.log_level.empty() && !parse_log_level(o.log_level, lvl)) {
+        std::fprintf(stderr, "unknown log level: %s\n", o.log_level.c_str());
+        return false;
+    }
+    set_log_level(lvl);
+    if (!o.metrics_json.empty()) obs::set_metrics_enabled(true);
+    if (!o.trace.empty()) obs::set_tracing_enabled(true);
+    return true;
+}
+
+void write_obs_reports(const ObsCliOptions& o) {
+    try {
+        if (!o.metrics_json.empty()) obs::write_metrics_json(o.metrics_json);
+        if (!o.trace.empty()) obs::write_trace_json(o.trace);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "telemetry export failed: %s\n", e.what());
+    }
+}
 
 struct CliOptions {
     std::string in;
@@ -70,6 +122,7 @@ struct CliOptions {
     rl::RewardMode reward_mode = rl::RewardMode::kNominal;
     bool window = false;
     bool quiet = false;
+    ObsCliOptions obs;
 };
 
 // "nominal" | "worst[-corner]" | "weighted[-corner]" -> RewardMode.
@@ -120,6 +173,12 @@ bool parse_args(int argc, char** argv, CliOptions& o) try {
             o.window = true;
         } else if (a == "--quiet") {
             o.quiet = true;
+        } else if (a == "--log-level" && next(v)) {
+            o.obs.log_level = v;
+        } else if (a == "--metrics-json" && next(v)) {
+            o.obs.metrics_json = v;
+        } else if (a == "--trace" && next(v)) {
+            o.obs.trace = v;
         } else {
             std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
             return false;
@@ -139,6 +198,7 @@ struct BatchCliOptions {
     int train_workers = 1;  // data-parallel trainer width; <= 0 = all threads
     rl::RewardMode reward_mode = rl::RewardMode::kNominal;
     bool quiet = false;
+    ObsCliOptions obs;
     bool window = false;             // sweep mode / batch --window
     std::vector<double> doses;       // empty = standard window
     std::vector<double> focuses_nm;  // empty = standard window
@@ -191,6 +251,12 @@ bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
             o.window = true;  // batch --window == sweep mode
         } else if (a == "--quiet") {
             o.quiet = true;
+        } else if (a == "--log-level" && next(v)) {
+            o.obs.log_level = v;
+        } else if (a == "--metrics-json" && next(v)) {
+            o.obs.metrics_json = v;
+        } else if (a == "--trace" && next(v)) {
+            o.obs.trace = v;
         } else if (o.window && a == "--doses" && next(v)) {
             o.doses = parse_double_list(v);
         } else if (o.window && a == "--focuses" && next(v)) {
@@ -214,12 +280,13 @@ int batch_main(int argc, char** argv, bool window) {
                      "usage: camo_cli %s [--clips N] [--threads N] [--engine rule|camo]"
                      " [--seed S] [--iterations N] [--train-workers N]"
                      " [--reward-mode nominal|worst|weighted]"
-                     " [--quiet]%s\n",
+                     " [--quiet] [--log-level quiet|info|debug]"
+                     " [--metrics-json PATH] [--trace PATH]%s\n",
                      window ? "sweep" : "batch",
                      window ? " [--doses a,b,..] [--focuses a,b,..]" : " [--window]");
         return 2;
     }
-    if (!cli.quiet) set_log_level(LogLevel::kInfo);
+    if (!apply_obs_options(cli.obs, cli.quiet)) return 2;
 
     const std::vector<layout::Clip> raw = layout::via_batch_set(cli.seed, cli.clips);
     const std::vector<geo::SegmentedLayout> clips = core::fragment_via_clips(raw);
@@ -305,6 +372,7 @@ int batch_main(int argc, char** argv, bool window) {
         }
     }
     std::printf("%s\n", res.summary().c_str());
+    write_obs_reports(cli.obs);
     return res.failed == 0 ? 0 : 1;
 }
 
@@ -320,10 +388,11 @@ int main(int argc, char** argv) {
                      "usage: camo_cli --in layout.gds --out result.gds"
                      " [--engine rule|oneshot|camo] [--style via|metal] [--layer N]"
                      " [--clip N] [--iterations N] [--train-workers N]"
-                     " [--reward-mode nominal|worst|weighted] [--window] [--quiet]\n");
+                     " [--reward-mode nominal|worst|weighted] [--window] [--quiet]"
+                     " [--log-level quiet|info|debug] [--metrics-json PATH] [--trace PATH]\n");
         return 2;
     }
-    if (!cli.quiet) set_log_level(LogLevel::kInfo);
+    if (!apply_obs_options(cli.obs, cli.quiet)) return 2;
 
     // Load targets.
     layout::GdsLibrary lib;
@@ -406,5 +475,6 @@ int main(int argc, char** argv) {
     layout::write_gds(cli.out, out);
     std::printf("wrote %s (targets: layer 1%s, mask: layer 10)\n", cli.out.c_str(),
                 layout.srafs().empty() ? "" : ", SRAFs: layer 2");
+    write_obs_reports(cli.obs);
     return 0;
 }

@@ -2,12 +2,15 @@
 // weights under data/. The benchmark binaries load these caches; run this
 // tool (or any table bench) once after changing training configuration.
 //
-//   pretrain [--train-workers N]
+//   pretrain [--train-workers N] [--log-level quiet|info|debug]
+//            [--metrics-json PATH] [--trace PATH]
 //
 // --train-workers selects the data-parallel training runtime width
 // (<= 0 = all hardware threads). The trained weights are bit-identical at
 // any value — the flag only changes wall time — which is why the cache path
-// does not encode it.
+// does not encode it. --metrics-json / --trace enable the telemetry layer
+// (observational only: weights stay bit-identical) and write the registry
+// snapshot / Chrome trace on exit.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,6 +18,8 @@
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "core/experiment.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -36,16 +41,40 @@ void train_one(core::CamoConfig cfg, int train_workers, const std::string& tag,
 
 int main(int argc, char** argv) {
     int train_workers = 1;
+    std::string metrics_json;
+    std::string trace;
+    LogLevel level = LogLevel::kInfo;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--train-workers") == 0 && i + 1 < argc) {
             train_workers = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+            metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace = argv[++i];
+        } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+            const std::string v = argv[++i];
+            if (v == "quiet") {
+                level = LogLevel::kQuiet;
+            } else if (v == "info") {
+                level = LogLevel::kInfo;
+            } else if (v == "debug") {
+                level = LogLevel::kDebug;
+            } else {
+                std::fprintf(stderr, "unknown log level: %s\n", v.c_str());
+                return 2;
+            }
         } else {
-            std::fprintf(stderr, "usage: pretrain [--train-workers N]\n");
+            std::fprintf(stderr,
+                         "usage: pretrain [--train-workers N]"
+                         " [--log-level quiet|info|debug]"
+                         " [--metrics-json PATH] [--trace PATH]\n");
             return 2;
         }
     }
 
-    set_log_level(LogLevel::kInfo);
+    set_log_level(level);
+    if (!metrics_json.empty()) obs::set_metrics_enabled(true);
+    if (!trace.empty()) obs::set_tracing_enabled(true);
     litho::LithoSim sim(core::Experiment::litho_config());
 
     const auto via_train = core::fragment_via_clips(
@@ -61,5 +90,8 @@ int main(int argc, char** argv) {
               core::Experiment::metal_options());
     train_one(core::Experiment::metal_rlopc_config(), train_workers, "metal", metal_train, sim,
               core::Experiment::metal_options());
+
+    if (!metrics_json.empty()) obs::write_metrics_json(metrics_json);
+    if (!trace.empty()) obs::write_trace_json(trace);
     return 0;
 }
