@@ -1,0 +1,235 @@
+#include "common/json_mini.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace camo::json {
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json: " + what + " at byte " + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        std::size_t n = 0;
+        while (lit[n] != '\0') ++n;
+        if (text_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': {
+                Value v;
+                v.type = Value::Type::kString;
+                v.string = parse_string();
+                return v;
+            }
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                {
+                    Value v;
+                    v.type = Value::Type::kBool;
+                    v.boolean = true;
+                    return v;
+                }
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                {
+                    Value v;
+                    v.type = Value::Type::kBool;
+                    v.boolean = false;
+                    return v;
+                }
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return Value{};
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Value v;
+        v.type = Value::Type::kObject;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            v.object.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return v;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Value v;
+        v.type = Value::Type::kArray;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parse_value());
+            skip_ws();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return v;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad hex digit in \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point; surrogate pairs are not
+                    // combined (goldens only carry ASCII).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                }
+                default: fail("bad escape character");
+            }
+        }
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0') fail("bad number '" + tok + "'");
+        Value v;
+        v.type = Value::Type::kNumber;
+        v.number = d;
+        return v;
+    }
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+    const Value* v = find(key);
+    if (v == nullptr) throw std::runtime_error("json: missing key '" + key + "'");
+    return *v;
+}
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace camo::json

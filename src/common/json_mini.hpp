@@ -1,0 +1,43 @@
+// Minimal read-only JSON parser for golden files and tool round-trips.
+//
+// The repo writes JSON by hand (obs/report, bench exports, the compare
+// table); the only consumers that need to *read* JSON back are tests and
+// the golden-bound checker, so this stays deliberately small: a
+// recursive-descent parser producing an immutable Value tree. No
+// serialization, no comments, no trailing commas — strict RFC 8259 except
+// that numbers are always parsed as double.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace camo::json {
+
+class Value {
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;  ///< insertion order kept
+
+    bool is_null() const { return type == Type::kNull; }
+    bool is_object() const { return type == Type::kObject; }
+    bool is_array() const { return type == Type::kArray; }
+
+    /// First member with `key`, or nullptr. Only valid on objects.
+    const Value* find(const std::string& key) const;
+
+    /// `find` that throws std::runtime_error when the key is missing.
+    const Value& at(const std::string& key) const;
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error with a byte
+/// offset on malformed input or trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace camo::json

@@ -201,7 +201,10 @@ opc::EngineResult CamoEngine::infer(const geo::SegmentedLayout& layout, litho::L
     const int features = static_cast<int>(layout.targets().size());
     const int points = static_cast<int>(m.epe.size());
 
-    for (int it = 0; it < opt.max_iterations; ++it) {
+    // A segment-free layout has no actions to take: the primed metrics are
+    // already the fixed point, and the policy cannot run on an empty node set.
+    const int steps = layout.num_segments() > 0 ? opt.max_iterations : 0;
+    for (int it = 0; it < steps; ++it) {
         if (opc::should_exit_early(m.sum_abs_epe, features, points, opt)) break;
 
         const auto feats = encode_state(layout, offsets);

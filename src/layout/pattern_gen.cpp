@@ -1,0 +1,205 @@
+#include "layout/pattern_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace camo::layout {
+namespace {
+
+// Largest count of `pitch`-spaced items of size `item` that fit into `room`.
+int fit_count(int room, int item, int pitch) {
+    if (room < item) return 0;
+    return 1 + (room - item) / pitch;
+}
+
+void require_room(bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("pattern gen: no room for ") + what);
+}
+
+}  // namespace
+
+std::vector<geo::Polygon> generate_via_pair_array(Rng& rng, const ViaPairOptions& opt) {
+    const int room = opt.clip_nm - 2 * opt.margin_nm;
+    const int pair_w = 2 * opt.via_nm + opt.pair_gap_nm;
+    const int max_cols = std::min(2, fit_count(room, pair_w, opt.pair_pitch_x));
+    const int max_rows = std::min(3, fit_count(room, opt.via_nm, opt.pair_pitch_y));
+    require_room(max_cols >= 1 && max_rows >= 2, "via pair array");
+
+    const int cols = rng.uniform_int(1, max_cols);
+    const int rows = rng.uniform_int(2, max_rows);
+    const int used_w = (cols - 1) * opt.pair_pitch_x + pair_w;
+    const int used_h = (rows - 1) * opt.pair_pitch_y + opt.via_nm;
+    const int x0 = opt.margin_nm + rng.uniform_int(0, (room - used_w) / 10) * 10;
+    const int y0 = opt.margin_nm + rng.uniform_int(0, (room - used_h) / 10) * 10;
+
+    std::vector<geo::Polygon> out;
+    out.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) * 2U);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int x = x0 + c * opt.pair_pitch_x;
+            const int y = y0 + r * opt.pair_pitch_y;
+            out.push_back(geo::Polygon::from_rect({x, y, x + opt.via_nm, y + opt.via_nm}));
+            const int x2 = x + opt.via_nm + opt.pair_gap_nm;
+            out.push_back(geo::Polygon::from_rect({x2, y, x2 + opt.via_nm, y + opt.via_nm}));
+        }
+    }
+    return out;
+}
+
+std::vector<geo::Polygon> generate_contact_grid(Rng& rng, const ContactGridOptions& opt) {
+    const int room = opt.clip_nm - 2 * opt.margin_nm;
+    const int pitch =
+        opt.pitch_min_nm + rng.uniform_int(0, (opt.pitch_max_nm - opt.pitch_min_nm) / 20) * 20;
+    const int max_n = fit_count(room, opt.via_nm, pitch);
+    require_room(max_n >= 3, "contact grid");
+
+    const int cols = rng.uniform_int(3, std::min(4, max_n));
+    const int rows = rng.uniform_int(3, std::min(4, max_n));
+    const int used_w = (cols - 1) * pitch + opt.via_nm;
+    const int used_h = (rows - 1) * pitch + opt.via_nm;
+    const int x0 = opt.margin_nm + rng.uniform_int(0, (room - used_w) / 10) * 10;
+    const int y0 = opt.margin_nm + rng.uniform_int(0, (room - used_h) / 10) * 10;
+
+    std::vector<geo::Polygon> out;
+    out.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int x = x0 + c * pitch;
+            const int y = y0 + r * pitch;
+            out.push_back(geo::Polygon::from_rect({x, y, x + opt.via_nm, y + opt.via_nm}));
+        }
+    }
+    return out;
+}
+
+std::vector<geo::Polygon> generate_grating_jog(Rng& rng, const GratingOptions& opt) {
+    if (opt.jog_nm <= 0 || opt.jog_nm >= opt.width_nm) {
+        throw std::invalid_argument("grating: jog must satisfy 0 < jog < width");
+    }
+    const int room = opt.clip_nm - 2 * opt.margin_nm;
+    // A jogged line occupies width + jog vertically.
+    const int line_h = opt.width_nm + opt.jog_nm;
+    const int pitch = line_h + opt.space_nm;
+    const int lines = fit_count(room, line_h, pitch);
+    require_room(lines >= 2, "grating");
+
+    const int x_lo = opt.margin_nm;
+    std::vector<geo::Polygon> out;
+    out.reserve(static_cast<std::size_t>(lines));
+    int y = opt.margin_nm + rng.uniform_int(0, 4) * 10;
+    for (int i = 0; i < lines && y + line_h <= opt.clip_nm - opt.margin_nm; ++i) {
+        const int len = 360 + rng.uniform_int(0, 12) * 20;  // 360..600 nm
+        const int x_hi = std::min(x_lo + len, opt.clip_nm - opt.margin_nm);
+        if (rng.coin(opt.jog_prob)) {
+            // Jog point in the middle third, snapped to 20 nm.
+            const int span = x_hi - x_lo;
+            const int xm = x_lo + span / 3 + rng.uniform_int(0, std::max(1, span / 60)) * 20;
+            const int w = opt.width_nm;
+            const int j = opt.jog_nm;
+            // Union of [x_lo,xm]x[y,y+w] and [xm,x_hi]x[y+j,y+j+w]: one CCW
+            // 8-vertex rectilinear polygon (valid because 0 < j < w).
+            out.emplace_back(std::vector<geo::Point>{{x_lo, y},
+                                                     {xm, y},
+                                                     {xm, y + j},
+                                                     {x_hi, y + j},
+                                                     {x_hi, y + j + w},
+                                                     {xm, y + j + w},
+                                                     {xm, y + w},
+                                                     {x_lo, y + w}});
+        } else {
+            out.push_back(geo::Polygon::from_rect({x_lo, y, x_hi, y + opt.width_nm}));
+        }
+        y += pitch;
+    }
+    return out;
+}
+
+std::vector<geo::Polygon> generate_iso_dense(Rng& rng, const IsoDenseOptions& opt) {
+    const int x_lo = opt.margin_nm;
+    const int x_hi = opt.clip_nm - opt.margin_nm;
+    const int dense_pitch = opt.width_nm + opt.dense_space_nm;
+    const int cluster_h = opt.dense_lines * dense_pitch - opt.dense_space_nm;
+    const int iso_y_min = opt.margin_nm + cluster_h + opt.iso_gap_nm;
+    require_room(iso_y_min + opt.width_nm <= opt.clip_nm - opt.margin_nm, "iso-dense split");
+
+    std::vector<geo::Polygon> out;
+    out.reserve(static_cast<std::size_t>(opt.dense_lines) + 1U);
+    const int len = 360 + rng.uniform_int(0, 10) * 20;
+    int y = opt.margin_nm;
+    for (int i = 0; i < opt.dense_lines; ++i) {
+        out.push_back(
+            geo::Polygon::from_rect({x_lo, y, std::min(x_lo + len, x_hi), y + opt.width_nm}));
+        y += dense_pitch;
+    }
+    const int head = opt.clip_nm - opt.margin_nm - opt.width_nm - iso_y_min;
+    const int iso_y = iso_y_min + rng.uniform_int(0, std::max(0, head / 10)) * 10;
+    const int iso_len = 300 + rng.uniform_int(0, 8) * 20;
+    out.push_back(geo::Polygon::from_rect(
+        {x_lo, iso_y, std::min(x_lo + iso_len, x_hi), iso_y + opt.width_nm}));
+    return out;
+}
+
+std::vector<geo::Polygon> generate_sram_cell(Rng& rng, const SramOptions& opt) {
+    const int room = opt.clip_nm - 2 * opt.margin_nm;
+    // Cell extent: the strap sits 60 nm right of the bars, bars stacked
+    // vertically with a 60 nm gap.
+    const int cell_w = opt.bar_w + 60 + opt.strap_w;
+    const int cell_h = std::max(2 * opt.bar_h + 60, opt.strap_h);
+    const int cols = std::min(2, fit_count(room, cell_w, opt.cell_pitch));
+    const int rows = std::min(2, fit_count(room, cell_h, opt.cell_pitch));
+    require_room(cols >= 1 && rows >= 1, "sram cell array");
+
+    const int used_w = (cols - 1) * opt.cell_pitch + cell_w;
+    const int used_h = (rows - 1) * opt.cell_pitch + cell_h;
+    const int x0 = opt.margin_nm + rng.uniform_int(0, std::max(0, (room - used_w) / 10)) * 10;
+    const int y0 = opt.margin_nm + rng.uniform_int(0, std::max(0, (room - used_h) / 10)) * 10;
+
+    std::vector<geo::Polygon> out;
+    out.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) * 3U);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int cx = x0 + c * opt.cell_pitch;
+            const int cy = y0 + r * opt.cell_pitch;
+            const bool mx = (c % 2) == 1;  // x-mirror alternate columns
+            const bool my = (r % 2) == 1;  // y-mirror alternate rows
+            auto place = [&](int lx, int ly, int w, int h) {
+                const int fx = mx ? cell_w - lx - w : lx;
+                const int fy = my ? cell_h - ly - h : ly;
+                out.push_back(geo::Polygon::from_rect(
+                    {cx + fx, cy + fy, cx + fx + w, cy + fy + h}));
+            };
+            place(0, 0, opt.bar_w, opt.bar_h);
+            place(0, opt.bar_h + 60, opt.bar_w, opt.bar_h);
+            place(opt.bar_w + 60, (cell_h - opt.strap_h) / 2, opt.strap_w, opt.strap_h);
+        }
+    }
+    return out;
+}
+
+std::vector<geo::Polygon> generate_multi_pitch(Rng& rng, const MultiPitchOptions& opt) {
+    struct Band {
+        int width, space, lines;
+    };
+    // Fine, mid and coarse bands; the schedule spans 690 nm, fitting the
+    // default 700 nm of usable height exactly once.
+    const Band bands[] = {{50, 80, 2}, {70, 100, 2}, {90, 0, 1}};
+
+    const int x_lo = opt.margin_nm;
+    const int x_hi = opt.clip_nm - opt.margin_nm;
+    std::vector<geo::Polygon> out;
+    int y = opt.margin_nm;
+    for (const Band& b : bands) {
+        for (int i = 0; i < b.lines; ++i) {
+            if (y + b.width > opt.clip_nm - opt.margin_nm) {
+                throw std::invalid_argument("pattern gen: no room for multi-pitch bands");
+            }
+            const int len = 300 + rng.uniform_int(0, 10) * 20;
+            out.push_back(
+                geo::Polygon::from_rect({x_lo, y, std::min(x_lo + len, x_hi), y + b.width}));
+            y += b.width + b.space;
+        }
+    }
+    return out;
+}
+
+}  // namespace camo::layout

@@ -1,0 +1,93 @@
+// Scenario pattern generators beyond the paper's two benchmark families.
+//
+// Each generator emits one clip's target polygons for a layout family the
+// scenario matrix exercises: contact/via doubling arrays, uniform contact
+// grids, line-space gratings with jogs, isolated-vs-dense splits, SRAM-like
+// mirrored cells and multi-pitch metal. All are deterministic in the passed
+// Rng (equal seeds produce byte-identical polygons at any thread count) and
+// keep every feature inside [margin_nm, clip_nm - margin_nm], the same
+// contract as generate_via_clip / generate_metal_clip.
+//
+// The default clip_nm of 1000 fits the quick-scale 256 x 4 nm simulation
+// frame the scenario registry runs on; pass larger options for the 512-grid
+// production frame.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/polygon.hpp"
+
+namespace camo::layout {
+
+struct PatternOptions {
+    int clip_nm = 1000;
+    int margin_nm = 150;  ///< keep-out from clip borders
+};
+
+/// Double-patterning-style via pairs: a grid of 1-2 x 2-3 pairs, each pair
+/// two `via_nm` squares at a near-minimum `pair_gap_nm`, pair origins
+/// jittered on a 10 nm grid. The tight intra-pair gap is the classic
+/// bridging hotspot the nominal-corner objective misses.
+struct ViaPairOptions : PatternOptions {
+    int via_nm = 70;
+    int pair_gap_nm = 110;   ///< edge-to-edge gap inside a pair
+    int pair_pitch_x = 330;  ///< pair-origin pitch, horizontal
+    int pair_pitch_y = 250;  ///< pair-origin pitch, vertical
+};
+std::vector<geo::Polygon> generate_via_pair_array(Rng& rng, const ViaPairOptions& opt = {});
+
+/// Uniform contact grid: rows x cols square contacts at one pitch drawn
+/// from [pitch_min_nm, pitch_max_nm] (snapped to 20 nm). The most regular
+/// via workload — strong proximity coupling between every neighbour.
+struct ContactGridOptions : PatternOptions {
+    int via_nm = 70;
+    int pitch_min_nm = 200;
+    int pitch_max_nm = 260;
+};
+std::vector<geo::Polygon> generate_contact_grid(Rng& rng, const ContactGridOptions& opt = {});
+
+/// Line-space grating where each line may carry one jog: the right half of
+/// the wire shifts up by jog_nm (0 < jog < width keeps the wire a single
+/// 8-vertex rectilinear polygon). Jogs create line-end-like inner corners
+/// in the middle of an otherwise 1D pattern.
+struct GratingOptions : PatternOptions {
+    int width_nm = 60;
+    int space_nm = 100;    ///< vertical clearance including the jogged half
+    int jog_nm = 30;       ///< vertical jog step; must stay < width_nm
+    double jog_prob = 0.7; ///< per-line probability of carrying a jog
+};
+std::vector<geo::Polygon> generate_grating_jog(Rng& rng, const GratingOptions& opt = {});
+
+/// Isolated-vs-dense split: a dense cluster of lines at tight pitch in the
+/// lower half plus one isolated line at least `iso_gap_nm` above it. The
+/// classic OPC bias test — the isolated edge and the dense edges need
+/// opposite corrections.
+struct IsoDenseOptions : PatternOptions {
+    int width_nm = 60;
+    int dense_space_nm = 80;
+    int dense_lines = 3;
+    int iso_gap_nm = 260;  ///< clearance between cluster and isolated line
+};
+std::vector<geo::Polygon> generate_iso_dense(Rng& rng, const IsoDenseOptions& opt = {});
+
+/// SRAM-like mirrored cell array: a 3-polygon cell (two horizontal bars and
+/// one vertical strap) tiled rows x cols with x-mirroring on alternate
+/// columns and y-mirroring on alternate rows, the bitcell symmetry real
+/// arrays have. Mixes measured horizontal edges with unmeasured line-ends.
+struct SramOptions : PatternOptions {
+    int bar_w = 180;       ///< horizontal bar length
+    int bar_h = 70;        ///< bar width
+    int strap_w = 70;      ///< vertical strap width
+    int strap_h = 180;     ///< vertical strap length
+    int cell_pitch = 390;  ///< cell pitch, both axes
+};
+std::vector<geo::Polygon> generate_sram_cell(Rng& rng, const SramOptions& opt = {});
+
+/// Multi-pitch metal: stacked bands of lines at fine / mid / coarse pitch
+/// (50/80, 70/100 and 90 nm wide) with per-line random lengths, so one clip
+/// spans the density range a single-pitch generator cannot.
+struct MultiPitchOptions : PatternOptions {};
+std::vector<geo::Polygon> generate_multi_pitch(Rng& rng, const MultiPitchOptions& opt = {});
+
+}  // namespace camo::layout

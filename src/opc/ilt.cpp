@@ -8,6 +8,7 @@
 #include "litho/aerial.hpp"
 #include "litho/fft.hpp"
 #include "litho/kernel_registry.hpp"
+#include "litho/process_window.hpp"
 #include "opc/objective.hpp"
 
 namespace camo::opc {
@@ -274,6 +275,25 @@ IltResult IltEngine::optimize(const geo::SegmentedLayout& layout, litho::LithoSi
             }
             res.worst_corner_epe = std::max(res.worst_corner_epe, sum);
         }
+        if (opt_.evaluate_window) {
+            res.final_window = litho::window_metrics_from_aerials(layout, spec, plane_aerials,
+                                                                  thr, off, cfg);
+        }
+    } else if (opt_.evaluate_window) {
+        // Nominal objective: the optimization never touched off-focus
+        // kernels, so resolve the evaluation window now and image the final
+        // spectrum once per focus plane.
+        rl::WindowRewardConfig eval_reward;
+        eval_reward.mode = rl::RewardMode::kWorstCorner;
+        const litho::WindowSpec eval_spec = resolve_objective_window(opt_.window, eval_reward, cfg);
+        std::vector<geo::Raster> plane_aerials;
+        plane_aerials.reserve(eval_spec.defocus_nm.size());
+        for (double f : eval_spec.defocus_nm) {
+            plane_aerials.push_back(
+                litho::acquire_focus_applicator(cfg, f)->apply(spectrum, cfg.pixel_nm));
+        }
+        res.final_window = litho::window_metrics_from_aerials(layout, eval_spec, plane_aerials,
+                                                              thr, off, cfg);
     }
     res.runtime_s = timer.seconds();
     return res;

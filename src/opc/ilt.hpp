@@ -16,6 +16,8 @@
 // each iteration descends on the currently-worst corner's loss.
 #pragma once
 
+#include <optional>
+
 #include "geometry/layout.hpp"
 #include "geometry/raster.hpp"
 #include "litho/simulator.hpp"
@@ -40,6 +42,15 @@ struct IltOptions {
 
     /// Per-corner weights for kWeightedCorner (empty = uniform).
     std::vector<double> corner_weights;
+
+    /// Evaluate the final mask over the (resolved) `window` and fill
+    /// IltResult::final_window, regardless of objective mode. In the window
+    /// modes this reuses the per-plane aerials already computed for
+    /// worst_corner_epe; in kNominal mode it adds one focus-applicator apply
+    /// per plane at the very end. The optimization trajectory is unchanged —
+    /// the comparer uses this so every engine reports the same
+    /// WindowMetrics-based scorecard.
+    bool evaluate_window = false;
 };
 
 struct IltResult {
@@ -55,6 +66,10 @@ struct IltResult {
     /// (empty / 0 in kNominal mode).
     double worst_corner_epe = 0.0;
     std::vector<double> corner_loss;
+
+    /// Full process-window metrics of the final mask; present iff
+    /// IltOptions::evaluate_window was set.
+    std::optional<litho::WindowMetrics> final_window;
 };
 
 class IltEngine {

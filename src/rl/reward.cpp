@@ -38,6 +38,19 @@ const char* reward_mode_name(RewardMode mode) {
     return "unknown";
 }
 
+bool parse_reward_mode(const std::string& name, RewardMode& out) {
+    if (name == "nominal") {
+        out = RewardMode::kNominal;
+    } else if (name == "worst" || name == "worst-corner") {
+        out = RewardMode::kWorstCorner;
+    } else if (name == "weighted" || name == "weighted-corner") {
+        out = RewardMode::kWeightedCorner;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 void WindowRewardConfig::validate(int corner_count) const {
     if (!std::isfinite(base.epsilon) || base.epsilon <= 0.0) {
         throw std::invalid_argument("WindowRewardConfig: epsilon must be finite and > 0");

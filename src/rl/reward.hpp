@@ -12,6 +12,7 @@
 // formulas are the same function applied to the same doubles.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "litho/process_window.hpp"
@@ -44,6 +45,10 @@ enum class RewardMode {
 /// Short stable names ("nominal", "worst-corner", "weighted-corner") for
 /// CLI flags, bench rows and logs.
 const char* reward_mode_name(RewardMode mode);
+
+/// Inverse of reward_mode_name, tolerant of the short aliases "worst" and
+/// "weighted". Returns false (leaving `out` untouched) on any other string.
+bool parse_reward_mode(const std::string& name, RewardMode& out);
 
 struct WindowRewardConfig {
     RewardConfig base;  ///< epsilon / beta of the underlying Eq. (3)

@@ -3,6 +3,11 @@
 //   camo_cli --in layout.gds --out result.gds [options]
 //   camo_cli batch [batch options]
 //   camo_cli sweep [batch options] [--doses a,b,..] [--focuses a,b,..]
+//   camo_cli compare [compare options]
+//   camo_cli --list-scenarios
+//
+// An unknown subcommand prints the top-level usage and exits 2; every
+// subcommand likewise exits 2 on unknown flags.
 //
 // Single-clip mode reads target polygons from a GDSII file (layer 1 by
 // default), runs the selected OPC engine against the lithography simulator,
@@ -48,12 +53,25 @@
 //
 //   camo_cli sweep [batch options] [--doses 0.96,1.0,1.04]
 //                  [--focuses 0,12.5,25]
+//
+// Compare mode runs the scenario-matrix quality gate — every engine x
+// registered scenario x reward mode through the batch runtime — prints the
+// ranked table, and optionally writes the table as JSON, checks it against
+// golden regression bounds (exit 1 on a violation), or regenerates the
+// golden file:
+//
+//   camo_cli compare [--scenarios a,b,..] [--engines rule,oneshot,camo,rlopc,ilt]
+//                    [--rewards nominal,worst,weighted] [--clips N]
+//                    [--threads N] [--seed S] [--iterations N]
+//                    [--ilt-iterations N] [--json PATH] [--golden PATH]
+//                    [--write-golden PATH] [--slack X] [--list-scenarios]
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/file_io.hpp"
 #include "common/logging.hpp"
 #include "core/experiment.hpp"
 #include "layout/gdsii.hpp"
@@ -63,6 +81,8 @@
 #include "opc/rule_engine.hpp"
 #include "opc/sraf.hpp"
 #include "runtime/batch.hpp"
+#include "scenario/comparer.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -124,20 +144,6 @@ struct CliOptions {
     bool quiet = false;
     ObsCliOptions obs;
 };
-
-// "nominal" | "worst[-corner]" | "weighted[-corner]" -> RewardMode.
-bool parse_reward_mode(const std::string& s, rl::RewardMode& mode) {
-    if (s == "nominal") {
-        mode = rl::RewardMode::kNominal;
-    } else if (s == "worst" || s == "worst-corner") {
-        mode = rl::RewardMode::kWorstCorner;
-    } else if (s == "weighted" || s == "weighted-corner") {
-        mode = rl::RewardMode::kWeightedCorner;
-    } else {
-        return false;
-    }
-    return true;
-}
 
 bool parse_args(int argc, char** argv, CliOptions& o) try {
     for (int i = 1; i < argc; ++i) {
@@ -376,11 +382,217 @@ int batch_main(int argc, char** argv, bool window) {
     return res.failed == 0 ? 0 : 1;
 }
 
+// "a,b,c" -> {"a","b","c"}; empty pieces are dropped.
+std::vector<std::string> split_list(const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > pos) out.push_back(s.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+void print_scenarios() {
+    const scenario::Registry& reg = scenario::Registry::instance();
+    for (const std::string& name : reg.names()) {
+        const scenario::Scenario sc = reg.get(name);
+        std::printf("%-14s %-6s %s\n", name.c_str(), scenario::style_name(sc.style),
+                    sc.description.c_str());
+    }
+}
+
+void print_compare_usage() {
+    std::fprintf(stderr,
+                 "usage: camo_cli compare [--scenarios a,b,..]"
+                 " [--engines rule,oneshot,camo,rlopc,ilt]"
+                 " [--rewards nominal,worst,weighted] [--clips N] [--threads N]"
+                 " [--seed S] [--iterations N] [--ilt-iterations N]"
+                 " [--train-clips N] [--json PATH] [--golden PATH]"
+                 " [--write-golden PATH] [--slack X] [--list-scenarios]"
+                 " [--quiet] [--log-level quiet|info|debug]"
+                 " [--metrics-json PATH] [--trace PATH]\n");
+}
+
+int compare_main(int argc, char** argv) {
+    scenario::CompareOptions cmp;
+    std::string json_path;
+    std::string golden_path;
+    std::string write_golden_path;
+    double slack = 0.25;
+    bool quiet = false;
+    bool list = false;
+    ObsCliOptions obs;
+
+    try {
+        for (int i = 2; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto next = [&](std::string& dst) {
+                if (i + 1 >= argc) return false;
+                dst = argv[++i];
+                return true;
+            };
+            std::string v;
+            if (a == "--scenarios" && next(v)) {
+                cmp.scenarios = split_list(v);
+            } else if (a == "--engines" && next(v)) {
+                cmp.engines = split_list(v);
+            } else if (a == "--rewards" && next(v)) {
+                cmp.rewards.clear();
+                for (const std::string& r : split_list(v)) {
+                    rl::RewardMode mode{};
+                    if (!rl::parse_reward_mode(r, mode)) {
+                        std::fprintf(stderr, "unknown reward mode: %s\n", r.c_str());
+                        return 2;
+                    }
+                    cmp.rewards.push_back(mode);
+                }
+            } else if (a == "--clips" && next(v)) {
+                cmp.clips = std::stoi(v);
+            } else if (a == "--threads" && next(v)) {
+                cmp.threads = std::stoi(v);
+            } else if (a == "--seed" && next(v)) {
+                cmp.seed = std::stoull(v);
+            } else if (a == "--iterations" && next(v)) {
+                cmp.max_iterations = std::stoi(v);
+            } else if (a == "--ilt-iterations" && next(v)) {
+                cmp.ilt_iterations = std::stoi(v);
+            } else if (a == "--train-clips" && next(v)) {
+                cmp.train_clips = std::stoi(v);
+            } else if (a == "--json" && next(v)) {
+                json_path = v;
+            } else if (a == "--golden" && next(v)) {
+                golden_path = v;
+            } else if (a == "--write-golden" && next(v)) {
+                write_golden_path = v;
+            } else if (a == "--slack" && next(v)) {
+                slack = std::stod(v);
+            } else if (a == "--list-scenarios") {
+                list = true;
+            } else if (a == "--quiet") {
+                quiet = true;
+            } else if (a == "--log-level" && next(v)) {
+                obs.log_level = v;
+            } else if (a == "--metrics-json" && next(v)) {
+                obs.metrics_json = v;
+            } else if (a == "--trace" && next(v)) {
+                obs.trace = v;
+            } else {
+                std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+                print_compare_usage();
+                return 2;
+            }
+        }
+    } catch (const std::exception&) {  // non-numeric / out-of-range values
+        print_compare_usage();
+        return 2;
+    }
+    if (list) {
+        print_scenarios();
+        return 0;
+    }
+    if (!apply_obs_options(obs, quiet)) return 2;
+
+    scenario::CompareResult result;
+    try {
+        scenario::PolicyComparer comparer(cmp);
+        result = comparer.run();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "compare failed: %s\n", e.what());
+        print_compare_usage();
+        return 2;
+    }
+
+    if (!quiet) std::printf("%s\n", result.table().c_str());
+    int failed_cells = 0;
+    for (const scenario::CellResult& c : result.cells) {
+        if (c.failed > 0) ++failed_cells;
+    }
+    std::printf("%zu cells (%d scenarios x %zu engines x %zu rewards), %d with failed clips, "
+                "%.1f s\n",
+                result.cells.size(),
+                static_cast<int>(cmp.scenarios.empty()
+                                     ? scenario::Registry::instance().names().size()
+                                     : cmp.scenarios.size()),
+                cmp.engines.size(), cmp.rewards.size(), failed_cells, result.wall_s);
+
+    try {
+        if (!json_path.empty()) {
+            write_text_atomic(json_path, result.to_json(true));
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+        if (!write_golden_path.empty()) {
+            write_text_atomic(write_golden_path, scenario::bounds_json(result, slack));
+            std::printf("wrote %s (rel slack %.0f%%)\n", write_golden_path.c_str(),
+                        100.0 * slack);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "write failed: %s\n", e.what());
+        return 1;
+    }
+
+    int rc = failed_cells > 0 ? 1 : 0;
+    if (!golden_path.empty()) {
+        try {
+            const std::vector<scenario::CellBound> bounds =
+                scenario::read_bounds(read_text(golden_path));
+            const std::vector<std::string> violations = scenario::check_bounds(result, bounds);
+            if (violations.empty()) {
+                std::printf("golden gate: %zu bounded cells OK (%s)\n", bounds.size(),
+                            golden_path.c_str());
+            } else {
+                for (const std::string& viol : violations) {
+                    std::fprintf(stderr, "golden gate: %s\n", viol.c_str());
+                }
+                rc = 1;
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "golden gate: %s\n", e.what());
+            rc = 1;
+        }
+    }
+    write_obs_reports(obs);
+    return rc;
+}
+
+void print_usage() {
+    std::fprintf(stderr,
+                 "usage: camo_cli <subcommand> [options] | camo_cli --in ... --out ...\n"
+                 "subcommands:\n"
+                 "  batch     parallel batch OPC over a generated clip stream\n"
+                 "  sweep     batch + multi-corner process-window evaluation\n"
+                 "  compare   scenario-matrix quality gate (ranked engine x scenario\n"
+                 "            x reward table, golden regression bounds)\n"
+                 "  --list-scenarios   print the registered scenarios\n"
+                 "(no subcommand: single-clip GDSII mode; see --in/--out usage)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return batch_main(argc, argv, false);
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) return batch_main(argc, argv, true);
+    if (argc > 1 && std::strcmp(argv[1], "compare") == 0) return compare_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "--list-scenarios") == 0) {
+        print_scenarios();
+        return 0;
+    }
+    if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+        print_usage();
+        return 0;
+    }
+    if (argc > 1 && argv[1][0] != '-') {
+        std::fprintf(stderr, "unknown subcommand: %s\n", argv[1]);
+        print_usage();
+        return 2;
+    }
+    if (argc <= 1) {
+        print_usage();
+        return 2;
+    }
 
     CliOptions cli;
     if (!parse_args(argc, argv, cli)) {
