@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -15,10 +16,13 @@
 #include "layout/metal_gen.hpp"
 #include "litho/aerial.hpp"
 #include "litho/process_window.hpp"
+#include "layout/shard.hpp"
 #include "litho/simulator.hpp"
 #include "obs/trace.hpp"
 #include "opc/sraf.hpp"
 #include "rl/reward.hpp"
+#include "runtime/stream_queue.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -413,6 +417,87 @@ void BM_SpanEnterExit(benchmark::State& state) {
     obs::set_metrics_enabled(was_metered);
 }
 BENCHMARK(BM_SpanEnterExit)->Arg(0)->Arg(1);
+
+// --------------------------------------------------------- full-chip shard
+
+// Shared chip for the shard/stitch rows: Arg = cells per side of a square
+// grid of via3 scenario cells at 1000 nm pitch.
+std::vector<geo::Polygon> bench_chip(int cells) {
+    const scenario::Scenario sc = scenario::Registry::instance().get("via3");
+    return scenario::chip_polygons(sc, cells, cells);
+}
+
+layout::ShardOptions bench_shard_options() {
+    layout::ShardOptions opt;
+    opt.tile_nm = 512;
+    opt.halo_nm = 256;
+    opt.fragment.style = geo::FragmentStyle::kVia;
+    opt.sraf_gen = [](const std::vector<geo::Polygon>& t) { return opc::insert_srafs(t); };
+    opt.auto_origin = false;
+    return opt;
+}
+
+// Cutting a chip into halo-padded tiles: ownership assignment, membership
+// scan, per-tile fragmentation and SRAF insertion.
+void BM_Shard(benchmark::State& state) {
+    const std::vector<geo::Polygon> chip = bench_chip(static_cast<int>(state.range(0)));
+    const layout::ShardOptions opt = bench_shard_options();
+    const litho::LithoConfig litho = scenario::quick_litho();
+    std::size_t tiles = 0;
+    for (auto _ : state) {
+        const layout::TileSharder sharder(chip, opt, litho);
+        tiles = sharder.tiles().size();
+        benchmark::DoNotOptimize(&sharder);
+    }
+    state.counters["tiles"] = static_cast<double>(tiles);
+    state.counters["polygons"] = static_cast<double>(chip.size());
+}
+BENCHMARK(BM_Shard)->Arg(2)->Arg(4);
+
+// Owner-wins reassembly of per-tile offsets into the chip frame plus mask
+// reconstruction — the post-OPC half of the pipeline.
+void BM_Stitch(benchmark::State& state) {
+    const std::vector<geo::Polygon> chip = bench_chip(static_cast<int>(state.range(0)));
+    const layout::TileSharder sharder(chip, bench_shard_options(), scenario::quick_litho());
+    const geo::SegmentedLayout chip_layout = sharder.chip_layout();
+    std::vector<std::vector<int>> tile_offsets;
+    for (const layout::Tile& t : sharder.tiles()) {
+        tile_offsets.emplace_back(static_cast<std::size_t>(t.layout.num_segments()), 2);
+    }
+    for (auto _ : state) {
+        const layout::StitchResult res = layout::stitch(sharder, chip_layout, tile_offsets);
+        benchmark::DoNotOptimize(res.offsets.data());
+    }
+    state.counters["segments"] = static_cast<double>(chip_layout.num_segments());
+}
+BENCHMARK(BM_Stitch)->Arg(2)->Arg(4);
+
+// Bounded-queue hand-off latency: one producer thread pushing through the
+// streaming queue at the given capacity while the bench thread pops —
+// the per-result overhead run_streaming adds on top of the OPC work.
+void BM_QueueHandoff(benchmark::State& state) {
+    const int capacity = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        runtime::BoundedQueue<int> queue(static_cast<std::size_t>(capacity));
+        constexpr int kItems = 4096;
+        std::thread producer([&queue] {
+            for (int i = 0; i < kItems; ++i) {
+                if (!queue.push(int(i))) return;
+            }
+            queue.close();
+        });
+        state.ResumeTiming();
+        long long sum = 0;
+        while (auto item = queue.pop()) sum += *item;
+        benchmark::DoNotOptimize(sum);
+        state.PauseTiming();
+        producer.join();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_QueueHandoff)->Arg(1)->Arg(64)->UseRealTime();
 
 }  // namespace
 

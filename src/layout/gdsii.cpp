@@ -153,24 +153,43 @@ GdsLibrary read_gds(const std::string& path) {
     int cur_layer = 0;
     std::vector<geo::Point> cur_pts;
     bool in_boundary = false;
+    bool in_structure = false;
+    std::uint64_t offset = 0;      // running file position
+    std::uint64_t rec_offset = 0;  // header position of the current record
 
-    auto get16 = [&in]() -> int {
+    auto get16 = [&in, &offset]() -> int {
         const int hi = in.get();
         const int lo = in.get();
         if (hi < 0 || lo < 0) return -1;
+        offset += 2;
         return (hi << 8) | lo;
     };
 
     while (true) {
+        rec_offset = offset;
         const int len = get16();
-        if (len < 0) break;  // EOF
-        if (len < 4) throw std::runtime_error("gds: bad record length");
+        if (len < 0) {
+            // EOF between records: legal only outside every open scope and
+            // only after ENDLIB (which returns below) — so reaching it here
+            // means the file was cut short.
+            if (in_boundary) throw GdsParseError("unterminated BOUNDARY element", rec_offset);
+            if (in_structure) throw GdsParseError("unterminated structure", rec_offset);
+            throw GdsParseError("missing ENDLIB", rec_offset);
+        }
+        if (len < 4) throw GdsParseError("bad record length " + std::to_string(len), rec_offset);
         const int type = in.get();
         const int dtype = in.get();
         (void)dtype;
+        if (type < 0) throw GdsParseError("truncated record header", rec_offset);
+        offset += 2;
         std::vector<std::uint8_t> payload(static_cast<std::size_t>(len - 4));
         in.read(reinterpret_cast<char*>(payload.data()), len - 4);
-        if (!in) throw std::runtime_error("gds: truncated record");
+        if (in.gcount() != len - 4) {
+            throw GdsParseError("truncated record payload (want " + std::to_string(len - 4) +
+                                    " bytes, got " + std::to_string(in.gcount()) + ")",
+                                rec_offset);
+        }
+        offset += static_cast<std::uint64_t>(len - 4);
 
         auto i16_at = [&payload](std::size_t i) -> std::int16_t {
             return static_cast<std::int16_t>((payload[i] << 8) | payload[i + 1]);
@@ -191,16 +210,41 @@ GdsLibrary read_gds(const std::string& path) {
                 lib.structure.assign(payload.begin(), payload.end());
                 while (!lib.structure.empty() && lib.structure.back() == '\0') lib.structure.pop_back();
                 break;
+            case kBgnStr:
+                if (in_structure) throw GdsParseError("nested structure", rec_offset);
+                in_structure = true;
+                break;
+            case kEndStr:
+                if (in_boundary) throw GdsParseError("ENDSTR inside BOUNDARY", rec_offset);
+                in_structure = false;
+                break;
             case kBoundary:
+                if (in_boundary) throw GdsParseError("nested BOUNDARY element", rec_offset);
                 in_boundary = true;
                 cur_pts.clear();
                 cur_layer = 0;
                 break;
             case kLayer:
-                if (in_boundary && payload.size() >= 2) cur_layer = i16_at(0);
+                if (in_boundary) {
+                    if (payload.size() < 2) {
+                        throw GdsParseError("LAYER record too short", rec_offset);
+                    }
+                    cur_layer = i16_at(0);
+                }
                 break;
             case kXy:
                 if (in_boundary) {
+                    if (payload.size() % 8 != 0) {
+                        throw GdsParseError("XY payload is not whole coordinate pairs (" +
+                                                std::to_string(payload.size()) + " bytes)",
+                                            rec_offset);
+                    }
+                    if (cur_pts.size() + payload.size() / 8 > kMaxBoundaryVertices) {
+                        throw GdsParseError("oversized BOUNDARY element (more than " +
+                                                std::to_string(kMaxBoundaryVertices) +
+                                                " vertices)",
+                                            rec_offset);
+                    }
                     for (std::size_t i = 0; i + 7 < payload.size(); i += 8) {
                         cur_pts.push_back({i32_at(i), i32_at(i + 4)});
                     }
@@ -217,12 +261,13 @@ GdsLibrary read_gds(const std::string& path) {
                 in_boundary = false;
                 break;
             case kEndLib:
+                if (in_boundary) throw GdsParseError("ENDLIB inside BOUNDARY", rec_offset);
+                if (in_structure) throw GdsParseError("ENDLIB inside structure", rec_offset);
                 return lib;
             default:
                 break;  // records we do not interpret (header, units, dates)
         }
     }
-    return lib;
 }
 
 }  // namespace camo::layout

@@ -6,7 +6,9 @@
 // Database unit is 1 nm (1e-9 m), user unit 1e-3 um.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,10 +23,35 @@ struct GdsLibrary {
     std::map<int, std::vector<geo::Polygon>> layers;
 };
 
+/// Malformed GDSII input: truncated record, oversized element, unterminated
+/// structure/element/library, bad payload size. Carries the byte offset of
+/// the record that failed so a bad upload is diagnosable. Derives from
+/// std::runtime_error, so pre-existing catch sites keep working.
+class GdsParseError : public std::runtime_error {
+public:
+    GdsParseError(const std::string& what, std::uint64_t offset)
+        : std::runtime_error("gds: " + what + " (at byte " + std::to_string(offset) + ")"),
+          offset_(offset) {}
+
+    /// File offset of the offending record header.
+    [[nodiscard]] std::uint64_t offset() const { return offset_; }
+
+private:
+    std::uint64_t offset_;
+};
+
+/// A BOUNDARY element may not accumulate more XY vertices than this (the
+/// stream-format element limit); a corrupt count field past it is rejected
+/// as oversized instead of ballooning memory.
+inline constexpr std::size_t kMaxBoundaryVertices = 8191;
+
 void write_gds(const std::string& path, const GdsLibrary& lib);
 
 /// Parses the subset written by write_gds (and any stream file consisting of
-/// BOUNDARY elements). Throws std::runtime_error on malformed input.
+/// BOUNDARY elements). Throws GdsParseError on malformed input — truncated
+/// records, XY payloads that are not whole coordinate pairs, oversized
+/// element counts, and files ending inside an element, structure, or before
+/// ENDLIB — and std::runtime_error when the file cannot be opened.
 GdsLibrary read_gds(const std::string& path);
 
 }  // namespace camo::layout

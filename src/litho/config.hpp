@@ -1,6 +1,7 @@
 // Optical and numerical configuration of the lithography simulator.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -74,5 +75,16 @@ struct LithoConfig {
     /// the kernel cache.
     [[nodiscard]] std::uint64_t physics_hash() const;
 };
+
+/// Conservative optical interaction radius in nanometers: beyond roughly
+/// 1.5 lambda/NA (a few Airy rings of the partially coherent PSF) a
+/// feature's influence on the aerial image is negligible for the SOCS model
+/// used here. The tile sharder (layout/shard.hpp) requires its halo to be at
+/// least this wide so every seam segment keeps its full optical context;
+/// shrinking the halo below it is rejected rather than silently producing
+/// seam artifacts.
+[[nodiscard]] inline int interaction_radius_nm(const LithoConfig& cfg) {
+    return static_cast<int>(std::ceil(1.5 * cfg.wavelength_nm / cfg.na));
+}
 
 }  // namespace camo::litho

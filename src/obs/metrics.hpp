@@ -68,6 +68,23 @@ void histogram_record(MetricId id, long long value);
 /// bit_width(value) clamped to the last bucket.
 [[nodiscard]] int histogram_bucket(long long value);
 
+/// RAII gauge delta: adds `delta` on construction and subtracts it on
+/// destruction. The idiom behind in-flight style gauges (jobs currently
+/// executing, requests currently admitted): exception-safe, and the gauge
+/// returns to its baseline once every scope unwinds.
+class ScopedGaugeAdd {
+public:
+    ScopedGaugeAdd(MetricId id, double delta) : id_(id), delta_(delta) { gauge_add(id_, delta_); }
+    ~ScopedGaugeAdd() { gauge_add(id_, -delta_); }
+
+    ScopedGaugeAdd(const ScopedGaugeAdd&) = delete;
+    ScopedGaugeAdd& operator=(const ScopedGaugeAdd&) = delete;
+
+private:
+    MetricId id_;
+    double delta_;
+};
+
 /// Point-in-time view of one metric, shards merged.
 struct MetricSnapshot {
     std::string name;

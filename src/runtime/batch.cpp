@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "litho/kernel_registry.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/stream_queue.hpp"
 
 namespace camo::runtime {
 
@@ -46,6 +49,14 @@ obs::MetricId batch_hist() {
 }
 obs::MetricId clip_hist() {
     static const obs::MetricId id = obs::register_histogram("batch.clip.ns");
+    return id;
+}
+obs::MetricId queue_depth_gauge() {
+    static const obs::MetricId id = obs::register_gauge("batch.queue.depth");
+    return id;
+}
+obs::MetricId inflight_gauge() {
+    static const obs::MetricId id = obs::register_gauge("batch.inflight");
     return id;
 }
 
@@ -105,16 +116,17 @@ BatchScheduler::BatchScheduler(const litho::LithoConfig& litho_cfg, BatchOptions
     for (int i = 0; i < pool_.size(); ++i) sims_.emplace_back(prototype);
 }
 
-BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
-                                const ClipOptimizer& optimize,
-                                const std::vector<std::string>& names) {
+StreamStats BatchScheduler::run_streaming(const std::vector<geo::SegmentedLayout>& clips,
+                                          const ClipOptimizer& optimize, const ClipSink& sink,
+                                          const std::vector<std::string>& names,
+                                          const StreamOptions& stream) {
+    if (stream.queue_capacity < 1) {
+        throw std::invalid_argument("run_streaming: queue_capacity must be at least 1, got " +
+                                    std::to_string(stream.queue_capacity));
+    }
     const obs::Span run_span("batch.run", batch_hist());
     Timer wall;
-    BatchResult batch;
-    batch.reward_mode = opt_.opc.objective;
-    batch.window_mode = opt_.window || opt_.opc.objective != rl::RewardMode::kNominal;
-    batch.threads = pool_.size();
-    batch.clips.resize(clips.size());
+    StreamStats stats;
 
     long long evals_before = 0;
     long long hits_before = 0;
@@ -125,67 +137,124 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
         fulls_before += sim.incremental_full_count();
     }
 
+    BoundedQueue<ClipResult> queue(static_cast<std::size_t>(stream.queue_capacity));
     std::vector<std::future<void>> jobs;
     jobs.reserve(clips.size());
-    try {
-        for (std::size_t i = 0; i < clips.size(); ++i) {
-            ClipResult& slot = batch.clips[i];
-            slot.index = static_cast<int>(i);
-            if (i < names.size()) slot.name = names[i];
-            const geo::SegmentedLayout& layout = clips[i];
-            const std::uint64_t job_seed = derive_seed(opt_.seed, i);
-
-            jobs.push_back(pool_.submit([this, &optimize, &layout, &slot, job_seed] {
-                const obs::Span clip_span("batch.clip", clip_hist());
-                const int worker = pool_.worker_index();
-                litho::LithoSim& sim = sims_[static_cast<std::size_t>(worker < 0 ? 0 : worker)];
-                slot.segments = layout.num_segments();
-                opc::EngineResult res = optimize(layout, sim, opt_.opc, job_seed);
-                slot.iterations = res.iterations;
-                slot.initial_epe = res.epe_history.empty() ? 0.0 : res.epe_history.front();
-                slot.final_epe = res.final_metrics.sum_abs_epe;
-                slot.pvband_nm2 = res.final_metrics.pvband_nm2;
-                slot.runtime_s = res.runtime_s;
-                slot.offsets = res.final_offsets;
-                if (res.final_window &&
-                    (!opt_.window || same_window_spec(opt_.window_spec, opt_.opc.window))) {
-                    // Window reward mode: the engine's in-loop sweep already
-                    // evaluated the final mask at every corner.
-                    slot.window = std::move(res.final_window);
-                } else if (opt_.window) {
-                    // The engine's last incremental evaluation primed this
-                    // worker's cache at (or near) the final offsets, so the
-                    // sweep reuses the cached raster + spectrum; the cache
-                    // was primed by this job, so results stay independent of
-                    // scheduling order.
-                    slot.window = sim.evaluate_window_incremental(layout, res.final_offsets,
-                                                                  opt_.window_spec);
-                }
-            }));
-        }
-    } catch (...) {
-        // A failed submit (e.g. bad_alloc) must not unwind while earlier
-        // jobs still hold references into `batch` — drain them first.
+    // Jobs never leak exceptions (failures become ClipResult::error), so a
+    // drain only synchronizes; it cannot throw job errors.
+    const auto drain = [&jobs] {
         for (std::future<void>& f : jobs) {
             try {
                 f.get();
-            } catch (...) {  // job errors are irrelevant mid-abort
+            } catch (...) {  // defensive: nothing to do mid-unwind
             }
         }
+    };
+
+    try {
+        for (std::size_t i = 0; i < clips.size(); ++i) {
+            const geo::SegmentedLayout& layout = clips[i];
+            const std::uint64_t job_seed = derive_seed(opt_.seed, i);
+            std::string name = i < names.size() ? names[i] : std::string();
+
+            jobs.push_back(pool_.submit([this, &optimize, &layout, &queue, job_seed,
+                                         name = std::move(name), i] {
+                const obs::Span clip_span("batch.clip", clip_hist());
+                const obs::ScopedGaugeAdd inflight(inflight_gauge(), 1.0);
+                const int worker = pool_.worker_index();
+                litho::LithoSim& sim = sims_[static_cast<std::size_t>(worker < 0 ? 0 : worker)];
+                ClipResult out;
+                out.index = static_cast<int>(i);
+                out.name = name;
+                try {
+                    out.segments = layout.num_segments();
+                    opc::EngineResult res = optimize(layout, sim, opt_.opc, job_seed);
+                    out.iterations = res.iterations;
+                    out.initial_epe = res.epe_history.empty() ? 0.0 : res.epe_history.front();
+                    out.final_epe = res.final_metrics.sum_abs_epe;
+                    out.pvband_nm2 = res.final_metrics.pvband_nm2;
+                    out.runtime_s = res.runtime_s;
+                    out.offsets = res.final_offsets;
+                    if (res.final_window &&
+                        (!opt_.window || same_window_spec(opt_.window_spec, opt_.opc.window))) {
+                        // Window reward mode: the engine's in-loop sweep already
+                        // evaluated the final mask at every corner.
+                        out.window = std::move(res.final_window);
+                    } else if (opt_.window) {
+                        // The engine's last incremental evaluation primed this
+                        // worker's cache at (or near) the final offsets, so the
+                        // sweep reuses the cached raster + spectrum; the cache
+                        // was primed by this job, so results stay independent of
+                        // scheduling order.
+                        out.window = sim.evaluate_window_incremental(layout, res.final_offsets,
+                                                                     opt_.window_spec);
+                    }
+                } catch (const std::exception& e) {
+                    out.error = e.what();
+                } catch (...) {
+                    out.error = "unknown error";
+                }
+                // push() blocks while the sink is `queue_capacity` results
+                // behind (backpressure) and returns false after an abort, in
+                // which case the result is dropped on purpose.
+                (void)queue.push(std::move(out));
+            }));
+        }
+
+        for (std::size_t received = 0; received < clips.size(); ++received) {
+            std::optional<ClipResult> res = queue.pop();
+            if (!res) break;  // aborted (cannot happen on this path otherwise)
+            obs::gauge_set(queue_depth_gauge(), static_cast<double>(queue.size()));
+            ++stats.delivered;
+            if (!res->error.empty()) ++stats.failed;
+            sink(std::move(*res));
+        }
+    } catch (...) {
+        // A failed submit (e.g. bad_alloc) or a throwing sink must not
+        // unwind while workers still hold references into `clips`/`queue`:
+        // abort releases every producer blocked in push(), then the drain
+        // joins the fleet before the exception leaves this frame.
+        queue.abort();
+        drain();
         throw;
     }
+    queue.close();
+    drain();
 
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        try {
-            jobs[i].get();
-        } catch (const std::exception& e) {
-            batch.clips[i].error = e.what();
-        } catch (...) {
-            batch.clips[i].error = "unknown error";
-        }
+    stats.wall_s = wall.seconds();
+    for (const litho::LithoSim& sim : sims_) {
+        stats.litho_evaluations += sim.evaluate_count();
+        stats.incremental_hits += sim.incremental_hit_count();
+        stats.incremental_fulls += sim.incremental_full_count();
     }
+    stats.litho_evaluations -= evals_before;
+    stats.incremental_hits -= hits_before;
+    stats.incremental_fulls -= fulls_before;
+    obs::counter_add(clips_counter(), stats.delivered);
+    obs::counter_add(failed_counter(), stats.failed);
+    obs::counter_add(batch_evals_counter(), stats.litho_evaluations);
+    obs::counter_add(batch_hits_counter(), stats.incremental_hits);
+    obs::counter_add(batch_fulls_counter(), stats.incremental_fulls);
+    return stats;
+}
 
-    batch.wall_s = wall.seconds();
+BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
+                                const ClipOptimizer& optimize,
+                                const std::vector<std::string>& names) {
+    BatchResult batch;
+    batch.reward_mode = opt_.opc.objective;
+    batch.window_mode = opt_.window || opt_.opc.objective != rl::RewardMode::kNominal;
+    batch.threads = pool_.size();
+    batch.clips.resize(clips.size());
+
+    const StreamStats stats = run_streaming(
+        clips, optimize,
+        [&batch](ClipResult&& res) {
+            batch.clips[static_cast<std::size_t>(res.index)] = std::move(res);
+        },
+        names);
+
+    batch.wall_s = stats.wall_s;
     for (const ClipResult& c : batch.clips) {
         if (!c.error.empty()) {
             ++batch.failed;
@@ -200,20 +269,10 @@ BatchResult BatchScheduler::run(const std::vector<geo::SegmentedLayout>& clips,
             batch.sum_pv_band_exact_nm2 += c.window->pv_band_exact_nm2;
         }
     }
-    for (const litho::LithoSim& sim : sims_) {
-        batch.litho_evaluations += sim.evaluate_count();
-        batch.incremental_hits += sim.incremental_hit_count();
-        batch.incremental_fulls += sim.incremental_full_count();
-    }
-    batch.litho_evaluations -= evals_before;
-    batch.incremental_hits -= hits_before;
-    batch.incremental_fulls -= fulls_before;
+    batch.litho_evaluations = stats.litho_evaluations;
+    batch.incremental_hits = stats.incremental_hits;
+    batch.incremental_fulls = stats.incremental_fulls;
     batch.throughput_cps = batch.wall_s > 0.0 ? batch.ok() / batch.wall_s : 0.0;
-    obs::counter_add(clips_counter(), static_cast<long long>(batch.clips.size()));
-    obs::counter_add(failed_counter(), batch.failed);
-    obs::counter_add(batch_evals_counter(), batch.litho_evaluations);
-    obs::counter_add(batch_hits_counter(), batch.incremental_hits);
-    obs::counter_add(batch_fulls_counter(), batch.incremental_fulls);
     return batch;
 }
 

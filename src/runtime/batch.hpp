@@ -1,6 +1,13 @@
 // Batch-OPC runtime: shard a stream of clips across a work-stealing thread
 // pool.
 //
+// Two ways to consume results. run_streaming(clips, sink) is the core: per-
+// clip results flow out through a bounded MPMC queue as workers finish, with
+// backpressure on the workers when the sink falls behind — the shape a full-
+// chip tile stream (layout/shard.hpp) and the serve loop (service/) need.
+// run() is a thin wrapper that collects the stream into one clip-ordered
+// BatchResult behind a barrier, for paper-scale batches.
+//
 // Full-chip mask optimization is embarrassingly parallel across clips, so
 // the scheduler gives every pool worker its own LithoSim (a cheap copy — all
 // workers share one immutable SOCS kernel set via the kernel registry) and
@@ -123,6 +130,33 @@ using ClipOptimizer = std::function<opc::EngineResult(
     const geo::SegmentedLayout& layout, litho::LithoSim& sim, const opc::OpcOptions& opt,
     std::uint64_t job_seed)>;
 
+/// Streaming consumer: receives each ClipResult as soon as its worker
+/// finishes (completion order, not clip order — ClipResult::index says which
+/// clip it is). Runs on the thread that called run_streaming, never
+/// concurrently with itself. Throwing aborts the stream: in-flight jobs are
+/// drained (their results discarded) and the exception propagates.
+using ClipSink = std::function<void(ClipResult&&)>;
+
+/// Knobs for the streaming path.
+struct StreamOptions {
+    /// Bounded hand-off queue between workers and the sink. When the sink
+    /// falls behind by this many results, workers block (backpressure)
+    /// instead of buffering a whole chip. Must be >= 1; rejected with
+    /// std::invalid_argument otherwise.
+    int queue_capacity = 64;
+};
+
+/// What run_streaming reports after the stream ends. Per-clip payloads went
+/// to the sink; this is only the envelope.
+struct StreamStats {
+    int delivered = 0;  ///< results handed to the sink (including failed ones)
+    int failed = 0;     ///< delivered results with a non-empty error
+    double wall_s = 0.0;
+    long long litho_evaluations = 0;
+    long long incremental_hits = 0;   ///< evaluations served by the sparse delta path
+    long long incremental_fulls = 0;  ///< evaluate_incremental calls that ran full
+};
+
 /// Shards clip jobs over a worker pool. Construction acquires the shared
 /// kernels once and stamps out one simulator per worker; run() may be called
 /// any number of times on the same scheduler.
@@ -133,8 +167,22 @@ public:
     [[nodiscard]] int threads() const { return pool_.size(); }
     [[nodiscard]] const BatchOptions& options() const { return opt_; }
 
+    /// Streaming core: run `optimize` on every clip, delivering each result
+    /// to `sink` as it completes, through a bounded queue that blocks
+    /// workers when the sink falls behind. Job failures are recorded in
+    /// ClipResult::error and still delivered; the per-clip results are
+    /// bit-identical to run()'s at any thread count and queue capacity
+    /// (only delivery order varies). Throws std::invalid_argument on a
+    /// non-positive queue capacity, and propagates a sink exception after
+    /// unwinding the worker fleet.
+    StreamStats run_streaming(const std::vector<geo::SegmentedLayout>& clips,
+                              const ClipOptimizer& optimize, const ClipSink& sink,
+                              const std::vector<std::string>& names = {},
+                              const StreamOptions& stream = {});
+
     /// Run `optimize` on every clip; never throws on job failure (failures
-    /// are recorded per clip).
+    /// are recorded per clip). A thin wrapper that collects the streaming
+    /// core into a clip-index-ordered BatchResult.
     BatchResult run(const std::vector<geo::SegmentedLayout>& clips,
                     const ClipOptimizer& optimize, const std::vector<std::string>& names = {});
 

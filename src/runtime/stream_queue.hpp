@@ -1,0 +1,106 @@
+// Bounded MPMC queue: the hand-off between batch workers and a streaming
+// consumer.
+//
+// push() blocks while the queue is full — that is the backpressure that
+// keeps a fast producer fleet from buffering a whole chip's results ahead
+// of a slow sink — and pop() blocks while it is empty. close() ends the
+// stream gracefully (pushes are refused, pops drain the remainder, then
+// return nullopt); abort() tears it down (buffered items are discarded and
+// every blocked producer and consumer is released immediately), which is
+// how a throwing sink unwinds without deadlocking workers mid-push.
+//
+// Plain mutex + two condition variables: the payloads moved through here
+// are whole per-clip results (milliseconds of OPC work each), so lock-free
+// cleverness would be noise. bench_micro's BM_QueueHandoff pins the
+// per-item overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace camo::runtime {
+
+template <typename T>
+class BoundedQueue {
+public:
+    /// Throws std::invalid_argument when capacity == 0: a zero-capacity
+    /// queue could never hand anything off, so the misconfiguration is
+    /// rejected at construction instead of deadlocking the first push.
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+        if (capacity == 0) {
+            throw std::invalid_argument("BoundedQueue: capacity must be at least 1");
+        }
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocks while full. Returns false (and drops `item`) once the queue
+    /// is closed or aborted.
+    bool push(T item) {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_ || aborted_; });
+        if (closed_ || aborted_) return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks while empty. Returns nullopt once the queue is drained after
+    /// close(), or immediately after abort().
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [this] { return !items_.empty() || closed_ || aborted_; });
+        if (aborted_ || items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// No further pushes; pops drain what is buffered, then return nullopt.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    /// Discard everything buffered and release every blocked caller.
+    void abort() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            aborted_ = true;
+            items_.clear();
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+    bool aborted_ = false;
+};
+
+}  // namespace camo::runtime

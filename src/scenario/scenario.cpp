@@ -6,6 +6,7 @@
 #include "core/experiment.hpp"
 #include "layout/metal_gen.hpp"
 #include "layout/pattern_gen.hpp"
+#include "layout/shard.hpp"
 
 namespace camo::scenario {
 
@@ -45,6 +46,24 @@ std::vector<layout::Clip> Scenario::clips(int count) const {
 std::vector<geo::SegmentedLayout> Scenario::layouts(int count) const {
     const std::vector<layout::Clip> cs = clips(count);
     return style == Style::kVia ? core::fragment_via_clips(cs) : core::fragment_metal_clips(cs);
+}
+
+std::vector<geo::Polygon> chip_polygons(const Scenario& sc, int cols, int rows, int pitch_nm) {
+    if (cols < 1 || rows < 1) {
+        throw std::invalid_argument("chip_polygons: grid must be at least 1x1");
+    }
+    const int pitch = pitch_nm > 0 ? pitch_nm : sc.clip_nm;
+    const std::vector<layout::Clip> cells = sc.clips(cols * rows);
+    std::vector<geo::Polygon> chip;
+    for (int cy = 0; cy < rows; ++cy) {
+        for (int cx = 0; cx < cols; ++cx) {
+            const layout::Clip& cell = cells[static_cast<std::size_t>(cy * cols + cx)];
+            for (const geo::Polygon& poly : cell.targets) {
+                chip.push_back(layout::translated(poly, cx * pitch, cy * pitch));
+            }
+        }
+    }
+    return chip;
 }
 
 litho::WindowSpec Scenario::resolved_window() const {

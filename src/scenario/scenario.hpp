@@ -72,6 +72,15 @@ struct Scenario {
     [[nodiscard]] litho::WindowSpec resolved_window() const;
 };
 
+/// Synthetic full chip for the sharding/streaming paths: clips
+/// [0, cols*rows) of the scenario's deterministic stream placed row-major
+/// on a cols x rows grid with `pitch_nm` cell spacing (cell (cx, cy)
+/// translated by (cx * pitch, cy * pitch); pitch_nm <= 0 uses the
+/// scenario's clip_nm, so cells never overlap). The result is one flat
+/// chip-coordinate polygon set, the input shape layout::TileSharder cuts.
+[[nodiscard]] std::vector<geo::Polygon> chip_polygons(const Scenario& sc, int cols, int rows,
+                                                      int pitch_nm = 0);
+
 /// Thread-safe process-wide name -> Scenario catalogue. instance() registers
 /// the builtin scenarios on first use; tests may add/remove their own.
 class Registry {

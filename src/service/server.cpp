@@ -1,0 +1,147 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace camo::service {
+
+namespace {
+
+obs::MetricId requests_counter() {
+    static const obs::MetricId id = obs::register_counter("serve.requests");
+    return id;
+}
+obs::MetricId accepted_counter() {
+    static const obs::MetricId id = obs::register_counter("serve.accepted");
+    return id;
+}
+obs::MetricId rejected_counter() {
+    static const obs::MetricId id = obs::register_counter("serve.rejected");
+    return id;
+}
+obs::MetricId completed_counter() {
+    static const obs::MetricId id = obs::register_counter("serve.completed");
+    return id;
+}
+obs::MetricId deadline_missed_counter() {
+    static const obs::MetricId id = obs::register_counter("serve.deadline_missed");
+    return id;
+}
+obs::MetricId queue_depth_gauge() {
+    static const obs::MetricId id = obs::register_gauge("serve.queue.depth");
+    return id;
+}
+obs::MetricId wait_hist() {
+    static const obs::MetricId id = obs::register_histogram("serve.wait.ns");
+    return id;
+}
+obs::MetricId latency_hist() {
+    static const obs::MetricId id = obs::register_histogram("serve.latency.ns");
+    return id;
+}
+obs::MetricId request_hist() {
+    static const obs::MetricId id = obs::register_histogram("serve.request.ns");
+    return id;
+}
+
+long long to_ns(double seconds) { return static_cast<long long>(seconds * 1e9); }
+
+}  // namespace
+
+OpcServer::OpcServer(const litho::LithoConfig& litho, ServerOptions opt)
+    : opt_(std::move(opt)), scheduler_(litho, opt_.batch) {
+    if (opt_.queue_capacity < 1) {
+        throw std::invalid_argument("OpcServer: queue_capacity must be at least 1, got " +
+                                    std::to_string(opt_.queue_capacity));
+    }
+}
+
+bool OpcServer::submit(ServeRequest req) {
+    obs::counter_add(requests_counter());
+    RequestOutcome outcome;
+    outcome.name = req.name;
+    outcome.priority = req.priority;
+    outcome.clips = static_cast<int>(req.clips.size());
+
+    std::string reason;
+    if (static_cast<int>(pending_.size()) >= opt_.queue_capacity) {
+        reason = "queue full (capacity " + std::to_string(opt_.queue_capacity) + ")";
+    } else if (req.clips.empty()) {
+        reason = "empty request (no clips)";
+    }
+    if (!reason.empty()) {
+        outcome.reject_reason = std::move(reason);
+        outcomes_.push_back(std::move(outcome));
+        obs::counter_add(rejected_counter());
+        return false;
+    }
+
+    outcome.accepted = true;
+    outcomes_.push_back(std::move(outcome));
+    pending_.push_back(Pending{std::move(req), outcomes_.size() - 1, Timer()});
+    obs::counter_add(accepted_counter());
+    obs::gauge_set(queue_depth_gauge(), static_cast<double>(pending_.size()));
+    return true;
+}
+
+std::vector<RequestOutcome> OpcServer::drain(const runtime::ClipOptimizer& optimize) {
+    // Priority desc, admission order within a level. Stable sort over the
+    // arrival sequence gives the FIFO tie-break for free.
+    std::vector<std::size_t> order(pending_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+        return pending_[a].request.priority > pending_[b].request.priority;
+    });
+
+    int served = 0;
+    for (const std::size_t idx : order) {
+        Pending& p = pending_[idx];
+        RequestOutcome& out = outcomes_[p.outcome_index];
+        const obs::Span span("serve.request", request_hist());
+        out.served_order = served++;
+        out.queue_wait_s = p.since_admission.seconds();
+        obs::histogram_record(wait_hist(), to_ns(out.queue_wait_s));
+
+        Timer service;
+        out.results.resize(p.request.clips.size());
+        try {
+            const runtime::StreamStats stats = scheduler_.run_streaming(
+                p.request.clips, optimize,
+                [&out](runtime::ClipResult&& res) {
+                    out.results[static_cast<std::size_t>(res.index)] = std::move(res);
+                },
+                p.request.clip_names, opt_.stream);
+            out.failed = stats.failed;
+        } catch (const std::exception& e) {
+            // A request-level failure (bad stream config, sink error) fails
+            // the whole request but never takes down the server loop.
+            out.failed = static_cast<int>(p.request.clips.size());
+            out.reject_reason = std::string("request failed: ") + e.what();
+        }
+        out.service_s = service.seconds();
+        out.latency_s = p.since_admission.seconds();
+        out.deadline_missed =
+            p.request.deadline_s > 0.0 && out.latency_s > p.request.deadline_s;
+        for (const runtime::ClipResult& c : out.results) {
+            if (!c.error.empty()) continue;
+            out.sum_final_epe += c.final_epe;
+            out.sum_pvband_nm2 += c.pvband_nm2;
+        }
+        obs::histogram_record(latency_hist(), to_ns(out.latency_s));
+        obs::counter_add(completed_counter());
+        if (out.deadline_missed) obs::counter_add(deadline_missed_counter());
+        obs::gauge_set(queue_depth_gauge(),
+                       static_cast<double>(pending_.size()) - served);
+    }
+
+    pending_.clear();
+    obs::gauge_set(queue_depth_gauge(), 0.0);
+    return std::exchange(outcomes_, {});
+}
+
+}  // namespace camo::service

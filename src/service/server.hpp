@@ -1,0 +1,109 @@
+// Long-running OPC service: a request queue with admission control in front
+// of the streaming batch runtime.
+//
+// One OpcServer owns one BatchScheduler, so everything expensive is warm
+// and shared across requests: the SOCS kernel set (built once via the PR-1
+// kernel registry), the per-worker simulators and their incremental caches,
+// and whatever the caller's ClipOptimizer closes over (a trained CamoEngine
+// snapshot — weights loaded once, inferred concurrently).
+//
+// Lifecycle is submit/drain. submit() is admission control: a request is
+// accepted into the bounded queue or rejected immediately with a reason
+// (queue full, empty request) — the reject-don't-buffer behaviour a
+// memory-bounded service needs. drain() serves every queued request through
+// BatchScheduler::run_streaming, highest priority first (FIFO within a
+// priority), stamping per-request queue-wait/service/latency and checking
+// the soft deadline. Results are deterministic where it matters: per-clip
+// outputs depend only on (layout, request seed policy, clip index), never
+// on queue order or timing; order/timing only affect the telemetry fields.
+//
+// Observability: serve.requests/accepted/rejected/completed counters,
+// serve.queue.depth gauge, serve.wait.ns + serve.latency.ns histograms and
+// a serve.request span per served request, all through src/obs/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "geometry/layout.hpp"
+#include "litho/config.hpp"
+#include "runtime/batch.hpp"
+
+namespace camo::service {
+
+/// One unit of service work: a named bundle of clips (typically the tiles
+/// of one chip shard) with scheduling hints.
+struct ServeRequest {
+    std::string name;
+    int priority = 0;       ///< higher is served first; FIFO within a level
+    double deadline_s = 0;  ///< soft latency budget from admission; 0 = none
+    std::vector<geo::SegmentedLayout> clips;
+    std::vector<std::string> clip_names;  ///< optional, parallel to clips
+};
+
+/// What happened to one submitted request. Rejected requests have
+/// accepted == false, a reject_reason, and no results.
+struct RequestOutcome {
+    std::string name;
+    int priority = 0;
+    bool accepted = false;
+    std::string reject_reason;
+    int served_order = -1;  ///< position in the drain schedule; -1 if rejected
+
+    int clips = 0;
+    int failed = 0;  ///< clips whose job recorded an error
+    bool deadline_missed = false;
+
+    double queue_wait_s = 0.0;  ///< admission -> service start
+    double service_s = 0.0;     ///< streaming run wall time
+    double latency_s = 0.0;     ///< admission -> last result delivered
+
+    double sum_final_epe = 0.0;
+    double sum_pvband_nm2 = 0.0;
+    std::vector<runtime::ClipResult> results;  ///< clip-index order
+};
+
+struct ServerOptions {
+    /// Admission bound: submit() rejects once this many requests are
+    /// pending. Must be >= 1 (std::invalid_argument otherwise).
+    int queue_capacity = 8;
+    runtime::BatchOptions batch;    ///< threads/seed/opc shared by all requests
+    runtime::StreamOptions stream;  ///< worker->sink queue of each request
+};
+
+class OpcServer {
+public:
+    /// Builds the warm core: kernels, per-worker simulators, window specs.
+    OpcServer(const litho::LithoConfig& litho, ServerOptions opt);
+
+    /// Admission control. Returns true and queues the request, or returns
+    /// false and records a rejected RequestOutcome (reason readable in the
+    /// drain() report): the queue is full, or the request has no clips.
+    bool submit(ServeRequest req);
+
+    /// Serve every pending request (priority desc, arrival asc), then
+    /// return the outcomes of ALL requests submitted since the last drain —
+    /// rejected ones included — in arrival order. The queue is empty
+    /// afterwards; submit/drain cycles may repeat on the warm core.
+    std::vector<RequestOutcome> drain(const runtime::ClipOptimizer& optimize);
+
+    [[nodiscard]] int pending() const { return static_cast<int>(pending_.size()); }
+    [[nodiscard]] int queue_capacity() const { return opt_.queue_capacity; }
+    [[nodiscard]] const ServerOptions& options() const { return opt_; }
+    [[nodiscard]] runtime::BatchScheduler& scheduler() { return scheduler_; }
+
+private:
+    struct Pending {
+        ServeRequest request;
+        std::size_t outcome_index;  ///< into outcomes_
+        Timer since_admission;
+    };
+
+    ServerOptions opt_;
+    runtime::BatchScheduler scheduler_;
+    std::vector<Pending> pending_;
+    std::vector<RequestOutcome> outcomes_;  ///< arrival order, cleared by drain()
+};
+
+}  // namespace camo::service

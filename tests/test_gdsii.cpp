@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "layout/gdsii.hpp"
@@ -108,6 +110,149 @@ TEST(Gdsii, MalformedFileThrows) {
         out.put('\x02');
     }
     EXPECT_THROW(read_gds(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------ corrupt-upload corpus
+//
+// The serve ingest path feeds read_gds with whatever a client uploads, so
+// every malformation class must surface as a typed GdsParseError (with the
+// offending byte offset) instead of reading past the buffer or returning a
+// silently truncated library.
+
+// Record types mirrored from the reader (the subset the corpus corrupts).
+constexpr char kRecBgnStr = 0x05;
+constexpr char kRecBoundary = 0x08;
+constexpr char kRecLayer = 0x0D;
+constexpr char kRecXy = 0x10;
+constexpr char kRecEndEl = 0x11;
+constexpr char kRecEndLib = 0x04;
+
+std::string raw_record(char type, const std::string& payload = {}) {
+    const auto len = static_cast<std::uint16_t>(4 + payload.size());
+    std::string r;
+    r.push_back(static_cast<char>((len >> 8) & 0xFF));
+    r.push_back(static_cast<char>(len & 0xFF));
+    r.push_back(type);
+    r.push_back('\x00');  // dtype (ignored by the reader)
+    r += payload;
+    return r;
+}
+
+std::string xy_payload(int pairs) {
+    std::string p;
+    for (int i = 0; i < pairs; ++i) {
+        for (int b = 0; b < 8; ++b) p.push_back(static_cast<char>(i & 0xFF));
+    }
+    return p;
+}
+
+std::string write_bytes(const std::string& name, const std::string& bytes) {
+    const std::string path = temp_path(name);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+void expect_parse_error(const std::string& name, const std::string& bytes,
+                        const std::string& what_contains) {
+    const std::string path = write_bytes(name, bytes);
+    try {
+        (void)read_gds(path);
+        FAIL() << name << ": expected GdsParseError containing '" << what_contains << "'";
+    } catch (const GdsParseError& e) {
+        EXPECT_NE(std::string(e.what()).find(what_contains), std::string::npos)
+            << name << " threw with unexpected message: " << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Gdsii, TruncatedRecordPayloadThrows) {
+    // XY record header claims 16 payload bytes; the file ends after 4.
+    std::string bytes = raw_record(kRecBoundary) + raw_record(kRecXy, xy_payload(2));
+    bytes.resize(bytes.size() - 12);
+    expect_parse_error("camo_trunc_payload.gds", bytes, "truncated record payload");
+}
+
+TEST(Gdsii, TruncatedRecordHeaderThrows) {
+    // Length bytes present, record type byte missing.
+    std::string bytes = raw_record(kRecBoundary);
+    bytes.resize(2);
+    expect_parse_error("camo_trunc_header.gds", bytes, "truncated record header");
+}
+
+TEST(Gdsii, MissingEndlibThrows) {
+    // A valid library with its terminator cut off must not parse as if it
+    // were complete (a truncated upload would otherwise silently lose
+    // trailing polygons).
+    GdsLibrary lib;
+    lib.layers[1].push_back(geo::Polygon::from_rect({0, 0, 70, 70}));
+    const std::string path = temp_path("camo_noendlib.gds");
+    write_gds(path, lib);
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    std::remove(path.c_str());
+    ASSERT_GE(bytes.size(), 8U);
+    bytes.resize(bytes.size() - 4);  // drop the 4-byte ENDLIB record
+    expect_parse_error("camo_noendlib_cut.gds", bytes, "missing ENDLIB");
+}
+
+TEST(Gdsii, UnterminatedBoundaryAtEofThrows) {
+    const std::string bytes = raw_record(kRecBoundary) + raw_record(kRecXy, xy_payload(4));
+    expect_parse_error("camo_unterminated_el.gds", bytes, "unterminated BOUNDARY");
+}
+
+TEST(Gdsii, UnterminatedStructureAtEofThrows) {
+    const std::string bytes =
+        raw_record(kRecBgnStr) + raw_record(kRecBoundary) + raw_record(kRecEndEl);
+    expect_parse_error("camo_unterminated_str.gds", bytes, "unterminated structure");
+}
+
+TEST(Gdsii, EndlibInsideBoundaryThrows) {
+    const std::string bytes = raw_record(kRecBoundary) + raw_record(kRecEndLib);
+    expect_parse_error("camo_endlib_in_el.gds", bytes, "ENDLIB inside BOUNDARY");
+}
+
+TEST(Gdsii, NestedBoundaryThrows) {
+    const std::string bytes = raw_record(kRecBoundary) + raw_record(kRecBoundary);
+    expect_parse_error("camo_nested_el.gds", bytes, "nested BOUNDARY");
+}
+
+TEST(Gdsii, RaggedXyPayloadThrows) {
+    // 12 bytes = 1.5 coordinate pairs; the old reader dropped the tail.
+    const std::string bytes =
+        raw_record(kRecBoundary) + raw_record(kRecXy, std::string(12, '\x01'));
+    expect_parse_error("camo_ragged_xy.gds", bytes, "whole coordinate pairs");
+}
+
+TEST(Gdsii, ShortLayerRecordThrows) {
+    const std::string bytes =
+        raw_record(kRecBoundary) + raw_record(kRecLayer, std::string(1, '\x01'));
+    expect_parse_error("camo_short_layer.gds", bytes, "LAYER record too short");
+}
+
+TEST(Gdsii, OversizedElementCountThrows) {
+    // Two XY records accumulating past the 8191-vertex element cap must be
+    // rejected as oversized rather than ballooning cur_pts.
+    std::string bytes = raw_record(kRecBoundary);
+    bytes += raw_record(kRecXy, xy_payload(4500));
+    bytes += raw_record(kRecXy, xy_payload(4500));
+    expect_parse_error("camo_oversized.gds", bytes, "oversized BOUNDARY");
+}
+
+TEST(Gdsii, ParseErrorCarriesByteOffset) {
+    // The second record is the corrupt one; its header starts at byte 4.
+    const std::string bytes = raw_record(kRecBoundary) + raw_record(kRecEndLib);
+    const std::string path = write_bytes("camo_offset.gds", bytes);
+    try {
+        (void)read_gds(path);
+        FAIL() << "expected GdsParseError";
+    } catch (const GdsParseError& e) {
+        EXPECT_EQ(e.offset(), 4U);
+    }
     std::remove(path.c_str());
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "layout/via_gen.hpp"
 #include "litho/simulator.hpp"
 #include "runtime/batch.hpp"
+#include "runtime/stream_queue.hpp"
 
 namespace camo::runtime {
 namespace {
@@ -324,6 +326,168 @@ TEST(BatchScheduler, WorstCornerPhase2TraceIsByteIdentical) {
     for (std::size_t i = 0; i < a.phase1_loss.size(); ++i) {
         EXPECT_EQ(a.phase1_loss[i], b.phase1_loss[i]) << "epoch " << i;
     }
+}
+
+// ------------------------------------------------------- streaming core
+
+TEST(BoundedQueue, ZeroCapacityRejectedAtConstruction) {
+    EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+    BoundedQueue<int> q(1);
+    EXPECT_EQ(q.capacity(), 1U);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    q.close();
+    EXPECT_FALSE(q.push(3));  // refused after close
+    EXPECT_EQ(q.pop(), std::optional<int>(1));
+    EXPECT_EQ(q.pop(), std::optional<int>(2));
+    EXPECT_EQ(q.pop(), std::nullopt);  // drained
+}
+
+TEST(BoundedQueue, AbortDiscardsBufferedItems) {
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    q.abort();
+    EXPECT_EQ(q.pop(), std::nullopt);  // buffered item discarded
+    EXPECT_FALSE(q.push(2));
+}
+
+TEST(BatchScheduler, StreamingMatchesBarrierBitwise) {
+    // The refactor gate: run() is now a wrapper over run_streaming, and the
+    // raw streaming path must reproduce the barrier results bit-for-bit at
+    // any worker count and any queue capacity — delivery order is the only
+    // thing allowed to vary.
+    const auto clips = test_clips(5);
+    BatchScheduler barrier_sched(test_litho_config(), batch_options(2));
+    const BatchResult barrier = barrier_sched.run_rule(clips);
+    ASSERT_EQ(barrier.failed, 0);
+
+    const ClipOptimizer rule = [](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                  const opc::OpcOptions& o, std::uint64_t) {
+        opc::RuleEngine engine;
+        return engine.optimize(layout, sim, o);
+    };
+
+    for (const int threads : {1, 2, 8}) {
+        for (const int capacity : {1, 2, 64}) {
+            BatchScheduler sched(test_litho_config(), batch_options(threads));
+            std::vector<ClipResult> got(clips.size());
+            std::vector<int> deliveries(clips.size(), 0);
+            StreamOptions stream;
+            stream.queue_capacity = capacity;
+            const StreamStats stats = sched.run_streaming(
+                clips, rule,
+                [&](ClipResult&& r) {
+                    ASSERT_GE(r.index, 0);
+                    ASSERT_LT(r.index, static_cast<int>(clips.size()));
+                    ++deliveries[static_cast<std::size_t>(r.index)];
+                    got[static_cast<std::size_t>(r.index)] = std::move(r);
+                },
+                {}, stream);
+
+            EXPECT_EQ(stats.delivered, static_cast<int>(clips.size()));
+            EXPECT_EQ(stats.failed, 0);
+            EXPECT_GT(stats.litho_evaluations, 0);
+            for (std::size_t i = 0; i < clips.size(); ++i) {
+                EXPECT_EQ(deliveries[i], 1) << "clip " << i << " delivered more than once";
+                EXPECT_EQ(got[i].offsets, barrier.clips[i].offsets)
+                    << "threads " << threads << " capacity " << capacity << " clip " << i;
+                EXPECT_EQ(got[i].final_epe, barrier.clips[i].final_epe) << "clip " << i;
+                EXPECT_EQ(got[i].pvband_nm2, barrier.clips[i].pvband_nm2) << "clip " << i;
+            }
+        }
+    }
+}
+
+TEST(BatchScheduler, StreamingEmptyClipVector) {
+    BatchScheduler sched(test_litho_config(), batch_options(2));
+    int calls = 0;
+    const StreamStats stats = sched.run_streaming(
+        {},
+        [](const geo::SegmentedLayout& layout, litho::LithoSim& sim, const opc::OpcOptions& o,
+           std::uint64_t) {
+            opc::RuleEngine engine;
+            return engine.optimize(layout, sim, o);
+        },
+        [&calls](ClipResult&&) { ++calls; });
+    EXPECT_EQ(calls, 0);  // sink never invoked
+    EXPECT_EQ(stats.delivered, 0);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_EQ(stats.litho_evaluations, 0);
+}
+
+TEST(BatchScheduler, StreamingZeroCapacityQueueRejected) {
+    const auto clips = test_clips(1);
+    BatchScheduler sched(test_litho_config(), batch_options(1));
+    const ClipOptimizer rule = [](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                  const opc::OpcOptions& o, std::uint64_t) {
+        opc::RuleEngine engine;
+        return engine.optimize(layout, sim, o);
+    };
+    for (const int capacity : {0, -3}) {
+        StreamOptions stream;
+        stream.queue_capacity = capacity;
+        EXPECT_THROW(sched.run_streaming(clips, rule, [](ClipResult&&) {}, {}, stream),
+                     std::invalid_argument)
+            << "capacity " << capacity;
+    }
+}
+
+TEST(BatchScheduler, StreamingThrowingSinkPropagatesAndUnwindsCleanly) {
+    const auto clips = test_clips(6);
+    BatchScheduler sched(test_litho_config(), batch_options(2));
+    const ClipOptimizer rule = [](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                                  const opc::OpcOptions& o, std::uint64_t) {
+        opc::RuleEngine engine;
+        return engine.optimize(layout, sim, o);
+    };
+
+    // Tight queue so workers are actually blocked in push() when the sink
+    // dies — the abort path must release them without deadlocking.
+    StreamOptions stream;
+    stream.queue_capacity = 1;
+    int seen = 0;
+    EXPECT_THROW(sched.run_streaming(
+                     clips, rule,
+                     [&seen](ClipResult&&) {
+                         if (++seen == 2) throw std::runtime_error("sink died");
+                     },
+                     {}, stream),
+                 std::runtime_error);
+    EXPECT_EQ(seen, 2);
+
+    // The scheduler (pool, simulators) survives and serves the next run.
+    const BatchResult after = sched.run_rule(clips);
+    EXPECT_EQ(after.failed, 0);
+    EXPECT_EQ(after.clips.size(), clips.size());
+}
+
+TEST(BatchScheduler, StreamingDeliversFailedJobsWithError) {
+    const auto clips = test_clips(3);
+    BatchOptions opt = batch_options(2);
+    const std::uint64_t poison = derive_seed(opt.seed, 1);
+    BatchScheduler sched(test_litho_config(), opt);
+
+    std::vector<ClipResult> got(clips.size());
+    const StreamStats stats = sched.run_streaming(
+        clips,
+        [poison](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                 const opc::OpcOptions& o, std::uint64_t job_seed) {
+            if (job_seed == poison) throw std::runtime_error("injected failure");
+            opc::RuleEngine engine;
+            return engine.optimize(layout, sim, o);
+        },
+        [&got](ClipResult&& r) { got[static_cast<std::size_t>(r.index)] = std::move(r); });
+
+    EXPECT_EQ(stats.delivered, 3);
+    EXPECT_EQ(stats.failed, 1);
+    EXPECT_TRUE(got[0].error.empty());
+    EXPECT_EQ(got[1].error, "injected failure");
+    EXPECT_TRUE(got[2].error.empty());
+    EXPECT_GT(got[0].offsets.size(), 0U);
 }
 
 TEST(SplitMix, DerivedSeedsAreStableAndDistinct) {

@@ -4,7 +4,21 @@
 //   camo_cli batch [batch options]
 //   camo_cli sweep [batch options] [--doses a,b,..] [--focuses a,b,..]
 //   camo_cli compare [compare options]
+//   camo_cli chipgen --out chip.gds [--scenario S] [--cols N] [--rows N] [--pitch NM]
+//   camo_cli shard [--in chip.gds | --scenario S --cols N --rows N] [--tile NM]
+//                  [--halo NM] [--verify-monolithic] [shard options]
+//   camo_cli serve [--requests N] [--clips N] [--queue-capacity N] [serve options]
 //   camo_cli --list-scenarios
+//
+// The streaming trio covers the full-chip path: chipgen writes a synthetic
+// multi-tile chip from a registered scenario generator, shard cuts it into
+// halo-padded tiles and streams them through the batch runtime before
+// stitching one chip mask (--verify-monolithic proves the stream matches
+// the barrier path bit-for-bit at 1/2/8 workers), and serve runs a
+// long-lived request queue — priority scheduling, soft deadlines, and
+// admission control that rejects with a reason when the queue is full —
+// over one warm scheduler (kernels, simulators, policy shared across
+// requests).
 //
 // An unknown subcommand prints the top-level usage and exits 2; every
 // subcommand likewise exits 2 on unknown flags.
@@ -67,14 +81,18 @@
 //                    [--write-golden PATH] [--slack X] [--list-scenarios]
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/file_io.hpp"
 #include "common/logging.hpp"
 #include "core/experiment.hpp"
 #include "layout/gdsii.hpp"
+#include "layout/metal_gen.hpp"
+#include "layout/shard.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "opc/one_shot.hpp"
@@ -83,6 +101,7 @@
 #include "runtime/batch.hpp"
 #include "scenario/comparer.hpp"
 #include "scenario/scenario.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -558,6 +577,506 @@ int compare_main(int argc, char** argv) {
     return rc;
 }
 
+// ------------------------------------------------------- streaming commands
+
+/// Quick-scale OPC protocol for the scenario-driven streaming paths (same
+/// defaults the scenario comparer runs cells with).
+opc::OpcOptions scenario_opc(scenario::Style style, int iterations) {
+    opc::OpcOptions opt;
+    opt.max_iterations = iterations > 0 ? iterations : 5;
+    opt.initial_bias_nm = style == scenario::Style::kVia ? 3 : 0;
+    return opt;
+}
+
+/// Tiny deterministic in-memory CAMO policy for serve/shard: the comparer's
+/// imitation-only recipe, trained once up front and shared read-only across
+/// every tile and request of the run — the warm policy cache of the service.
+std::shared_ptr<core::CamoEngine> warm_camo_engine(scenario::Style style,
+                                                   const litho::LithoConfig& litho,
+                                                   const opc::OpcOptions& opt) {
+    core::CamoConfig cfg;
+    cfg.name = "stream";
+    cfg.seed = 7;
+    cfg.teacher_biases = {3, 0};
+    cfg.teacher_steps = 3;
+    cfg.phase1_epochs = 4;
+    cfg.phase2_episodes = 0;
+    cfg.train_workers = 1;
+    auto engine = std::make_shared<core::CamoEngine>(cfg);
+
+    std::vector<layout::Clip> clips;
+    for (int i = 0; i < 2; ++i) {
+        Rng rng(derive_seed(0xC0FFEEULL, static_cast<std::uint64_t>(i)));
+        layout::Clip clip;
+        clip.name = "stream_train_" + std::to_string(i);
+        clip.clip_nm = 1000;
+        if (style == scenario::Style::kVia) {
+            layout::ViaGenOptions vg;
+            vg.clip_nm = 1000;
+            vg.margin_nm = 200;
+            vg.min_spacing_nm = 120;
+            clip.targets = layout::generate_via_clip(2 + i % 3, rng, vg);
+        } else {
+            layout::MetalGenOptions mg;
+            mg.clip_nm = 1000;
+            clip.targets = layout::generate_metal_clip(24, rng, mg);
+        }
+        clips.push_back(std::move(clip));
+    }
+    const std::vector<geo::SegmentedLayout> layouts =
+        style == scenario::Style::kVia ? core::fragment_via_clips(clips)
+                                       : core::fragment_metal_clips(clips);
+    litho::LithoSim sim(litho);
+    engine->train(layouts, sim, opt);
+    return engine;
+}
+
+/// Per-clip optimizer for the streaming paths: a fresh RuleEngine per job,
+/// or one warm CamoEngine snapshot inferred concurrently.
+runtime::ClipOptimizer make_optimizer(const std::string& engine, scenario::Style style,
+                                      const litho::LithoConfig& litho,
+                                      const opc::OpcOptions& opt) {
+    if (engine == "rule") {
+        return [](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                  const opc::OpcOptions& o, std::uint64_t /*job_seed*/) {
+            opc::RuleEngine eng;
+            return eng.optimize(layout, sim, o);
+        };
+    }
+    const std::shared_ptr<core::CamoEngine> eng = warm_camo_engine(style, litho, opt);
+    return [eng](const geo::SegmentedLayout& layout, litho::LithoSim& sim,
+                 const opc::OpcOptions& o,
+                 std::uint64_t /*job_seed*/) { return eng->infer(layout, sim, o); };
+}
+
+int chipgen_main(int argc, char** argv) {
+    std::string out;
+    std::string scenario_name = "via3";
+    int cols = 3;
+    int rows = 3;
+    int pitch = 0;
+    try {
+        for (int i = 2; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto next = [&](std::string& dst) {
+                if (i + 1 >= argc) return false;
+                dst = argv[++i];
+                return true;
+            };
+            std::string v;
+            if (a == "--out" && next(v)) {
+                out = v;
+            } else if (a == "--scenario" && next(v)) {
+                scenario_name = v;
+            } else if (a == "--cols" && next(v)) {
+                cols = std::stoi(v);
+            } else if (a == "--rows" && next(v)) {
+                rows = std::stoi(v);
+            } else if (a == "--pitch" && next(v)) {
+                pitch = std::stoi(v);
+            } else {
+                std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+                out.clear();
+                break;
+            }
+        }
+    } catch (const std::exception&) {  // non-numeric values
+        out.clear();
+    }
+    if (out.empty() || cols < 1 || rows < 1) {
+        std::fprintf(stderr,
+                     "usage: camo_cli chipgen --out chip.gds [--scenario NAME]"
+                     " [--cols N] [--rows N] [--pitch NM]\n");
+        return 2;
+    }
+
+    try {
+        const scenario::Scenario sc = scenario::Registry::instance().get(scenario_name);
+        const std::vector<geo::Polygon> chip = scenario::chip_polygons(sc, cols, rows, pitch);
+        layout::GdsLibrary lib;
+        lib.name = "CAMO_CHIP";
+        lib.structure = "CHIP";
+        lib.layers[1] = chip;
+        layout::write_gds(out, lib);
+        std::printf("wrote %s: %dx%d cells of %s at %d nm pitch, %zu polygons\n", out.c_str(),
+                    cols, rows, scenario_name.c_str(), pitch > 0 ? pitch : sc.clip_nm,
+                    chip.size());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "chipgen failed: %s\n", e.what());
+        return 1;
+    }
+}
+
+struct ShardCliOptions {
+    std::string in;  ///< chip GDS; empty = generate from the scenario grid
+    std::string out;
+    std::string scenario = "via3";
+    std::string engine = "rule";
+    int layer = 1;
+    int cols = 3;
+    int rows = 3;
+    int pitch = 0;
+    int tile_nm = 512;
+    int halo_nm = 256;
+    int threads = 0;
+    int queue_capacity = 64;
+    std::uint64_t seed = core::Experiment::kDatasetSeed;
+    int iterations = -1;
+    bool verify = false;
+    bool quiet = false;
+    ObsCliOptions obs;
+};
+
+bool parse_shard_args(int argc, char** argv, ShardCliOptions& o) try {
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--in" && next(v)) {
+            o.in = v;
+        } else if (a == "--out" && next(v)) {
+            o.out = v;
+        } else if (a == "--scenario" && next(v)) {
+            o.scenario = v;
+        } else if (a == "--engine" && next(v)) {
+            o.engine = v;
+        } else if (a == "--layer" && next(v)) {
+            o.layer = std::stoi(v);
+        } else if (a == "--cols" && next(v)) {
+            o.cols = std::stoi(v);
+        } else if (a == "--rows" && next(v)) {
+            o.rows = std::stoi(v);
+        } else if (a == "--pitch" && next(v)) {
+            o.pitch = std::stoi(v);
+        } else if (a == "--tile" && next(v)) {
+            o.tile_nm = std::stoi(v);
+        } else if (a == "--halo" && next(v)) {
+            o.halo_nm = std::stoi(v);
+        } else if (a == "--threads" && next(v)) {
+            o.threads = std::stoi(v);
+        } else if (a == "--queue-capacity" && next(v)) {
+            o.queue_capacity = std::stoi(v);
+        } else if (a == "--seed" && next(v)) {
+            o.seed = std::stoull(v);
+        } else if (a == "--iterations" && next(v)) {
+            o.iterations = std::stoi(v);
+        } else if (a == "--verify-monolithic") {
+            o.verify = true;
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--log-level" && next(v)) {
+            o.obs.log_level = v;
+        } else if (a == "--metrics-json" && next(v)) {
+            o.obs.metrics_json = v;
+        } else if (a == "--trace" && next(v)) {
+            o.obs.trace = v;
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return o.engine == "rule" || o.engine == "camo";
+} catch (const std::exception&) {  // non-numeric / out-of-range values
+    return false;
+}
+
+int shard_main(int argc, char** argv) {
+    ShardCliOptions cli;
+    if (!parse_shard_args(argc, argv, cli)) {
+        std::fprintf(stderr,
+                     "usage: camo_cli shard [--in chip.gds [--layer N] | --scenario NAME"
+                     " --cols N --rows N [--pitch NM]] [--tile NM] [--halo NM]"
+                     " [--engine rule|camo] [--threads N] [--queue-capacity N] [--seed S]"
+                     " [--iterations N] [--out mask.gds] [--verify-monolithic] [--quiet]"
+                     " [--log-level quiet|info|debug] [--metrics-json PATH] [--trace PATH]\n");
+        return 2;
+    }
+    if (!apply_obs_options(cli.obs, cli.quiet)) return 2;
+
+    try {
+        const scenario::Scenario sc = scenario::Registry::instance().get(cli.scenario);
+
+        std::vector<geo::Polygon> chip;
+        if (cli.in.empty()) {
+            chip = scenario::chip_polygons(sc, cli.cols, cli.rows, cli.pitch);
+        } else {
+            layout::GdsLibrary lib = layout::read_gds(cli.in);
+            chip = std::move(lib.layers[cli.layer]);
+            if (chip.empty()) {
+                std::fprintf(stderr, "no polygons on layer %d in %s\n", cli.layer,
+                             cli.in.c_str());
+                return 1;
+            }
+        }
+
+        layout::ShardOptions sopt;
+        sopt.tile_nm = cli.tile_nm;
+        sopt.halo_nm = cli.halo_nm;
+        sopt.fragment = {sc.style == scenario::Style::kVia ? geo::FragmentStyle::kVia
+                                                           : geo::FragmentStyle::kMetal,
+                         60};
+        if (sc.style == scenario::Style::kVia) {
+            sopt.sraf_gen = [](const std::vector<geo::Polygon>& targets) {
+                return opc::insert_srafs(targets);
+            };
+        }
+        const layout::TileSharder sharder(std::move(chip), std::move(sopt), sc.litho);
+        if (sharder.tiles().empty()) {
+            std::printf("empty chip: nothing to shard\n");
+            return 0;
+        }
+
+        const opc::OpcOptions opt = scenario_opc(sc.style, cli.iterations);
+        const runtime::ClipOptimizer optimize =
+            make_optimizer(cli.engine, sc.style, sc.litho, opt);
+        const std::vector<geo::SegmentedLayout> layouts = sharder.tile_layouts();
+        const std::vector<std::string> names = sharder.tile_names();
+        const geo::SegmentedLayout chip_layout = sharder.chip_layout();
+
+        runtime::BatchOptions bopt;
+        bopt.threads = cli.threads;
+        bopt.seed = cli.seed;
+        bopt.opc = opt;
+        runtime::StreamOptions stream;
+        stream.queue_capacity = cli.queue_capacity;
+
+        int stream_failed = 0;
+        const auto run_stitched = [&](int threads, runtime::StreamStats* stats_out) {
+            runtime::BatchOptions b = bopt;
+            b.threads = threads;
+            runtime::BatchScheduler sched(sc.litho, b);
+            std::vector<std::vector<int>> tile_offsets(layouts.size());
+            const runtime::StreamStats stats = sched.run_streaming(
+                layouts, optimize,
+                [&tile_offsets](runtime::ClipResult&& r) {
+                    if (!r.error.empty()) {
+                        std::fprintf(stderr, "tile %s FAILED: %s\n", r.name.c_str(),
+                                     r.error.c_str());
+                        return;  // stitch rejects the missing tile below
+                    }
+                    tile_offsets[static_cast<std::size_t>(r.index)] = std::move(r.offsets);
+                },
+                names, stream);
+            if (stats_out) *stats_out = stats;
+            return layout::stitch(sharder, chip_layout, tile_offsets);
+        };
+
+        runtime::StreamStats stats;
+        const layout::StitchResult stitched = run_stitched(cli.threads, &stats);
+        stream_failed = stats.failed;
+
+        std::printf("shard: %zu polygons -> %zu tiles (%d nm core + %d nm halo = %d nm "
+                    "window), %d owned segments\n",
+                    sharder.chip().size(), sharder.tiles().size(), cli.tile_nm, cli.halo_nm,
+                    sharder.options().window_nm(), sharder.total_owned_segments());
+        std::printf("stream: %d tiles delivered (%d failed) in %.2fs, %lld litho evals "
+                    "(%lld incremental hits)\n",
+                    stats.delivered, stats.failed, stats.wall_s, stats.litho_evaluations,
+                    stats.incremental_hits);
+
+        if (!cli.out.empty()) {
+            layout::GdsLibrary out;
+            out.name = "CAMO_STITCHED";
+            out.structure = "CHIP";
+            out.layers[1] = sharder.chip();
+            if (!chip_layout.srafs().empty()) out.layers[2] = chip_layout.srafs();
+            out.layers[10] = stitched.mask;
+            layout::write_gds(cli.out, out);
+            std::printf("wrote %s (targets: layer 1, mask: layer 10)\n", cli.out.c_str());
+        }
+
+        int rc = stream_failed > 0 ? 1 : 0;
+        if (cli.verify) {
+            // The refactor gate: the streaming path must reproduce the
+            // barrier path bit-for-bit over the same tiles, at any worker
+            // count. Reference = BatchScheduler::run() (the pre-refactor
+            // caller surface), candidates = run_streaming at 1/2/8 workers.
+            runtime::BatchScheduler ref_sched(sc.litho, bopt);
+            const runtime::BatchResult ref = ref_sched.run(layouts, optimize, names);
+            std::vector<std::vector<int>> ref_offsets(layouts.size());
+            for (const runtime::ClipResult& c : ref.clips) {
+                if (c.error.empty()) {
+                    ref_offsets[static_cast<std::size_t>(c.index)] = c.offsets;
+                }
+            }
+            const layout::StitchResult golden =
+                layout::stitch(sharder, chip_layout, ref_offsets);
+            bool ok = true;
+            for (const int workers : {1, 2, 8}) {
+                const layout::StitchResult got = run_stitched(workers, nullptr);
+                const bool match =
+                    got.offsets == golden.offsets && got.mask == golden.mask;
+                std::printf("verify-monolithic @ %d workers: %s\n", workers,
+                            match ? "PASS (bit-identical stitch)" : "FAIL");
+                ok = ok && match;
+            }
+            if (!ok) rc = 1;
+        }
+        write_obs_reports(cli.obs);
+        return rc;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "shard failed: %s\n", e.what());
+        return 1;
+    }
+}
+
+struct ServeCliOptions {
+    int requests = 6;
+    int clips_per_request = 2;
+    int queue_capacity = 4;
+    int priority_levels = 3;
+    double deadline_s = 0.0;
+    std::string scenario = "via3";
+    std::string engine = "rule";
+    int threads = 0;
+    int queue_stream = 64;  ///< worker->sink queue inside each request
+    std::uint64_t seed = core::Experiment::kDatasetSeed;
+    int iterations = -1;
+    bool quiet = false;
+    ObsCliOptions obs;
+};
+
+bool parse_serve_args(int argc, char** argv, ServeCliOptions& o) try {
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--requests" && next(v)) {
+            o.requests = std::stoi(v);
+        } else if (a == "--clips" && next(v)) {
+            o.clips_per_request = std::stoi(v);
+        } else if (a == "--queue-capacity" && next(v)) {
+            o.queue_capacity = std::stoi(v);
+        } else if (a == "--priority-levels" && next(v)) {
+            o.priority_levels = std::stoi(v);
+        } else if (a == "--deadline-s" && next(v)) {
+            o.deadline_s = std::stod(v);
+        } else if (a == "--scenario" && next(v)) {
+            o.scenario = v;
+        } else if (a == "--engine" && next(v)) {
+            o.engine = v;
+        } else if (a == "--threads" && next(v)) {
+            o.threads = std::stoi(v);
+        } else if (a == "--stream-queue" && next(v)) {
+            o.queue_stream = std::stoi(v);
+        } else if (a == "--seed" && next(v)) {
+            o.seed = std::stoull(v);
+        } else if (a == "--iterations" && next(v)) {
+            o.iterations = std::stoi(v);
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--log-level" && next(v)) {
+            o.obs.log_level = v;
+        } else if (a == "--metrics-json" && next(v)) {
+            o.obs.metrics_json = v;
+        } else if (a == "--trace" && next(v)) {
+            o.obs.trace = v;
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return o.requests >= 0 && o.clips_per_request >= 0 && o.priority_levels >= 1 &&
+           (o.engine == "rule" || o.engine == "camo");
+} catch (const std::exception&) {  // non-numeric / out-of-range values
+    return false;
+}
+
+int serve_main(int argc, char** argv) {
+    ServeCliOptions cli;
+    if (!parse_serve_args(argc, argv, cli)) {
+        std::fprintf(stderr,
+                     "usage: camo_cli serve [--requests N] [--clips N] [--queue-capacity N]"
+                     " [--priority-levels N] [--deadline-s X] [--scenario NAME]"
+                     " [--engine rule|camo] [--threads N] [--stream-queue N] [--seed S]"
+                     " [--iterations N] [--quiet] [--log-level quiet|info|debug]"
+                     " [--metrics-json PATH] [--trace PATH]\n");
+        return 2;
+    }
+    if (!apply_obs_options(cli.obs, cli.quiet)) return 2;
+
+    try {
+        const scenario::Scenario sc = scenario::Registry::instance().get(cli.scenario);
+        const opc::OpcOptions opt = scenario_opc(sc.style, cli.iterations);
+
+        service::ServerOptions sopt;
+        sopt.queue_capacity = cli.queue_capacity;
+        sopt.batch.threads = cli.threads;
+        sopt.batch.seed = cli.seed;
+        sopt.batch.opc = opt;
+        sopt.stream.queue_capacity = cli.queue_stream;
+        service::OpcServer server(sc.litho, sopt);
+
+        const int total = cli.requests * cli.clips_per_request;
+        const std::vector<layout::Clip> raw = sc.clips(total);
+        const std::vector<geo::SegmentedLayout> lays = sc.layouts(total);
+
+        for (int j = 0; j < cli.requests; ++j) {
+            service::ServeRequest req;
+            req.name = "req" + std::to_string(j);
+            req.priority = j % cli.priority_levels;
+            req.deadline_s = cli.deadline_s;
+            const int begin = j * cli.clips_per_request;
+            for (int k = 0; k < cli.clips_per_request; ++k) {
+                req.clips.push_back(lays[static_cast<std::size_t>(begin + k)]);
+                req.clip_names.push_back(raw[static_cast<std::size_t>(begin + k)].name);
+            }
+            server.submit(std::move(req));
+        }
+
+        const runtime::ClipOptimizer optimize =
+            make_optimizer(cli.engine, sc.style, sc.litho, opt);
+        const std::vector<service::RequestOutcome> outcomes = server.drain(optimize);
+
+        int accepted = 0;
+        int rejected = 0;
+        int completed = 0;
+        int failed = 0;
+        int deadline_missed = 0;
+        for (const service::RequestOutcome& out : outcomes) {
+            if (!out.accepted) {
+                ++rejected;
+                std::printf("%-6s p%-2d REJECTED: %s\n", out.name.c_str(), out.priority,
+                            out.reject_reason.c_str());
+                continue;
+            }
+            ++accepted;
+            const bool request_error = !out.reject_reason.empty();
+            if (request_error || out.failed > 0) {
+                ++failed;
+            } else {
+                ++completed;
+            }
+            if (out.deadline_missed) ++deadline_missed;
+            std::printf("%-6s p%-2d served #%d: %d clips (%d failed), wait %.3fs, "
+                        "service %.2fs, latency %.2fs, sum|EPE| %.1f nm%s%s%s\n",
+                        out.name.c_str(), out.priority, out.served_order, out.clips,
+                        out.failed, out.queue_wait_s, out.service_s, out.latency_s,
+                        out.sum_final_epe, out.deadline_missed ? " [DEADLINE MISSED]" : "",
+                        request_error ? " [" : "",
+                        request_error ? (out.reject_reason + "]").c_str() : "");
+        }
+        std::printf("serve: %d requests, %d accepted, %d rejected, %d completed, %d failed, "
+                    "%d deadline-missed\n",
+                    static_cast<int>(outcomes.size()), accepted, rejected, completed, failed,
+                    deadline_missed);
+        write_obs_reports(cli.obs);
+        return failed == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve failed: %s\n", e.what());
+        return 1;
+    }
+}
+
 void print_usage() {
     std::fprintf(stderr,
                  "usage: camo_cli <subcommand> [options] | camo_cli --in ... --out ...\n"
@@ -566,6 +1085,11 @@ void print_usage() {
                  "  sweep     batch + multi-corner process-window evaluation\n"
                  "  compare   scenario-matrix quality gate (ranked engine x scenario\n"
                  "            x reward table, golden regression bounds)\n"
+                 "  chipgen   write a synthetic multi-tile chip GDS from a scenario grid\n"
+                 "  shard     full-chip OPC: cut into halo-padded tiles, stream-optimize,\n"
+                 "            stitch (--verify-monolithic checks the barrier path bitwise)\n"
+                 "  serve     long-running service loop: queued requests with priority,\n"
+                 "            deadlines and admission control over a warm scheduler\n"
                  "  --list-scenarios   print the registered scenarios\n"
                  "(no subcommand: single-clip GDSII mode; see --in/--out usage)\n");
 }
@@ -576,6 +1100,9 @@ int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return batch_main(argc, argv, false);
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) return batch_main(argc, argv, true);
     if (argc > 1 && std::strcmp(argv[1], "compare") == 0) return compare_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "chipgen") == 0) return chipgen_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "shard") == 0) return shard_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return serve_main(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "--list-scenarios") == 0) {
         print_scenarios();
         return 0;
