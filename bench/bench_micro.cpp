@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "core/experiment.hpp"
 #include "core/graph.hpp"
 #include "core/modulator.hpp"
@@ -17,6 +18,7 @@
 #include "litho/aerial.hpp"
 #include "litho/process_window.hpp"
 #include "layout/shard.hpp"
+#include "nn/backend.hpp"
 #include "litho/simulator.hpp"
 #include "obs/trace.hpp"
 #include "opc/sraf.hpp"
@@ -378,6 +380,121 @@ void BM_PolicyForward(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_PolicyForward)->Arg(8)->Arg(24);
+
+// ---- Inference backend (PR 9) ----------------------------------------------
+// Arg(0) on every row: 0 = scalar reference kernels, 1 = the best SIMD level
+// of this build + CPU (identical to scalar when neither provides one). The
+// speedup table is the ratio of each /0/... row to its /1/... twin.
+
+// Packed GEMM at policy-head scale, swept over the batched row count.
+void BM_LinearForward(benchmark::State& state) {
+    const bool simd_on = state.range(0) != 0;
+    const int rows = static_cast<int>(state.range(1));
+    constexpr int kIn = 64;
+    constexpr int kOut = 64;
+    Rng rng(5);
+    nn::Tensor w({kOut, kIn});
+    nn::Tensor b({kOut});
+    for (float& v : w.data()) v = static_cast<float>(rng.uniform(-1, 1));
+    for (float& v : b.data()) v = static_cast<float>(rng.uniform(-1, 1));
+    const nn::PackedLinear m = nn::pack_linear(w, &b);
+    std::vector<float> x(static_cast<std::size_t>(rows) * kIn, 0.5F);
+    std::vector<float> y(static_cast<std::size_t>(rows) * kOut);
+
+    simd::ScopedOverride force(simd_on ? simd::detected_level() : simd::Level::kScalar);
+    const nn::Backend& be = nn::active_backend();
+    for (auto _ : state) {
+        be.linear(m, x.data(), rows, y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows);
+    state.SetLabel(simd::level_name(simd::active_level()));
+}
+BENCHMARK(BM_LinearForward)->Args({0, 1})->Args({1, 1})->Args({0, 8})->Args({1, 8})
+    ->Args({0, 32})->Args({1, 32});
+
+// Full policy evaluation over a wave of clips: the /0 row issues one
+// single-clip packed forward per clip on the scalar kernels (the pre-PR
+// serving shape); the /1 row one batched forward over all clips on the SIMD
+// kernels — the tentpole speedup the README table quotes.
+void BM_BatchedInfer(benchmark::State& state) {
+    const bool batched_simd = state.range(0) != 0;
+    const int clips = static_cast<int>(state.range(1));
+    constexpr int kNodes = 8;
+    core::PolicyConfig cfg;
+    cfg.squish_size = 32;
+    core::PolicyNetwork net(cfg);
+
+    core::Graph g;
+    g.n = kNodes;
+    g.neighbors.assign(kNodes, {});
+    for (int i = 0; i + 1 < kNodes; ++i) {
+        g.neighbors[static_cast<std::size_t>(i)].push_back(i + 1);
+        g.neighbors[static_cast<std::size_t>(i + 1)].push_back(i);
+    }
+    Rng rng(1);
+    std::vector<std::vector<nn::Tensor>> feats(static_cast<std::size_t>(clips));
+    for (auto& clip_feats : feats) {
+        for (int i = 0; i < kNodes; ++i) {
+            nn::Tensor t({6, 32, 32});
+            for (float& v : t.data()) v = static_cast<float>(rng.uniform(0, 1));
+            clip_feats.push_back(std::move(t));
+        }
+    }
+    std::vector<core::PolicyNetwork::ClipRequest> requests;
+    for (const auto& clip_feats : feats) requests.push_back({&clip_feats, &g});
+
+    simd::ScopedOverride force(batched_simd ? simd::detected_level() : simd::Level::kScalar);
+    for (auto _ : state) {
+        if (batched_simd) {
+            const std::vector<nn::Tensor> logits = net.infer_batch(requests);
+            benchmark::DoNotOptimize(logits.data());
+        } else {
+            for (const auto& clip_feats : feats) {
+                const nn::Tensor logits = net.infer(clip_feats, g);
+                benchmark::DoNotOptimize(logits.data().data());
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * clips * kNodes);
+    state.SetLabel(simd::level_name(simd::active_level()));
+}
+BENCHMARK(BM_BatchedInfer)->Args({0, 8})->Args({1, 8})->Args({0, 32})->Args({1, 32});
+
+// The two SupportApplicator hot loops (litho/incremental.cpp) in isolation:
+// per SOCS kernel, multiply the delta spectrum by the kernel coefficients
+// over the support, then accumulate lambda * |field|^2 into the intensity
+// map. Arg(1) = support size in complex elements (4096 ~ a sparse segment
+// delta, 65536 = a full 256x256 frame); 11 kernels per evaluation, matching
+// shared_sim()'s 6 nominal + 5 defocus.
+void BM_SupportApply(benchmark::State& state) {
+    const bool simd_on = state.range(0) != 0;
+    const std::size_t support = static_cast<std::size_t>(state.range(1));
+    constexpr int kKernels = 11;
+    Rng rng(9);
+    std::vector<std::complex<float>> spectrum(support);
+    for (auto& c : spectrum) {
+        c = {static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1))};
+    }
+    std::vector<std::vector<std::complex<float>>> coeffs(kKernels, spectrum);
+    std::vector<std::complex<float>> prod(support);
+    std::vector<float> intensity(support, 0.0F);
+
+    simd::ScopedOverride force(simd_on ? simd::detected_level() : simd::Level::kScalar);
+    const simd::Ops& ops = simd::ops();
+    for (auto _ : state) {
+        for (int k = 0; k < kKernels; ++k) {
+            ops.cmul(coeffs[static_cast<std::size_t>(k)].data(), spectrum.data(), prod.data(),
+                     support);
+            ops.norm_acc(prod.data(), 0.3F, intensity.data(), support);
+        }
+        benchmark::DoNotOptimize(intensity.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kKernels * static_cast<long long>(support));
+    state.SetLabel(simd::level_name(simd::active_level()));
+}
+BENCHMARK(BM_SupportApply)->Args({0, 4096})->Args({1, 4096})->Args({0, 65536})
+    ->Args({1, 65536});
 
 void BM_Modulator(benchmark::State& state) {
     double epe = -8.0;

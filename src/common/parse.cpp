@@ -1,0 +1,56 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace camo {
+namespace {
+
+template <typename T>
+bool parse_whole(const std::string& s, T& out) {
+    if (s.empty()) return false;
+    T value{};
+    const char* begin = s.data();
+    const char* end = begin + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) return false;
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+bool parse_int(const std::string& s, int& out) { return parse_whole(s, out); }
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+    // from_chars on unsigned types accepts a leading '-' (it negates modulo
+    // 2^64); reject it explicitly so "--seed -1" fails loudly.
+    if (!s.empty() && s.front() == '-') return false;
+    return parse_whole(s, out);
+}
+
+bool parse_double(const std::string& s, double& out) {
+    double value = 0.0;
+    if (!parse_whole(s, value) || !std::isfinite(value)) return false;
+    out = value;
+    return true;
+}
+
+bool parse_double_list(const std::string& s, std::vector<double>& out) {
+    std::vector<double> parsed;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        double v = 0.0;
+        if (!parse_double(s.substr(pos, end - pos), v)) return false;  // empty or garbage token
+        parsed.push_back(v);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    if (parsed.empty()) return false;
+    out = std::move(parsed);
+    return true;
+}
+
+}  // namespace camo

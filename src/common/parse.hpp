@@ -1,0 +1,35 @@
+// Checked numeric parsing for user-facing inputs (CLI flags, config files).
+//
+// The std::sto* family is the wrong tool for untrusted input: it throws on
+// garbage (std::invalid_argument), throws on overflow (std::out_of_range),
+// and silently accepts partial tokens ("1e99" parses as 1 via stoull,
+// "0.9x" as 0.9 via stod). Every helper here instead returns false unless
+// the WHOLE string is a well-formed, in-range value — no exceptions, no
+// trailing garbage, no empty tokens — so callers can reject bad flags with
+// a diagnostic and a usage exit instead of terminating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camo {
+
+/// Parse a whole base-10 signed integer. Returns false on empty input,
+/// non-numeric characters, partial consumption or overflow.
+[[nodiscard]] bool parse_int(const std::string& s, int& out);
+
+/// Parse a whole base-10 unsigned 64-bit integer (no leading '-').
+[[nodiscard]] bool parse_u64(const std::string& s, std::uint64_t& out);
+
+/// Parse a whole floating-point value (decimal or scientific). Returns
+/// false unless the entire string is consumed and the value is finite.
+[[nodiscard]] bool parse_double(const std::string& s, double& out);
+
+/// Parse a comma-separated list of doubles ("0.96,1.0,1.04"). Every token
+/// must consume fully — empty items ("a,,b"), trailing separators ("1,")
+/// and per-token garbage ("0.9x") are rejected. Returns false (leaving
+/// `out` untouched) on any malformed token or an empty list.
+[[nodiscard]] bool parse_double_list(const std::string& s, std::vector<double>& out);
+
+}  // namespace camo

@@ -1,0 +1,184 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace camo::simd {
+namespace detail {
+
+// Provided by simd_avx2.cpp / simd_neon.cpp. Each returns nullptr when its
+// translation unit was not built with the matching ISA (the files are always
+// compiled; CMake decides whether to pass the vector flags).
+const Ops* avx2_ops();
+const Ops* neon_ops();
+
+}  // namespace detail
+
+namespace {
+
+// ---- Scalar reference kernels ----------------------------------------------
+// These reproduce the legacy loops byte for byte: one accumulator per output
+// element, products added in ascending input order. The blocked weight layout
+// only changes where W[o][i] lives, not the order it is read in.
+
+void scalar_gemm_blocked(const float* w, const float* bias, const float* x, int rows, int in,
+                         int out, int out_padded, float* y, bool accumulate) {
+    (void)out_padded;
+    for (int r = 0; r < rows; ++r) {
+        const float* xr = x + static_cast<std::size_t>(r) * static_cast<std::size_t>(in);
+        float* yr = y + static_cast<std::size_t>(r) * static_cast<std::size_t>(out);
+        for (int o = 0; o < out; ++o) {
+            const int blk = o / kBlock;
+            const int lane = o % kBlock;
+            const float* wcol =
+                w + (static_cast<std::size_t>(blk) * static_cast<std::size_t>(in)) * kBlock + lane;
+            float acc = accumulate ? yr[o] : bias[o];
+            for (int i = 0; i < in; ++i) {
+                acc += wcol[static_cast<std::size_t>(i) * kBlock] * xr[i];
+            }
+            yr[o] = acc;
+        }
+    }
+}
+
+void scalar_conv2d_packed(const float* w, const float* bias, const float* x, int in_ch, int h,
+                          int wdt, int out_ch, int out_ch_padded, int k, int stride, int pad,
+                          float* y, int oh, int ow) {
+    for (int oc = 0; oc < out_ch; ++oc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float acc = bias[oc];
+                const int iy0 = oy * stride - pad;
+                const int ix0 = ox * stride - pad;
+                for (int ic = 0; ic < in_ch; ++ic) {
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= wdt) continue;
+                            const std::size_t widx =
+                                ((static_cast<std::size_t>(ic) * static_cast<std::size_t>(k) +
+                                  static_cast<std::size_t>(ky)) *
+                                     static_cast<std::size_t>(k) +
+                                 static_cast<std::size_t>(kx)) *
+                                    static_cast<std::size_t>(out_ch_padded) +
+                                static_cast<std::size_t>(oc);
+                            const std::size_t xidx =
+                                (static_cast<std::size_t>(ic) * static_cast<std::size_t>(h) +
+                                 static_cast<std::size_t>(iy)) *
+                                    static_cast<std::size_t>(wdt) +
+                                static_cast<std::size_t>(ix);
+                            acc += w[widx] * x[xidx];
+                        }
+                    }
+                }
+                y[(static_cast<std::size_t>(oc) * static_cast<std::size_t>(oh) +
+                   static_cast<std::size_t>(oy)) *
+                      static_cast<std::size_t>(ow) +
+                  static_cast<std::size_t>(ox)] = acc;
+            }
+        }
+    }
+}
+
+void scalar_cmul(const std::complex<float>* a, const std::complex<float>* b,
+                 std::complex<float>* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void scalar_norm_acc(const std::complex<float>* field, float lambda, float* intensity,
+                     std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) intensity[i] += lambda * std::norm(field[i]);
+}
+
+const Ops kScalarOps = {
+    Level::kScalar, scalar_gemm_blocked, scalar_conv2d_packed, scalar_cmul, scalar_norm_acc,
+};
+
+// ---- Dispatch ---------------------------------------------------------------
+
+const Ops* table_for(Level level) {
+    if (level == Level::kAvx2) {
+        if (const Ops* t = detail::avx2_ops()) return t;
+    }
+    if (level == Level::kNeon) {
+        if (const Ops* t = detail::neon_ops()) return t;
+    }
+    return &kScalarOps;
+}
+
+Level compute_detected() {
+    if (detail::neon_ops() != nullptr) return Level::kNeon;  // baseline on aarch64
+#if defined(__x86_64__) || defined(_M_X64)
+    if (detail::avx2_ops() != nullptr && __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+        return Level::kAvx2;
+    }
+#endif
+    return Level::kScalar;
+}
+
+Level env_requested(Level best) {
+    const char* env = std::getenv("CAMO_BACKEND");
+    if (env == nullptr || std::strcmp(env, "auto") == 0 || env[0] == '\0') return best;
+    if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(env, "simd") == 0) {
+        if (best == Level::kScalar) {
+            std::fprintf(stderr,
+                         "CAMO_BACKEND=simd: no SIMD kernels available on this "
+                         "build/CPU; using scalar\n");
+        }
+        return best;
+    }
+    std::fprintf(stderr, "CAMO_BACKEND: unknown value '%s' (scalar|simd|auto); using auto\n",
+                 env);
+    return best;
+}
+
+std::atomic<const Ops*>& active_table() {
+    static std::atomic<const Ops*> table{table_for(env_requested(compute_detected()))};
+    return table;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+    switch (level) {
+        case Level::kAvx2: return "avx2";
+        case Level::kNeon: return "neon";
+        case Level::kScalar: break;
+    }
+    return "scalar";
+}
+
+Level compiled_level() {
+    if (detail::neon_ops() != nullptr) return Level::kNeon;
+    if (detail::avx2_ops() != nullptr) return Level::kAvx2;
+    return Level::kScalar;
+}
+
+Level detected_level() {
+    static const Level level = compute_detected();
+    return level;
+}
+
+Level active_level() { return active_table().load(std::memory_order_relaxed)->level; }
+
+const Ops& ops() { return *active_table().load(std::memory_order_relaxed); }
+
+const Ops& scalar_ops() { return kScalarOps; }
+
+ScopedOverride::ScopedOverride(Level level) : prev_(active_level()) {
+    // Anything non-scalar clips to what this build + CPU can actually run.
+    const Level want = level == Level::kScalar ? Level::kScalar : detected_level();
+    active_table().store(table_for(want), std::memory_order_relaxed);
+}
+
+ScopedOverride::~ScopedOverride() {
+    active_table().store(table_for(prev_), std::memory_order_relaxed);
+}
+
+}  // namespace camo::simd

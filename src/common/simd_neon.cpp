@@ -1,0 +1,168 @@
+// NEON kernels for aarch64, where the ISA is baseline — no runtime feature
+// probe needed, only the compile-time guard (and CAMO_SIMD=OFF, which adds
+// CAMO_SIMD_OFF to this TU). Same packed layouts and accumulation contracts
+// as the AVX2 kernels; 4-wide lanes processed as two halves of each 8-wide
+// block.
+#include "common/simd.hpp"
+
+#if defined(__aarch64__) && !defined(CAMO_SIMD_OFF)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace camo::simd {
+namespace {
+
+inline void store_pair_tail(float* y, int o0, int count, float32x4_t lo, float32x4_t hi) {
+    if (count == 8) {
+        vst1q_f32(y + o0, lo);
+        vst1q_f32(y + o0 + 4, hi);
+        return;
+    }
+    float lanes[8];
+    vst1q_f32(lanes, lo);
+    vst1q_f32(lanes + 4, hi);
+    std::memcpy(y + o0, lanes, static_cast<std::size_t>(count) * sizeof(float));
+}
+
+inline void load_pair_tail(const float* y, int o0, int count, float32x4_t& lo, float32x4_t& hi) {
+    if (count == 8) {
+        lo = vld1q_f32(y + o0);
+        hi = vld1q_f32(y + o0 + 4);
+        return;
+    }
+    float lanes[8] = {};
+    std::memcpy(lanes, y + o0, static_cast<std::size_t>(count) * sizeof(float));
+    lo = vld1q_f32(lanes);
+    hi = vld1q_f32(lanes + 4);
+}
+
+void neon_gemm_blocked(const float* w, const float* bias, const float* x, int rows, int in,
+                       int out, int out_padded, float* y, bool accumulate) {
+    const int blocks = out_padded / kBlock;
+    for (int blk = 0; blk < blocks; ++blk) {
+        const int o0 = blk * kBlock;
+        const int width = out - o0 < kBlock ? out - o0 : kBlock;
+        if (width <= 0) break;
+        const float* wb = w + static_cast<std::size_t>(blk) * static_cast<std::size_t>(in) * kBlock;
+        const float32x4_t b_lo = accumulate ? vdupq_n_f32(0.0F) : vld1q_f32(bias + o0);
+        const float32x4_t b_hi = accumulate ? vdupq_n_f32(0.0F) : vld1q_f32(bias + o0 + 4);
+        for (int r = 0; r < rows; ++r) {
+            const float* xr = x + static_cast<std::size_t>(r) * static_cast<std::size_t>(in);
+            float* yr = y + static_cast<std::size_t>(r) * static_cast<std::size_t>(out);
+            float32x4_t a_lo = b_lo;
+            float32x4_t a_hi = b_hi;
+            if (accumulate) load_pair_tail(yr, o0, width, a_lo, a_hi);
+            for (int i = 0; i < in; ++i) {
+                const float* wv = wb + static_cast<std::size_t>(i) * kBlock;
+                a_lo = vfmaq_n_f32(a_lo, vld1q_f32(wv), xr[i]);
+                a_hi = vfmaq_n_f32(a_hi, vld1q_f32(wv + 4), xr[i]);
+            }
+            store_pair_tail(yr, o0, width, a_lo, a_hi);
+        }
+    }
+}
+
+void neon_conv2d_packed(const float* w, const float* bias, const float* x, int in_ch, int h,
+                        int wdt, int out_ch, int out_ch_padded, int k, int stride, int pad,
+                        float* y, int oh, int ow) {
+    const std::size_t plane = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+    for (int oc0 = 0; oc0 < out_ch; oc0 += kBlock) {
+        const int width = out_ch - oc0 < kBlock ? out_ch - oc0 : kBlock;
+        const float32x4_t b_lo = vld1q_f32(bias + oc0);
+        const float32x4_t b_hi = vld1q_f32(bias + oc0 + 4);
+        for (int oy = 0; oy < oh; ++oy) {
+            const int iy0 = oy * stride - pad;
+            for (int ox = 0; ox < ow; ++ox) {
+                const int ix0 = ox * stride - pad;
+                float32x4_t a_lo = b_lo;
+                float32x4_t a_hi = b_hi;
+                for (int ic = 0; ic < in_ch; ++ic) {
+                    const float* xp = x + static_cast<std::size_t>(ic) *
+                                              static_cast<std::size_t>(h) *
+                                              static_cast<std::size_t>(wdt);
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= h) continue;
+                        const float* xrow =
+                            xp + static_cast<std::size_t>(iy) * static_cast<std::size_t>(wdt);
+                        const float* wrow =
+                            w + ((static_cast<std::size_t>(ic) * static_cast<std::size_t>(k) +
+                                  static_cast<std::size_t>(ky)) *
+                                 static_cast<std::size_t>(k)) *
+                                    static_cast<std::size_t>(out_ch_padded) +
+                            static_cast<std::size_t>(oc0);
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= wdt) continue;
+                            const float* wv =
+                                wrow + static_cast<std::size_t>(kx) *
+                                           static_cast<std::size_t>(out_ch_padded);
+                            a_lo = vfmaq_n_f32(a_lo, vld1q_f32(wv), xrow[ix]);
+                            a_hi = vfmaq_n_f32(a_hi, vld1q_f32(wv + 4), xrow[ix]);
+                        }
+                    }
+                }
+                float lanes[8];
+                vst1q_f32(lanes, a_lo);
+                vst1q_f32(lanes + 4, a_hi);
+                float* ypix = y + static_cast<std::size_t>(oc0) * plane +
+                              static_cast<std::size_t>(oy) * static_cast<std::size_t>(ow) +
+                              static_cast<std::size_t>(ox);
+                for (int l = 0; l < width; ++l) ypix[static_cast<std::size_t>(l) * plane] = lanes[l];
+            }
+        }
+    }
+}
+
+void neon_cmul(const std::complex<float>* a, const std::complex<float>* b,
+               std::complex<float>* out, std::size_t n) {
+    const float* af = reinterpret_cast<const float*>(a);
+    const float* bf = reinterpret_cast<const float*>(b);
+    float* of = reinterpret_cast<float*>(out);
+    std::size_t i = 0;
+    // Deinterleaved loads: 4 complex products per iteration.
+    for (; i + 4 <= n; i += 4) {
+        const float32x4x2_t av = vld2q_f32(af + 2 * i);  // .val[0]=re, .val[1]=im
+        const float32x4x2_t bv = vld2q_f32(bf + 2 * i);
+        float32x4x2_t res;
+        res.val[0] = vfmsq_f32(vmulq_f32(av.val[0], bv.val[0]), av.val[1], bv.val[1]);
+        res.val[1] = vfmaq_f32(vmulq_f32(av.val[0], bv.val[1]), av.val[1], bv.val[0]);
+        vst2q_f32(of + 2 * i, res);
+    }
+    for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void neon_norm_acc(const std::complex<float>* field, float lambda, float* intensity,
+                   std::size_t n) {
+    const float* ff = reinterpret_cast<const float*>(field);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4x2_t v = vld2q_f32(ff + 2 * i);
+        const float32x4_t norms =
+            vfmaq_f32(vmulq_f32(v.val[0], v.val[0]), v.val[1], v.val[1]);
+        vst1q_f32(intensity + i, vfmaq_n_f32(vld1q_f32(intensity + i), norms, lambda));
+    }
+    for (; i < n; ++i) intensity[i] += lambda * std::norm(field[i]);
+}
+
+const Ops kNeonOps = {
+    Level::kNeon, neon_gemm_blocked, neon_conv2d_packed, neon_cmul, neon_norm_acc,
+};
+
+}  // namespace
+
+namespace detail {
+const Ops* neon_ops() { return &kNeonOps; }
+}  // namespace detail
+
+}  // namespace camo::simd
+
+#else
+
+namespace camo::simd::detail {
+const Ops* neon_ops() { return nullptr; }
+}  // namespace camo::simd::detail
+
+#endif

@@ -11,7 +11,10 @@
 // false: per-segment independent decisions from local features only.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 
 #include "common/rng.hpp"
@@ -22,6 +25,10 @@
 #include "nn/sequential.hpp"
 
 namespace camo::core {
+
+/// Packed-weight inference plan (built lazily from the current weights; see
+/// policy.cpp). Opaque here so policy.hpp stays free of backend headers.
+struct InferencePlan;
 
 struct PolicyConfig {
     int squish_size = 32;  ///< S; paper uses 128 (via) / 64 (metal)
@@ -42,11 +49,37 @@ public:
     /// tensor. Returns logits [n, 5]. Caches activations for one backward.
     nn::Tensor forward(const std::vector<nn::Tensor>& features, const Graph& graph);
 
-    /// Inference-only forward: identical math to forward(), but activations
-    /// live in a call-local cache, so a const (shared, frozen) network can
-    /// serve many threads concurrently. No backward() may follow.
+    /// Inference-only forward through the packed-weight backend
+    /// (nn::backend.hpp): weights are repacked once per version into blocked
+    /// SIMD layouts and the forward runs through the active kernel table.
+    /// Under the scalar backend (CAMO_BACKEND=scalar) the result is bitwise
+    /// identical to forward(); under a vector backend it differs by ULP
+    /// rounding only. Thread-safe on a const (frozen) network. No backward()
+    /// may follow.
     [[nodiscard]] nn::Tensor infer(const std::vector<nn::Tensor>& features,
                                    const Graph& graph) const;
+
+    /// One clip awaiting an action in a batched inference wave.
+    struct ClipRequest {
+        const std::vector<nn::Tensor>* features = nullptr;
+        const Graph* graph = nullptr;
+    };
+
+    /// Batched policy evaluation (the DynaPlex SetAction idiom): evaluate
+    /// every clip's node set in one pass, concatenating nodes across clips so
+    /// the CNN/SAGE/head matmuls run as wide GEMMs instead of per-node GEMVs
+    /// (the RNN stays per-clip — it is sequential by construction). Per-row
+    /// accumulation order is independent of batch composition, so clip c's
+    /// logits are bitwise identical to infer(*clips[c].features,
+    /// *clips[c].graph) on every backend. Returns one [n_c, 5] logits tensor
+    /// per clip.
+    [[nodiscard]] std::vector<nn::Tensor> infer_batch(
+        std::span<const ClipRequest> clips) const;
+
+    /// Invalidate the cached packed-weight plan after an out-of-band weight
+    /// mutation (e.g. an optimizer step through pointers obtained earlier
+    /// from params()). Cheap: the next infer() rebuilds lazily.
+    void invalidate_plan() { weights_version_.fetch_add(1, std::memory_order_release); }
 
     /// Backward from d(logits) [n, 5]; accumulates parameter gradients.
     /// Must follow the matching forward().
@@ -87,6 +120,14 @@ private:
         bool valid = false;
     };
     Cache cache_;
+
+    /// Lazily-built packed-weight plan, keyed by weights_version_. Guarded
+    /// by plan_mu_ so concurrent const infer() calls share one rebuild.
+    mutable std::shared_ptr<const InferencePlan> plan_;
+    mutable std::mutex plan_mu_;
+    std::atomic<std::uint64_t> weights_version_{1};
+
+    [[nodiscard]] std::shared_ptr<const InferencePlan> ensure_plan() const;
 
     /// Shared forward implementation; writes activations into `cache`.
     nn::Tensor run_forward(const std::vector<nn::Tensor>& features, const Graph& graph,

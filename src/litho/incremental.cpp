@@ -6,6 +6,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/simd.hpp"
 #include "litho/aerial.hpp"
 #include "litho/kernel_registry.hpp"
 #include "obs/trace.hpp"
@@ -135,16 +136,22 @@ geo::Raster SupportApplicator::apply(std::span<const Complex> support_vals,
     std::vector<Complex> field(mm);
     std::vector<float> intensity(mm, 0.0F);
 
+    // The coefficient multiply and the SOCS |field|^2 accumulation are the
+    // applicator's contiguous hot loops; both route through the dispatched
+    // SIMD kernels (common/simd.hpp). CAMO_BACKEND=scalar pins the legacy
+    // loop order; the vector kernels differ by ULP rounding only, well
+    // inside the incremental-vs-dense tolerances.
+    const simd::Ops& ops = simd::ops();
     for (int k = 0; k < kernels_; ++k) {
         const Complex* coeff = coeffs_.data() + static_cast<std::size_t>(k) * support;
-        for (std::size_t i = 0; i < support; ++i) prod[i] = coeff[i] * support_vals[i];
+        ops.cmul(coeff, support_vals.data(), prod.data(), support);
 
         std::fill(field.begin(), field.end(), Complex{});
         for (std::size_t i = 0; i < support; ++i) field[static_cast<std::size_t>(mpos_[i])] = prod[i];
         fft2d_inverse_rowsparse(field, m_, mrow_nonzero_);
 
         const float lambda = eigenvalues_[static_cast<std::size_t>(k)];
-        for (std::size_t i = 0; i < mm; ++i) intensity[i] += lambda * std::norm(field[i]);
+        ops.norm_acc(field.data(), lambda, intensity.data(), mm);
     }
 
     geo::Raster out(n_, pixel_nm);

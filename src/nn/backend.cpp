@@ -1,0 +1,118 @@
+#include "nn/backend.hpp"
+
+#include <stdexcept>
+
+namespace camo::nn {
+namespace {
+
+int pad_up(int n) { return (n + simd::kBlock - 1) / simd::kBlock * simd::kBlock; }
+
+class OpsBackend : public Backend {
+public:
+    explicit OpsBackend(bool scalar) : scalar_(scalar) {}
+
+    [[nodiscard]] const char* name() const override {
+        return scalar_ ? "scalar" : simd::level_name(simd::active_level());
+    }
+
+    void linear(const PackedLinear& m, const float* x, int rows, float* y) const override {
+        table().gemm_blocked(m.w.data(), m.b.data(), x, rows, m.in, m.out, m.out_padded, y,
+                             /*accumulate=*/false);
+    }
+
+    void linear_acc(const PackedLinear& m, const float* x, int rows, float* y) const override {
+        table().gemm_blocked(m.w.data(), m.b.data(), x, rows, m.in, m.out, m.out_padded, y,
+                             /*accumulate=*/true);
+    }
+
+    void conv2d(const PackedConv2d& m, const float* x, int h, int w, float* y) const override {
+        table().conv2d_packed(m.w.data(), m.b.data(), x, m.in_ch, h, w, m.out_ch,
+                              m.out_ch_padded, m.k, m.stride, m.pad, y, m.out_size(h),
+                              m.out_size(w));
+    }
+
+private:
+    [[nodiscard]] const simd::Ops& table() const {
+        return scalar_ ? simd::scalar_ops() : simd::ops();
+    }
+
+    bool scalar_;
+};
+
+}  // namespace
+
+PackedLinear pack_linear(const Tensor& w, const Tensor* b) {
+    const auto& shape = w.shape();
+    if (shape.size() != 2) throw std::invalid_argument("pack_linear: weight must be rank 2");
+    PackedLinear packed;
+    packed.out = shape[0];
+    packed.in = shape[1];
+    packed.out_padded = pad_up(packed.out);
+    packed.w.assign(static_cast<std::size_t>(packed.out_padded) *
+                        static_cast<std::size_t>(packed.in),
+                    0.0F);
+    packed.b.assign(static_cast<std::size_t>(packed.out_padded), 0.0F);
+    for (int o = 0; o < packed.out; ++o) {
+        const int blk = o / simd::kBlock;
+        const int lane = o % simd::kBlock;
+        for (int i = 0; i < packed.in; ++i) {
+            packed.w[(static_cast<std::size_t>(blk) * static_cast<std::size_t>(packed.in) +
+                      static_cast<std::size_t>(i)) *
+                         simd::kBlock +
+                     static_cast<std::size_t>(lane)] = w.at(o, i);
+        }
+        if (b != nullptr) packed.b[static_cast<std::size_t>(o)] = (*b)[static_cast<std::size_t>(o)];
+    }
+    return packed;
+}
+
+PackedLinear pack_linear(const Linear& layer) {
+    return pack_linear(layer.weight().value, &layer.bias().value);
+}
+
+PackedConv2d pack_conv2d(const Conv2d& layer) {
+    PackedConv2d packed;
+    packed.in_ch = layer.in_channels();
+    packed.out_ch = layer.out_channels();
+    packed.out_ch_padded = pad_up(packed.out_ch);
+    packed.k = layer.kernel();
+    packed.stride = layer.stride();
+    packed.pad = layer.padding();
+    const std::size_t taps = static_cast<std::size_t>(packed.in_ch) *
+                             static_cast<std::size_t>(packed.k) *
+                             static_cast<std::size_t>(packed.k);
+    packed.w.assign(taps * static_cast<std::size_t>(packed.out_ch_padded), 0.0F);
+    packed.b.assign(static_cast<std::size_t>(packed.out_ch_padded), 0.0F);
+    const Tensor& w = layer.weight().value;
+    const Tensor& b = layer.bias().value;
+    for (int oc = 0; oc < packed.out_ch; ++oc) {
+        for (int ic = 0; ic < packed.in_ch; ++ic) {
+            for (int ky = 0; ky < packed.k; ++ky) {
+                for (int kx = 0; kx < packed.k; ++kx) {
+                    const std::size_t idx =
+                        ((static_cast<std::size_t>(ic) * static_cast<std::size_t>(packed.k) +
+                          static_cast<std::size_t>(ky)) *
+                             static_cast<std::size_t>(packed.k) +
+                         static_cast<std::size_t>(kx)) *
+                            static_cast<std::size_t>(packed.out_ch_padded) +
+                        static_cast<std::size_t>(oc);
+                    packed.w[idx] = w.at(oc, ic, ky, kx);
+                }
+            }
+        }
+        packed.b[static_cast<std::size_t>(oc)] = b[static_cast<std::size_t>(oc)];
+    }
+    return packed;
+}
+
+const Backend& scalar_backend() {
+    static const OpsBackend backend{/*scalar=*/true};
+    return backend;
+}
+
+const Backend& active_backend() {
+    static const OpsBackend backend{/*scalar=*/false};
+    return backend;
+}
+
+}  // namespace camo::nn

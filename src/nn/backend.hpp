@@ -1,0 +1,86 @@
+// Inference backend: packed-weight forward kernels behind an interface.
+//
+// The tape-based Layer::forward path is kept for training (its accumulation
+// order is part of the repo's bit-identical training contract); inference
+// instead repacks weights once into SIMD-friendly blocked layouts
+// (common/simd.hpp) and runs through a Backend. Two implementations ship:
+//
+//   * scalar_backend() — the scalar reference kernels, byte-for-byte the
+//     legacy per-output accumulation order. PolicyNetwork::infer through
+//     this backend is bitwise identical to the tape forward.
+//   * active_backend() — routes through simd::ops(), i.e. the best level
+//     the build + CPU + CAMO_BACKEND allow (which may itself be scalar).
+//
+// Both read the same packed buffers: the blocked layout only changes where
+// W[o][i] lives, not the order the scalar kernel reads it in. A future
+// GPU / external-service backend implements the same interface on top of
+// the packed weights.
+#pragma once
+
+#include <vector>
+
+#include "common/simd.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/tensor.hpp"
+
+namespace camo::nn {
+
+/// A Linear (or RNN cell matrix) repacked row-blocked for gemm_blocked:
+/// w[(blk * in + i) * kBlock + lane] = W[blk * kBlock + lane][i], with the
+/// output dimension zero-padded up to a multiple of kBlock.
+struct PackedLinear {
+    int in = 0;
+    int out = 0;
+    int out_padded = 0;
+    std::vector<float> w;
+    std::vector<float> b;  // padded to out_padded
+};
+
+/// A Conv2d repacked [ic][ky][kx][oc_padded] (output channel innermost so
+/// vector kernels broadcast one input pixel across a block of channels).
+struct PackedConv2d {
+    int in_ch = 0;
+    int out_ch = 0;
+    int out_ch_padded = 0;
+    int k = 0;
+    int stride = 0;
+    int pad = 0;
+    std::vector<float> w;
+    std::vector<float> b;  // padded to out_ch_padded
+
+    [[nodiscard]] int out_size(int in_size) const { return (in_size + 2 * pad - k) / stride + 1; }
+};
+
+/// Pack a weight matrix [out, in] (+ optional bias [out]; zeros otherwise).
+PackedLinear pack_linear(const Tensor& w, const Tensor* b);
+PackedLinear pack_linear(const Linear& layer);
+PackedConv2d pack_conv2d(const Conv2d& layer);
+
+class Backend {
+public:
+    virtual ~Backend() = default;
+
+    [[nodiscard]] virtual const char* name() const = 0;
+
+    /// y[r, :] = x[r, :] @ W^T + b for `rows` independent rows.
+    virtual void linear(const PackedLinear& m, const float* x, int rows, float* y) const = 0;
+
+    /// y[r, :] += x[r, :] @ W^T (bias ignored). The scalar backend resumes
+    /// the existing accumulator per output element, matching the legacy RNN
+    /// cell's single fused accumulation chain.
+    virtual void linear_acc(const PackedLinear& m, const float* x, int rows, float* y) const = 0;
+
+    /// One CHW sample: x [in_ch, h, w] -> y [out_ch, oh, ow].
+    virtual void conv2d(const PackedConv2d& m, const float* x, int h, int w, float* y) const = 0;
+};
+
+/// Scalar reference backend: legacy accumulation order, bit-identical to
+/// the tape forward. This is what CAMO_BACKEND=scalar pins end to end.
+const Backend& scalar_backend();
+
+/// Backend routed through the active SIMD dispatch table (honours
+/// CAMO_BACKEND and simd::ScopedOverride).
+const Backend& active_backend();
+
+}  // namespace camo::nn

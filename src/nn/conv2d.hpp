@@ -20,6 +20,16 @@ public:
         return (in_size + 2 * pad_ - k_) / stride_ + 1;
     }
 
+    [[nodiscard]] int in_channels() const { return in_ch_; }
+    [[nodiscard]] int out_channels() const { return out_ch_; }
+    [[nodiscard]] int kernel() const { return k_; }
+    [[nodiscard]] int stride() const { return stride_; }
+    [[nodiscard]] int padding() const { return pad_; }
+
+    /// Read-only parameter views for the inference backend's weight packer.
+    [[nodiscard]] const Parameter& weight() const { return w_; }
+    [[nodiscard]] const Parameter& bias() const { return b_; }
+
 private:
     int in_ch_;
     int out_ch_;

@@ -17,6 +17,10 @@ public:
     [[nodiscard]] int in_features() const { return in_; }
     [[nodiscard]] int out_features() const { return out_; }
 
+    /// Read-only parameter views for the inference backend's weight packer.
+    [[nodiscard]] const Parameter& weight() const { return w_; }
+    [[nodiscard]] const Parameter& bias() const { return b_; }
+
 private:
     int in_;
     int out_;

@@ -22,6 +22,19 @@ public:
     std::vector<Parameter*> params() override;
 
     [[nodiscard]] int hidden_size() const { return hidden_; }
+    [[nodiscard]] int input_size() const { return input_; }
+    [[nodiscard]] int num_layers() const { return layers_; }
+
+    /// Read-only per-layer parameter views for the inference backend.
+    [[nodiscard]] const Parameter& u(int layer) const {
+        return u_[static_cast<std::size_t>(layer)];
+    }
+    [[nodiscard]] const Parameter& w(int layer) const {
+        return w_[static_cast<std::size_t>(layer)];
+    }
+    [[nodiscard]] const Parameter& b(int layer) const {
+        return b_[static_cast<std::size_t>(layer)];
+    }
 
 private:
     int input_;

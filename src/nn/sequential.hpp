@@ -42,6 +42,10 @@ public:
 
     [[nodiscard]] std::size_t size() const { return layers_.size(); }
 
+    /// Access a contained layer (e.g. for the inference backend to downcast
+    /// and repack its weights).
+    [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
 private:
     std::vector<std::unique_ptr<Layer>> layers_;
 };

@@ -1,0 +1,147 @@
+// CLI argument-hardening suite (PR 9).
+//
+// Drives the real camo_cli binary (path injected by CMake as CAMO_CLI_PATH)
+// through malformed and boundary flag values on every subcommand. Contract:
+// a bad invocation always exits 2 after printing usage — it never crashes,
+// never terminates on an uncaught std::sto* exception (the pre-PR failure
+// mode), and never silently truncates an out-of-range value. Well-formed
+// fast-path invocations still exit 0.
+//
+// Each case only has to reach argument parsing, so the whole matrix runs in
+// well under a second — no training, litho or GDS work is triggered.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+/// Exit status of `camo_cli <args>` with stdout/stderr discarded.
+/// Fails the test outright if the process died on a signal.
+int run_cli(const std::string& args) {
+    const std::string cmd = std::string(CAMO_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1) << cmd;
+    EXPECT_TRUE(WIFEXITED(rc)) << "crashed (signal " << WTERMSIG(rc) << "): " << cmd;
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+void expect_usage_exit(const std::string& args) {
+    EXPECT_EQ(run_cli(args), 2) << "camo_cli " << args;
+}
+
+TEST(CliRobustness, TopLevel) {
+    expect_usage_exit("");
+    expect_usage_exit("frobnicate");
+    expect_usage_exit("--in");  // missing value and missing --out
+    EXPECT_EQ(run_cli("--help"), 0);
+    EXPECT_EQ(run_cli("--list-scenarios"), 0);
+}
+
+TEST(CliRobustness, SingleClipFlags) {
+    const std::string base = "--in a.gds --out b.gds ";
+    expect_usage_exit(base + "--layer abc");
+    expect_usage_exit(base + "--layer 2x");      // trailing garbage
+    expect_usage_exit(base + "--layer -1");
+    expect_usage_exit(base + "--clip 0");
+    expect_usage_exit(base + "--clip 99999999999999999999");  // overflow
+    expect_usage_exit(base + "--iterations 0");
+    expect_usage_exit(base + "--iterations -3");
+    expect_usage_exit(base + "--reward-mode bogus");
+    expect_usage_exit(base + "--train-workers 1.5");
+}
+
+TEST(CliRobustness, BatchFlags) {
+    expect_usage_exit("batch --clips foo");
+    expect_usage_exit("batch --clips 0");
+    expect_usage_exit("batch --clips -4");
+    expect_usage_exit("batch --clips 1e3");  // scientific notation is not an int
+    expect_usage_exit("batch --threads 0");
+    expect_usage_exit("batch --threads two");
+    expect_usage_exit("batch --seed -1");
+    expect_usage_exit("batch --seed 0x10");
+    expect_usage_exit("batch --seed 99999999999999999999999");  // u64 overflow
+    expect_usage_exit("batch --iterations 0");
+    expect_usage_exit("batch --engine bogus");
+    expect_usage_exit("batch --batched --engine rule");  // batched is camo-only
+    expect_usage_exit("batch --doses 1.0");              // sweep-only flag
+    expect_usage_exit("batch --no-such-flag");
+}
+
+TEST(CliRobustness, SweepLists) {
+    expect_usage_exit("sweep --doses 1.0,abc");
+    expect_usage_exit("sweep --doses 1.0,");    // empty trailing item
+    expect_usage_exit("sweep --doses ,1.0");    // empty leading item
+    expect_usage_exit("sweep --doses 1.0,,2");  // empty middle item
+    expect_usage_exit("sweep --doses 1.0x,2");  // trailing garbage in item
+    expect_usage_exit("sweep --doses ''");
+    expect_usage_exit("sweep --focuses 0,nan");
+    expect_usage_exit("sweep --focuses 12.5junk");
+}
+
+TEST(CliRobustness, CompareFlags) {
+    expect_usage_exit("compare --clips abc");
+    expect_usage_exit("compare --clips 0");
+    expect_usage_exit("compare --threads 0");
+    expect_usage_exit("compare --iterations -2");
+    expect_usage_exit("compare --ilt-iterations 0");
+    expect_usage_exit("compare --train-clips 0");
+    expect_usage_exit("compare --seed abc");
+    expect_usage_exit("compare --slack -0.5");
+    expect_usage_exit("compare --slack nan");
+    expect_usage_exit("compare --rewards nominal,bogus");
+    expect_usage_exit("compare --no-such-flag");
+    EXPECT_EQ(run_cli("compare --list-scenarios"), 0);
+}
+
+TEST(CliRobustness, ChipgenFlags) {
+    expect_usage_exit("chipgen");  // --out is required
+    expect_usage_exit("chipgen --out c.gds --cols 0");
+    expect_usage_exit("chipgen --out c.gds --cols 1e9");
+    expect_usage_exit("chipgen --out c.gds --rows -2");
+    expect_usage_exit("chipgen --out c.gds --rows 12abc");
+    expect_usage_exit("chipgen --out c.gds --pitch -5");
+    expect_usage_exit("chipgen --out c.gds --no-such-flag");
+}
+
+TEST(CliRobustness, ShardFlags) {
+    expect_usage_exit("shard --layer -1");
+    expect_usage_exit("shard --cols 0");
+    expect_usage_exit("shard --rows 0");
+    expect_usage_exit("shard --pitch -1");
+    expect_usage_exit("shard --tile 0");
+    expect_usage_exit("shard --tile abc");
+    expect_usage_exit("shard --halo -1");
+    expect_usage_exit("shard --threads 0");
+    expect_usage_exit("shard --queue-capacity 0");
+    expect_usage_exit("shard --seed 18446744073709551616");  // 2^64
+    expect_usage_exit("shard --iterations 0");
+    expect_usage_exit("shard --engine oneshot");
+    expect_usage_exit("shard --no-such-flag");
+}
+
+TEST(CliRobustness, ServeFlags) {
+    expect_usage_exit("serve --requests -1");
+    expect_usage_exit("serve --requests abc");
+    expect_usage_exit("serve --clips 0");
+    expect_usage_exit("serve --queue-capacity 0");
+    expect_usage_exit("serve --priority-levels 0");
+    expect_usage_exit("serve --deadline-s -1");
+    expect_usage_exit("serve --deadline-s inf");
+    expect_usage_exit("serve --threads 0");
+    expect_usage_exit("serve --stream-queue 0");
+    expect_usage_exit("serve --seed --quiet");  // flag where a value belongs
+    expect_usage_exit("serve --iterations 0");
+    expect_usage_exit("serve --engine ilt");
+    expect_usage_exit("serve --no-such-flag");
+}
+
+TEST(CliRobustness, ChipgenHappyPathStillWorks) {
+    const std::string out = testing::TempDir() + "cli_robustness_chip.gds";
+    EXPECT_EQ(run_cli("chipgen --out " + out + " --cols 1 --rows 1"), 0);
+    std::remove(out.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,310 @@
+// Inference-backend equivalence suite (PR 9).
+//
+// Pins the two contracts the SIMD/batched backend ships under:
+//
+//  * kernel equivalence — the vector kernels compute the same sums as the
+//    scalar reference with a different rounding schedule, so outputs agree
+//    to a small relative tolerance (fuzzed here over random shapes), and a
+//    batched call is BITWISE identical to the same rows issued one at a
+//    time on every backend (row accumulation order is row-independent);
+//  * action identity — end to end, the SIMD and batched inference paths
+//    select exactly the actions the scalar single-row path selects, on
+//    every registered scenario and every reward mode. Integer offsets make
+//    this an exact equality check, which is what lets CAMO_BACKEND default
+//    to the fastest level without perturbing any golden result.
+//
+// On a build or CPU without vector kernels (CAMO_SIMD=OFF, pre-AVX2 x86)
+// ScopedOverride clips to scalar and the comparisons degrade to
+// scalar-vs-scalar: still valid, trivially green.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "core/camo.hpp"
+#include "nn/backend.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/tensor.hpp"
+#include "opc/rule_engine.hpp"
+#include "runtime/batch.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace camo;
+
+void fill_uniform(nn::Tensor& t, Rng& rng) {
+    for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+// Relative-ish bound for scalar-vs-vector comparisons: blocked FMA changes
+// the rounding schedule, not the math, so errors stay within a few ULP of
+// the accumulated magnitude.
+void expect_close(const std::vector<float>& a, const std::vector<float>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const float tol = 1e-4F * (1.0F + std::abs(a[i]));
+        EXPECT_NEAR(a[i], b[i], tol) << "element " << i;
+    }
+}
+
+opc::OpcOptions quick_opc(scenario::Style style) {
+    opc::OpcOptions opt;
+    opt.max_iterations = 2;
+    opt.initial_bias_nm = style == scenario::Style::kVia ? 3 : 0;
+    return opt;
+}
+
+/// Tiny deterministic engine; inference only, never trained (random-init
+/// weights are seeded, so every instance with this config is identical).
+core::CamoEngine make_engine() {
+    core::CamoConfig cfg;
+    cfg.name = "backend_test";
+    cfg.train_workers = 1;
+    return core::CamoEngine(cfg);
+}
+
+// ---- kernel-level fuzz ------------------------------------------------------
+
+TEST(SimdOps, GemmBlockedMatchesScalarFuzz) {
+    Rng rng(0xBEEF);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int in = rng.uniform_int(1, 48);
+        const int out = rng.uniform_int(1, 40);  // exercises partial blocks
+        const int rows = rng.uniform_int(1, 6);
+        nn::Tensor w({out, in});
+        nn::Tensor b({out});
+        fill_uniform(w, rng);
+        fill_uniform(b, rng);
+        const nn::PackedLinear m = nn::pack_linear(w, &b);
+        ASSERT_EQ(m.out_padded % simd::kBlock, 0);
+
+        std::vector<float> x(static_cast<std::size_t>(rows) * in);
+        for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        std::vector<float> ys(static_cast<std::size_t>(rows) * out, 0.0F);
+        std::vector<float> yv(ys);
+
+        nn::scalar_backend().linear(m, x.data(), rows, ys.data());
+        {
+            simd::ScopedOverride force(simd::detected_level());
+            nn::active_backend().linear(m, x.data(), rows, yv.data());
+        }
+        expect_close(ys, yv);
+
+        // Accumulating variant folds into existing values, ignores bias.
+        std::vector<float> as(ys);
+        std::vector<float> av(ys);
+        nn::scalar_backend().linear_acc(m, x.data(), rows, as.data());
+        {
+            simd::ScopedOverride force(simd::detected_level());
+            nn::active_backend().linear_acc(m, x.data(), rows, av.data());
+        }
+        expect_close(as, av);
+    }
+}
+
+TEST(SimdOps, BatchedRowsBitwiseEqualSingleRows) {
+    Rng rng(0xF00D);
+    for (const simd::Level level : {simd::Level::kScalar, simd::detected_level()}) {
+        simd::ScopedOverride force(level);
+        const nn::Backend& be = nn::active_backend();
+        for (int trial = 0; trial < 10; ++trial) {
+            const int in = rng.uniform_int(1, 32);
+            const int out = rng.uniform_int(1, 24);
+            const int rows = rng.uniform_int(2, 8);
+            nn::Tensor w({out, in});
+            nn::Tensor b({out});
+            fill_uniform(w, rng);
+            fill_uniform(b, rng);
+            const nn::PackedLinear m = nn::pack_linear(w, &b);
+
+            std::vector<float> x(static_cast<std::size_t>(rows) * in);
+            for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+            std::vector<float> batched(static_cast<std::size_t>(rows) * out);
+            std::vector<float> single(batched.size());
+            be.linear(m, x.data(), rows, batched.data());
+            for (int r = 0; r < rows; ++r) {
+                be.linear(m, x.data() + static_cast<std::size_t>(r) * in, 1,
+                          single.data() + static_cast<std::size_t>(r) * out);
+            }
+            // The batching contract is exact, not approximate.
+            EXPECT_EQ(batched, single) << "level " << simd::level_name(level);
+        }
+    }
+}
+
+TEST(SimdOps, Conv2dPackedMatchesScalarFuzz) {
+    Rng rng(0xC0DE);
+    for (int trial = 0; trial < 12; ++trial) {
+        const int in_ch = rng.uniform_int(1, 3);
+        const int out_ch = rng.uniform_int(1, 20);  // partial blocks included
+        const int k = 3;
+        const int stride = rng.uniform_int(1, 2);
+        const int h = rng.uniform_int(5, 9);
+        Rng wrng(derive_seed(0xC0DE, static_cast<std::uint64_t>(trial)));
+        nn::Conv2d layer(in_ch, out_ch, k, stride, 1, wrng);
+        const nn::PackedConv2d m = nn::pack_conv2d(layer);
+
+        nn::Tensor x({in_ch, h, h});
+        fill_uniform(x, rng);
+        const int oh = m.out_size(h);
+        std::vector<float> ys(static_cast<std::size_t>(out_ch) * oh * oh);
+        std::vector<float> yv(ys.size());
+        nn::scalar_backend().conv2d(m, x.data().data(), h, h, ys.data());
+        {
+            simd::ScopedOverride force(simd::detected_level());
+            nn::active_backend().conv2d(m, x.data().data(), h, h, yv.data());
+        }
+        expect_close(ys, yv);
+    }
+}
+
+TEST(SimdOps, CmulAndNormAccMatchScalar) {
+    Rng rng(0xACC);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                std::size_t{1013}}) {
+        std::vector<std::complex<float>> a(n);
+        std::vector<std::complex<float>> b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+                    static_cast<float>(rng.uniform(-1.0, 1.0))};
+            b[i] = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+                    static_cast<float>(rng.uniform(-1.0, 1.0))};
+        }
+        std::vector<std::complex<float>> ps(n);
+        std::vector<std::complex<float>> pv(n);
+        simd::scalar_ops().cmul(a.data(), b.data(), ps.data(), n);
+        {
+            simd::ScopedOverride force(simd::detected_level());
+            simd::ops().cmul(a.data(), b.data(), pv.data(), n);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(ps[i].real(), pv[i].real(), 1e-5F) << i;
+            EXPECT_NEAR(ps[i].imag(), pv[i].imag(), 1e-5F) << i;
+        }
+
+        std::vector<float> is(n, 0.25F);
+        std::vector<float> iv(n, 0.25F);
+        simd::scalar_ops().norm_acc(a.data(), 0.37F, is.data(), n);
+        {
+            simd::ScopedOverride force(simd::detected_level());
+            simd::ops().norm_acc(a.data(), 0.37F, iv.data(), n);
+        }
+        for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(is[i], iv[i], 1e-5F) << i;
+    }
+}
+
+// ---- end-to-end action identity --------------------------------------------
+
+TEST(PolicyBackend, SimdSelectsIdenticalActionsOnEveryScenario) {
+    const core::CamoEngine engine = make_engine();
+    for (const std::string& name : scenario::Registry::instance().names()) {
+        const scenario::Scenario sc = scenario::Registry::instance().get(name);
+        const std::vector<geo::SegmentedLayout> layouts = sc.layouts(1);
+        ASSERT_FALSE(layouts.empty());
+        const opc::OpcOptions opt = quick_opc(sc.style);
+
+        opc::EngineResult scalar_res;
+        opc::EngineResult simd_res;
+        {
+            simd::ScopedOverride force(simd::Level::kScalar);
+            litho::LithoSim sim(sc.litho);
+            scalar_res = engine.infer(layouts.front(), sim, opt);
+        }
+        {
+            simd::ScopedOverride force(simd::detected_level());
+            litho::LithoSim sim(sc.litho);
+            simd_res = engine.infer(layouts.front(), sim, opt);
+        }
+        EXPECT_EQ(scalar_res.final_offsets, simd_res.final_offsets) << name;
+        EXPECT_EQ(scalar_res.iterations, simd_res.iterations) << name;
+    }
+}
+
+TEST(PolicyBackend, BatchedMatchesSingleOnEveryScenario) {
+    const core::CamoEngine engine = make_engine();
+    for (const std::string& name : scenario::Registry::instance().names()) {
+        const scenario::Scenario sc = scenario::Registry::instance().get(name);
+        const std::vector<geo::SegmentedLayout> layouts = sc.layouts(2);
+        runtime::BatchOptions bopt;
+        bopt.threads = 1;
+        bopt.opc = quick_opc(sc.style);
+        runtime::BatchScheduler sched(sc.litho, bopt);
+        const runtime::BatchResult single = sched.run_camo(layouts, engine);
+        const runtime::BatchResult batched = sched.run_camo_batched(layouts, engine);
+        ASSERT_EQ(single.clips.size(), batched.clips.size()) << name;
+        for (std::size_t i = 0; i < single.clips.size(); ++i) {
+            EXPECT_EQ(single.clips[i].error, batched.clips[i].error) << name;
+            EXPECT_EQ(single.clips[i].offsets, batched.clips[i].offsets) << name;
+            EXPECT_EQ(single.clips[i].iterations, batched.clips[i].iterations) << name;
+            EXPECT_EQ(single.clips[i].final_epe, batched.clips[i].final_epe) << name;
+        }
+    }
+}
+
+TEST(PolicyBackend, BatchedMatchesSingleAcrossRewardModesAndSampling) {
+    const core::CamoEngine engine = make_engine();
+    const scenario::Scenario sc =
+        scenario::Registry::instance().get(scenario::Registry::instance().names().front());
+    const std::vector<geo::SegmentedLayout> layouts = sc.layouts(2);
+    for (const rl::RewardMode mode : {rl::RewardMode::kNominal, rl::RewardMode::kWorstCorner,
+                                      rl::RewardMode::kWeightedCorner}) {
+        for (const bool stochastic : {false, true}) {
+            runtime::BatchOptions bopt;
+            bopt.threads = 1;
+            bopt.stochastic = stochastic;
+            bopt.opc = quick_opc(sc.style);
+            bopt.opc.objective = mode;
+            runtime::BatchScheduler sched(sc.litho, bopt);
+            const runtime::BatchResult single = sched.run_camo(layouts, engine);
+            const runtime::BatchResult batched = sched.run_camo_batched(layouts, engine);
+            ASSERT_EQ(single.clips.size(), batched.clips.size());
+            for (std::size_t i = 0; i < single.clips.size(); ++i) {
+                EXPECT_EQ(single.clips[i].offsets, batched.clips[i].offsets)
+                    << rl::reward_mode_name(mode) << " stochastic=" << stochastic;
+                EXPECT_EQ(single.clips[i].iterations, batched.clips[i].iterations)
+                    << rl::reward_mode_name(mode) << " stochastic=" << stochastic;
+            }
+        }
+    }
+}
+
+// ---- litho hot loops --------------------------------------------------------
+
+TEST(LithoSimd, SupportApplyBackendEquivalence) {
+    // Drive the incremental evaluation path (SupportApplicator's cmul +
+    // norm_acc loops) through a short rule-engine run under both backends.
+    // Decisions are integer threshold tests on nm-scale EPE values, far
+    // above vector ULP noise, so offsets must match exactly; the float
+    // metrics agree to a small relative tolerance.
+    const scenario::Scenario sc = scenario::Registry::instance().get(
+        scenario::Registry::instance().names().front());
+    const std::vector<geo::SegmentedLayout> layouts = sc.layouts(1);
+    opc::OpcOptions opt = quick_opc(sc.style);
+    opt.max_iterations = 3;
+
+    opc::RuleEngine eng;
+    opc::EngineResult scalar_res;
+    opc::EngineResult simd_res;
+    {
+        simd::ScopedOverride force(simd::Level::kScalar);
+        litho::LithoSim sim(sc.litho);
+        scalar_res = eng.optimize(layouts.front(), sim, opt);
+    }
+    {
+        simd::ScopedOverride force(simd::detected_level());
+        litho::LithoSim sim(sc.litho);
+        simd_res = eng.optimize(layouts.front(), sim, opt);
+    }
+    EXPECT_EQ(scalar_res.final_offsets, simd_res.final_offsets);
+    EXPECT_EQ(scalar_res.iterations, simd_res.iterations);
+    const double tol = 1e-4 * (1.0 + std::abs(scalar_res.final_metrics.sum_abs_epe));
+    EXPECT_NEAR(scalar_res.final_metrics.sum_abs_epe, simd_res.final_metrics.sum_abs_epe, tol);
+}
+
+}  // namespace

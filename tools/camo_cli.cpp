@@ -57,9 +57,14 @@
 // Batch mode runs the parallel runtime over a generated via-clip stream and
 // prints per-clip results plus aggregate throughput:
 //
-//   camo_cli batch [--clips N] [--threads N] [--engine rule|camo]
+//   camo_cli batch [--clips N] [--threads N] [--engine rule|camo] [--batched]
 //                  [--seed S] [--iterations N] [--train-workers N]
 //                  [--reward-mode M] [--window] [--quiet]
+//
+// --batched (camo engine only) routes the batch through the lockstep batched
+// inference path: every wave issues one policy forward over all clips
+// awaiting actions instead of one forward per clip. Results are identical to
+// the threaded path on the same backend.
 //
 // Sweep mode is batch mode plus a multi-corner process-window evaluation of
 // every corrected mask (defaults to the standard {dose_min, 1, dose_max} x
@@ -89,6 +94,7 @@
 
 #include "common/file_io.hpp"
 #include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "core/experiment.hpp"
 #include "layout/gdsii.hpp"
 #include "layout/metal_gen.hpp"
@@ -106,6 +112,65 @@
 namespace {
 
 using namespace camo;
+
+// ---- Checked flag parsing ---------------------------------------------------
+// Every numeric flag goes through common/parse.hpp: the whole value must be a
+// well-formed, in-range number (no trailing garbage, no overflow, no
+// exceptions) and range violations get a flag-specific diagnostic before the
+// caller prints usage and exits 2. The std::sto* family this replaces
+// TERMINATED the process on "--threads foo" and silently read "1e99" as 1.
+
+bool flag_int(const char* flag, const std::string& v, int& out) {
+    if (!parse_int(v, out)) {
+        std::fprintf(stderr, "%s: expected an integer, got '%s'\n", flag, v.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool flag_int_min(const char* flag, const std::string& v, int min, int& out) {
+    int x = 0;
+    if (!flag_int(flag, v, x)) return false;
+    if (x < min) {
+        std::fprintf(stderr, "%s: must be >= %d, got %d\n", flag, min, x);
+        return false;
+    }
+    out = x;
+    return true;
+}
+
+bool flag_u64(const char* flag, const std::string& v, std::uint64_t& out) {
+    if (!parse_u64(v, out)) {
+        std::fprintf(stderr, "%s: expected an unsigned integer, got '%s'\n", flag, v.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool flag_double_min(const char* flag, const std::string& v, double min, double& out) {
+    double x = 0.0;
+    if (!parse_double(v, x)) {
+        std::fprintf(stderr, "%s: expected a number, got '%s'\n", flag, v.c_str());
+        return false;
+    }
+    if (x < min) {
+        std::fprintf(stderr, "%s: must be >= %g, got %g\n", flag, min, x);
+        return false;
+    }
+    out = x;
+    return true;
+}
+
+bool flag_double_list(const char* flag, const std::string& v, std::vector<double>& out) {
+    if (!parse_double_list(v, out)) {
+        std::fprintf(stderr,
+                     "%s: expected a comma-separated list of numbers (e.g. 0.96,1.0,1.04), "
+                     "got '%s'\n",
+                     flag, v.c_str());
+        return false;
+    }
+    return true;
+}
 
 // Shared telemetry/logging switches (--metrics-json / --trace / --log-level).
 struct ObsCliOptions {
@@ -164,7 +229,7 @@ struct CliOptions {
     ObsCliOptions obs;
 };
 
-bool parse_args(int argc, char** argv, CliOptions& o) try {
+bool parse_args(int argc, char** argv, CliOptions& o) {
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&](std::string& dst) {
@@ -182,13 +247,13 @@ bool parse_args(int argc, char** argv, CliOptions& o) try {
         } else if (a == "--style" && next(v)) {
             o.style = v;
         } else if (a == "--layer" && next(v)) {
-            o.layer = std::stoi(v);
+            if (!flag_int_min("--layer", v, 0, o.layer)) return false;
         } else if (a == "--clip" && next(v)) {
-            o.clip_nm = std::stoi(v);
+            if (!flag_int_min("--clip", v, 1, o.clip_nm)) return false;
         } else if (a == "--iterations" && next(v)) {
-            o.iterations = std::stoi(v);
+            if (!flag_int_min("--iterations", v, 1, o.iterations)) return false;
         } else if (a == "--train-workers" && next(v)) {
-            o.train_workers = std::stoi(v);
+            if (!flag_int("--train-workers", v, o.train_workers)) return false;
         } else if (a == "--reward-mode" && next(v)) {
             if (!parse_reward_mode(v, o.reward_mode)) {
                 std::fprintf(stderr, "unknown reward mode: %s\n", v.c_str());
@@ -210,8 +275,6 @@ bool parse_args(int argc, char** argv, CliOptions& o) try {
         }
     }
     return !o.in.empty() && !o.out.empty();
-} catch (const std::exception&) {  // non-numeric / out-of-range values
-    return false;
 }
 
 struct BatchCliOptions {
@@ -225,28 +288,12 @@ struct BatchCliOptions {
     bool quiet = false;
     ObsCliOptions obs;
     bool window = false;             // sweep mode / batch --window
+    bool batched = false;            // camo: lockstep batched policy inference
     std::vector<double> doses;       // empty = standard window
     std::vector<double> focuses_nm;  // empty = standard window
 };
 
-// "0.96,1.0,1.04" -> {0.96, 1.0, 1.04}; throws on malformed input.
-std::vector<double> parse_double_list(const std::string& s) {
-    std::vector<double> out;
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-        std::size_t used = 0;
-        out.push_back(std::stod(s.substr(pos), &used));
-        pos += used;
-        if (pos < s.size()) {
-            if (s[pos] != ',') throw std::invalid_argument("expected ',' in list: " + s);
-            ++pos;
-        }
-    }
-    if (out.empty()) throw std::invalid_argument("empty list");
-    return out;
-}
-
-bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
+bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) {
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&](std::string& dst) {
@@ -256,17 +303,19 @@ bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
         };
         std::string v;
         if (a == "--clips" && next(v)) {
-            o.clips = std::stoi(v);
+            if (!flag_int_min("--clips", v, 1, o.clips)) return false;
         } else if (a == "--threads" && next(v)) {
-            o.threads = std::stoi(v);
+            if (!flag_int_min("--threads", v, 1, o.threads)) return false;
         } else if (a == "--engine" && next(v)) {
             o.engine = v;
         } else if (a == "--seed" && next(v)) {
-            o.seed = std::stoull(v);
+            if (!flag_u64("--seed", v, o.seed)) return false;
         } else if (a == "--iterations" && next(v)) {
-            o.iterations = std::stoi(v);
+            if (!flag_int_min("--iterations", v, 1, o.iterations)) return false;
         } else if (a == "--train-workers" && next(v)) {
-            o.train_workers = std::stoi(v);
+            if (!flag_int("--train-workers", v, o.train_workers)) return false;
+        } else if (a == "--batched") {
+            o.batched = true;
         } else if (a == "--reward-mode" && next(v)) {
             if (!parse_reward_mode(v, o.reward_mode)) {
                 std::fprintf(stderr, "unknown reward mode: %s\n", v.c_str());
@@ -283,18 +332,23 @@ bool parse_batch_args(int argc, char** argv, BatchCliOptions& o) try {
         } else if (a == "--trace" && next(v)) {
             o.obs.trace = v;
         } else if (o.window && a == "--doses" && next(v)) {
-            o.doses = parse_double_list(v);
+            if (!flag_double_list("--doses", v, o.doses)) return false;
         } else if (o.window && a == "--focuses" && next(v)) {
-            o.focuses_nm = parse_double_list(v);
+            if (!flag_double_list("--focuses", v, o.focuses_nm)) return false;
         } else {
             std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
             return false;
         }
     }
-    // 0 clips is a legal degenerate batch (the summary prints zeros).
-    return o.clips >= 0 && (o.engine == "rule" || o.engine == "camo");
-} catch (const std::exception&) {  // non-numeric / out-of-range values
-    return false;
+    if (o.engine != "rule" && o.engine != "camo") {
+        std::fprintf(stderr, "--engine: expected rule or camo, got '%s'\n", o.engine.c_str());
+        return false;
+    }
+    if (o.batched && o.engine != "camo") {
+        std::fprintf(stderr, "--batched requires --engine camo\n");
+        return false;
+    }
+    return true;
 }
 
 int batch_main(int argc, char** argv, bool window) {
@@ -303,7 +357,7 @@ int batch_main(int argc, char** argv, bool window) {
     if (!parse_batch_args(argc, argv, cli)) {
         std::fprintf(stderr,
                      "usage: camo_cli %s [--clips N] [--threads N] [--engine rule|camo]"
-                     " [--seed S] [--iterations N] [--train-workers N]"
+                     " [--batched] [--seed S] [--iterations N] [--train-workers N]"
                      " [--reward-mode nominal|worst|weighted]"
                      " [--quiet] [--log-level quiet|info|debug]"
                      " [--metrics-json PATH] [--trace PATH]%s\n",
@@ -358,7 +412,8 @@ int batch_main(int argc, char** argv, bool window) {
             layout::via_training_set(core::Experiment::kDatasetSeed));
         core::ensure_trained(engine, train, train_sim, opt.opc,
                              core::Experiment::weights_path(cfg, "via", cli.reward_mode));
-        res = scheduler.run_camo(clips, engine, names);
+        res = cli.batched ? scheduler.run_camo_batched(clips, engine, names)
+                          : scheduler.run_camo(clips, engine, names);
     }
 
     if (cli.window || cli.reward_mode != rl::RewardMode::kNominal) {
@@ -446,68 +501,67 @@ int compare_main(int argc, char** argv) {
     bool list = false;
     ObsCliOptions obs;
 
-    try {
-        for (int i = 2; i < argc; ++i) {
-            const std::string a = argv[i];
-            auto next = [&](std::string& dst) {
-                if (i + 1 >= argc) return false;
-                dst = argv[++i];
-                return true;
-            };
-            std::string v;
-            if (a == "--scenarios" && next(v)) {
-                cmp.scenarios = split_list(v);
-            } else if (a == "--engines" && next(v)) {
-                cmp.engines = split_list(v);
-            } else if (a == "--rewards" && next(v)) {
-                cmp.rewards.clear();
-                for (const std::string& r : split_list(v)) {
-                    rl::RewardMode mode{};
-                    if (!rl::parse_reward_mode(r, mode)) {
-                        std::fprintf(stderr, "unknown reward mode: %s\n", r.c_str());
-                        return 2;
-                    }
-                    cmp.rewards.push_back(mode);
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        bool ok = true;
+        std::string v;
+        if (a == "--scenarios" && next(v)) {
+            cmp.scenarios = split_list(v);
+        } else if (a == "--engines" && next(v)) {
+            cmp.engines = split_list(v);
+        } else if (a == "--rewards" && next(v)) {
+            cmp.rewards.clear();
+            for (const std::string& r : split_list(v)) {
+                rl::RewardMode mode{};
+                if (!rl::parse_reward_mode(r, mode)) {
+                    std::fprintf(stderr, "unknown reward mode: %s\n", r.c_str());
+                    return 2;
                 }
-            } else if (a == "--clips" && next(v)) {
-                cmp.clips = std::stoi(v);
-            } else if (a == "--threads" && next(v)) {
-                cmp.threads = std::stoi(v);
-            } else if (a == "--seed" && next(v)) {
-                cmp.seed = std::stoull(v);
-            } else if (a == "--iterations" && next(v)) {
-                cmp.max_iterations = std::stoi(v);
-            } else if (a == "--ilt-iterations" && next(v)) {
-                cmp.ilt_iterations = std::stoi(v);
-            } else if (a == "--train-clips" && next(v)) {
-                cmp.train_clips = std::stoi(v);
-            } else if (a == "--json" && next(v)) {
-                json_path = v;
-            } else if (a == "--golden" && next(v)) {
-                golden_path = v;
-            } else if (a == "--write-golden" && next(v)) {
-                write_golden_path = v;
-            } else if (a == "--slack" && next(v)) {
-                slack = std::stod(v);
-            } else if (a == "--list-scenarios") {
-                list = true;
-            } else if (a == "--quiet") {
-                quiet = true;
-            } else if (a == "--log-level" && next(v)) {
-                obs.log_level = v;
-            } else if (a == "--metrics-json" && next(v)) {
-                obs.metrics_json = v;
-            } else if (a == "--trace" && next(v)) {
-                obs.trace = v;
-            } else {
-                std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
-                print_compare_usage();
-                return 2;
+                cmp.rewards.push_back(mode);
             }
+        } else if (a == "--clips" && next(v)) {
+            ok = flag_int_min("--clips", v, 1, cmp.clips);
+        } else if (a == "--threads" && next(v)) {
+            ok = flag_int_min("--threads", v, 1, cmp.threads);
+        } else if (a == "--seed" && next(v)) {
+            ok = flag_u64("--seed", v, cmp.seed);
+        } else if (a == "--iterations" && next(v)) {
+            ok = flag_int_min("--iterations", v, 1, cmp.max_iterations);
+        } else if (a == "--ilt-iterations" && next(v)) {
+            ok = flag_int_min("--ilt-iterations", v, 1, cmp.ilt_iterations);
+        } else if (a == "--train-clips" && next(v)) {
+            ok = flag_int_min("--train-clips", v, 1, cmp.train_clips);
+        } else if (a == "--json" && next(v)) {
+            json_path = v;
+        } else if (a == "--golden" && next(v)) {
+            golden_path = v;
+        } else if (a == "--write-golden" && next(v)) {
+            write_golden_path = v;
+        } else if (a == "--slack" && next(v)) {
+            ok = flag_double_min("--slack", v, 0.0, slack);
+        } else if (a == "--list-scenarios") {
+            list = true;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--log-level" && next(v)) {
+            obs.log_level = v;
+        } else if (a == "--metrics-json" && next(v)) {
+            obs.metrics_json = v;
+        } else if (a == "--trace" && next(v)) {
+            obs.trace = v;
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            ok = false;
         }
-    } catch (const std::exception&) {  // non-numeric / out-of-range values
-        print_compare_usage();
-        return 2;
+        if (!ok) {
+            print_compare_usage();
+            return 2;
+        }
     }
     if (list) {
         print_scenarios();
@@ -655,35 +709,31 @@ int chipgen_main(int argc, char** argv) {
     int cols = 3;
     int rows = 3;
     int pitch = 0;
-    try {
-        for (int i = 2; i < argc; ++i) {
-            const std::string a = argv[i];
-            auto next = [&](std::string& dst) {
-                if (i + 1 >= argc) return false;
-                dst = argv[++i];
-                return true;
-            };
-            std::string v;
-            if (a == "--out" && next(v)) {
-                out = v;
-            } else if (a == "--scenario" && next(v)) {
-                scenario_name = v;
-            } else if (a == "--cols" && next(v)) {
-                cols = std::stoi(v);
-            } else if (a == "--rows" && next(v)) {
-                rows = std::stoi(v);
-            } else if (a == "--pitch" && next(v)) {
-                pitch = std::stoi(v);
-            } else {
-                std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
-                out.clear();
-                break;
-            }
+    bool parse_ok = true;
+    for (int i = 2; i < argc && parse_ok; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--out" && next(v)) {
+            out = v;
+        } else if (a == "--scenario" && next(v)) {
+            scenario_name = v;
+        } else if (a == "--cols" && next(v)) {
+            parse_ok = flag_int_min("--cols", v, 1, cols);
+        } else if (a == "--rows" && next(v)) {
+            parse_ok = flag_int_min("--rows", v, 1, rows);
+        } else if (a == "--pitch" && next(v)) {
+            parse_ok = flag_int_min("--pitch", v, 0, pitch);
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            parse_ok = false;
         }
-    } catch (const std::exception&) {  // non-numeric values
-        out.clear();
     }
-    if (out.empty() || cols < 1 || rows < 1) {
+    if (!parse_ok || out.empty()) {
         std::fprintf(stderr,
                      "usage: camo_cli chipgen --out chip.gds [--scenario NAME]"
                      " [--cols N] [--rows N] [--pitch NM]\n");
@@ -728,7 +778,7 @@ struct ShardCliOptions {
     ObsCliOptions obs;
 };
 
-bool parse_shard_args(int argc, char** argv, ShardCliOptions& o) try {
+bool parse_shard_args(int argc, char** argv, ShardCliOptions& o) {
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&](std::string& dst) {
@@ -746,25 +796,25 @@ bool parse_shard_args(int argc, char** argv, ShardCliOptions& o) try {
         } else if (a == "--engine" && next(v)) {
             o.engine = v;
         } else if (a == "--layer" && next(v)) {
-            o.layer = std::stoi(v);
+            if (!flag_int_min("--layer", v, 0, o.layer)) return false;
         } else if (a == "--cols" && next(v)) {
-            o.cols = std::stoi(v);
+            if (!flag_int_min("--cols", v, 1, o.cols)) return false;
         } else if (a == "--rows" && next(v)) {
-            o.rows = std::stoi(v);
+            if (!flag_int_min("--rows", v, 1, o.rows)) return false;
         } else if (a == "--pitch" && next(v)) {
-            o.pitch = std::stoi(v);
+            if (!flag_int_min("--pitch", v, 0, o.pitch)) return false;
         } else if (a == "--tile" && next(v)) {
-            o.tile_nm = std::stoi(v);
+            if (!flag_int_min("--tile", v, 1, o.tile_nm)) return false;
         } else if (a == "--halo" && next(v)) {
-            o.halo_nm = std::stoi(v);
+            if (!flag_int_min("--halo", v, 0, o.halo_nm)) return false;
         } else if (a == "--threads" && next(v)) {
-            o.threads = std::stoi(v);
+            if (!flag_int_min("--threads", v, 1, o.threads)) return false;
         } else if (a == "--queue-capacity" && next(v)) {
-            o.queue_capacity = std::stoi(v);
+            if (!flag_int_min("--queue-capacity", v, 1, o.queue_capacity)) return false;
         } else if (a == "--seed" && next(v)) {
-            o.seed = std::stoull(v);
+            if (!flag_u64("--seed", v, o.seed)) return false;
         } else if (a == "--iterations" && next(v)) {
-            o.iterations = std::stoi(v);
+            if (!flag_int_min("--iterations", v, 1, o.iterations)) return false;
         } else if (a == "--verify-monolithic") {
             o.verify = true;
         } else if (a == "--quiet") {
@@ -780,9 +830,11 @@ bool parse_shard_args(int argc, char** argv, ShardCliOptions& o) try {
             return false;
         }
     }
-    return o.engine == "rule" || o.engine == "camo";
-} catch (const std::exception&) {  // non-numeric / out-of-range values
-    return false;
+    if (o.engine != "rule" && o.engine != "camo") {
+        std::fprintf(stderr, "--engine: expected rule or camo, got '%s'\n", o.engine.c_str());
+        return false;
+    }
+    return true;
 }
 
 int shard_main(int argc, char** argv) {
@@ -941,7 +993,7 @@ struct ServeCliOptions {
     ObsCliOptions obs;
 };
 
-bool parse_serve_args(int argc, char** argv, ServeCliOptions& o) try {
+bool parse_serve_args(int argc, char** argv, ServeCliOptions& o) {
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&](std::string& dst) {
@@ -951,27 +1003,27 @@ bool parse_serve_args(int argc, char** argv, ServeCliOptions& o) try {
         };
         std::string v;
         if (a == "--requests" && next(v)) {
-            o.requests = std::stoi(v);
+            if (!flag_int_min("--requests", v, 0, o.requests)) return false;
         } else if (a == "--clips" && next(v)) {
-            o.clips_per_request = std::stoi(v);
+            if (!flag_int_min("--clips", v, 1, o.clips_per_request)) return false;
         } else if (a == "--queue-capacity" && next(v)) {
-            o.queue_capacity = std::stoi(v);
+            if (!flag_int_min("--queue-capacity", v, 1, o.queue_capacity)) return false;
         } else if (a == "--priority-levels" && next(v)) {
-            o.priority_levels = std::stoi(v);
+            if (!flag_int_min("--priority-levels", v, 1, o.priority_levels)) return false;
         } else if (a == "--deadline-s" && next(v)) {
-            o.deadline_s = std::stod(v);
+            if (!flag_double_min("--deadline-s", v, 0.0, o.deadline_s)) return false;
         } else if (a == "--scenario" && next(v)) {
             o.scenario = v;
         } else if (a == "--engine" && next(v)) {
             o.engine = v;
         } else if (a == "--threads" && next(v)) {
-            o.threads = std::stoi(v);
+            if (!flag_int_min("--threads", v, 1, o.threads)) return false;
         } else if (a == "--stream-queue" && next(v)) {
-            o.queue_stream = std::stoi(v);
+            if (!flag_int_min("--stream-queue", v, 1, o.queue_stream)) return false;
         } else if (a == "--seed" && next(v)) {
-            o.seed = std::stoull(v);
+            if (!flag_u64("--seed", v, o.seed)) return false;
         } else if (a == "--iterations" && next(v)) {
-            o.iterations = std::stoi(v);
+            if (!flag_int_min("--iterations", v, 1, o.iterations)) return false;
         } else if (a == "--quiet") {
             o.quiet = true;
         } else if (a == "--log-level" && next(v)) {
@@ -985,10 +1037,11 @@ bool parse_serve_args(int argc, char** argv, ServeCliOptions& o) try {
             return false;
         }
     }
-    return o.requests >= 0 && o.clips_per_request >= 0 && o.priority_levels >= 1 &&
-           (o.engine == "rule" || o.engine == "camo");
-} catch (const std::exception&) {  // non-numeric / out-of-range values
-    return false;
+    if (o.engine != "rule" && o.engine != "camo") {
+        std::fprintf(stderr, "--engine: expected rule or camo, got '%s'\n", o.engine.c_str());
+        return false;
+    }
+    return true;
 }
 
 int serve_main(int argc, char** argv) {
