@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "obs/trace.hpp"
 #include "opc/sraf.hpp"
 #include "rl/reward.hpp"
+#include "rl/trajstore.hpp"
 #include "runtime/stream_queue.hpp"
 #include "scenario/scenario.hpp"
 
@@ -341,6 +343,61 @@ void BM_Phase1Epoch(benchmark::State& state) {
 }
 BENCHMARK(BM_Phase1Epoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---- Packed trajectory store ------------------------------------------------
+// Append+flush of a freshly collected teacher dataset into the packed store,
+// and one phase-1 epoch replayed from the memory mapping. The replay row is
+// directly comparable to BM_Phase1Epoch/1: the delta is the pure cost of
+// streaming minibatches from disk instead of RAM (feature materialization
+// from the f32 heap) — training math is byte-identical.
+
+void BM_TrajAppend(benchmark::State& state) {
+    litho::LithoSim sim(shared_sim());
+    const std::string path = "/tmp/camo_bench_traj.ctrj";
+    // One collection, re-appended every iteration: measures store encode +
+    // dedupe + atomic publish, not the teacher.
+    core::CamoEngine collector(train_bench_config(1));
+    const core::Phase1Dataset data = collector.collect_teacher_data(
+        train_bench_clips(), sim, core::Experiment::via_options());
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        rl::TrajStoreWriter writer(path);
+        std::size_t k = 0;  // samples are flattened in trajectory-step order
+        for (std::size_t j = 0; j < data.trajectories.size(); ++j) {
+            std::vector<std::span<const nn::Tensor>> feats;
+            for (std::size_t t = 0; t < data.trajectories[j].steps.size(); ++t, ++k) {
+                feats.emplace_back(data.samples[k].features);
+            }
+            writer.append(data.trajectories[j], feats);
+        }
+        writer.flush();
+        bytes = writer.byte_size();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["bytes"] = static_cast<double>(bytes);
+    state.counters["steps"] = static_cast<double>(data.samples.size());
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TrajAppend)->Unit(benchmark::kMillisecond);
+
+void BM_TrajReplayEpoch(benchmark::State& state) {
+    core::CamoEngine engine(train_bench_config(1));
+    litho::LithoSim sim(shared_sim());
+    const std::string path = "/tmp/camo_bench_traj_replay.ctrj";
+    rl::TrajStoreWriter writer(path);
+    engine.collect_teacher_data(train_bench_clips(), sim, core::Experiment::via_options(),
+                                &writer);
+    const rl::TrajStoreReader reader(path);
+    const core::Phase1Replay replay = engine.make_phase1_replay(reader, train_bench_clips());
+    for (auto _ : state) {
+        const double nll = engine.run_phase1_epoch(replay);
+        benchmark::DoNotOptimize(nll);
+    }
+    state.counters["steps"] = static_cast<double>(reader.step_count());
+    state.counters["states"] = static_cast<double>(reader.state_count());
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TrajReplayEpoch)->Unit(benchmark::kMillisecond);
 
 void BM_SquishEncode(benchmark::State& state) {
     const std::vector<geo::Polygon> targets = {geo::Polygon::from_rect({465, 465, 535, 535})};

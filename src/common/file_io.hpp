@@ -55,6 +55,11 @@ public:
 
     [[nodiscard]] bool ok() const { return static_cast<bool>(in_); }
 
+    /// True when every byte has been consumed — the next read would hit EOF.
+    /// Loaders use this to reject files with trailing bytes (truncated-then-
+    /// appended or concatenated blobs) instead of silently ignoring the tail.
+    [[nodiscard]] bool at_end() { return in_.peek() == std::ifstream::traits_type::eof(); }
+
 private:
     std::ifstream in_;
 };

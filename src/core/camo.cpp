@@ -9,6 +9,7 @@
 #include "nn/softmax.hpp"
 #include "obs/trace.hpp"
 #include "opc/objective.hpp"
+#include "rl/trajstore.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace camo::core {
@@ -65,6 +66,22 @@ std::array<double, rl::kNumActions> node_probs(const nn::Tensor& logits, int nod
     const auto p = nn::softmax(std::span<const float>(row.data(), row.size()));
     std::array<double, rl::kNumActions> out{};
     for (int a = 0; a < rl::kNumActions; ++a) out[static_cast<std::size_t>(a)] = p[static_cast<std::size_t>(a)];
+    return out;
+}
+
+// Inverse-frequency class weights from raw action counts (teacher data is
+// heavily skewed toward the no-move action once its trajectory converges).
+// Shared by in-memory collection and store replay so both derive identical
+// weights from identical counts.
+std::array<float, rl::kNumActions> action_weights_from_counts(
+    const std::array<long long, rl::kNumActions>& action_count, long long action_total) {
+    std::array<float, rl::kNumActions> out{};
+    for (int a = 0; a < rl::kNumActions; ++a) {
+        const long long cnt = std::max(1LL, action_count[static_cast<std::size_t>(a)]);
+        const double w = static_cast<double>(action_total) /
+                         (static_cast<double>(rl::kNumActions) * static_cast<double>(cnt));
+        out[static_cast<std::size_t>(a)] = static_cast<float>(std::min(w, 20.0));
+    }
     return out;
 }
 
@@ -323,8 +340,8 @@ std::vector<opc::EngineResult> CamoEngine::infer_batch(
 }
 
 Phase1Dataset CamoEngine::collect_teacher_data(const std::vector<geo::SegmentedLayout>& clips,
-                                               litho::LithoSim& sim,
-                                               const opc::OpcOptions& opt) {
+                                               litho::LithoSim& sim, const opc::OpcOptions& opt,
+                                               rl::TrajStoreWriter* store) {
     const obs::Span span("train.collect", collect_hist());
     Phase1Dataset data;
     data.graphs.reserve(clips.size());
@@ -390,13 +407,25 @@ Phase1Dataset CamoEngine::collect_teacher_data(const std::vector<geo::SegmentedL
         for (std::size_t j = 0; j < jobs.size(); ++j) run_job(sim, static_cast<int>(j));
     }
 
+    // Store-sink mode: append the gathered trajectories (with their per-step
+    // squish features) in job order — per-worker results were already merged
+    // into canonical clip-major / bias-minor order above, so the published
+    // file bytes never depend on cfg_.train_workers. One flush publishes the
+    // whole collection atomically.
+    if (store != nullptr) {
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            std::vector<std::span<const nn::Tensor>> step_feats;
+            step_feats.reserve(per_job[j].size());
+            for (const TeacherSample& s : per_job[j]) step_feats.push_back(s.features);
+            store->append(data.trajectories[j], step_feats);
+        }
+        store->flush();
+    }
+
     for (std::vector<TeacherSample>& job_samples : per_job) {
         for (TeacherSample& s : job_samples) data.samples.push_back(std::move(s));
     }
 
-    // Teacher data is heavily skewed toward the no-move action once its
-    // trajectory converges; inverse-frequency weights keep the rare +/-1
-    // and +/-2 corrections from being drowned out.
     std::array<long long, rl::kNumActions> action_count{};
     long long action_total = 0;
     for (const TeacherSample& s : data.samples) {
@@ -405,21 +434,24 @@ Phase1Dataset CamoEngine::collect_teacher_data(const std::vector<geo::SegmentedL
             ++action_total;
         }
     }
-    for (int a = 0; a < rl::kNumActions; ++a) {
-        const long long cnt = std::max(1LL, action_count[static_cast<std::size_t>(a)]);
-        const double w = static_cast<double>(action_total) /
-                         (static_cast<double>(rl::kNumActions) * static_cast<double>(cnt));
-        data.action_weight[static_cast<std::size_t>(a)] = static_cast<float>(std::min(w, 20.0));
-    }
+    data.action_weight = action_weights_from_counts(action_count, action_total);
     obs::counter_add(teacher_samples_counter(), static_cast<long long>(data.samples.size()));
     return data;
 }
 
-double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
+// Shared phase-1 minibatch loop. `load(idx, out)` fills one sample in place
+// (fill-in-place so a replay loader can reuse the scratch slot's owned
+// buffers); everything downstream — batch schedule, per-sample gradients,
+// fixed-order reduction, optimizer steps — is identical for the in-memory
+// and store-replay paths, which is what makes replay training bitwise
+// reproducible against collect-and-train.
+template <typename LoadSample>
+double CamoEngine::phase1_epoch_over(std::size_t sample_count, const std::vector<Graph>& graphs,
+                                     const std::array<float, rl::kNumActions>& action_weight,
+                                     const LoadSample& load) {
     const obs::Span span("train.phase1.epoch", phase1_epoch_hist());
-    const std::vector<TeacherSample>& samples = data.samples;
-    if (samples.empty()) return 0.0;  // degenerate dataset: no optimizer step
-    const std::size_t batch = cfg_.phase1_batch <= 0 ? samples.size()
+    if (sample_count == 0) return 0.0;  // degenerate dataset: no optimizer step
+    const std::size_t batch = cfg_.phase1_batch <= 0 ? sample_count
                                                      : static_cast<std::size_t>(cfg_.phase1_batch);
 
     TrainRuntime& rt = train_runtime();
@@ -428,18 +460,20 @@ double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
     std::vector<nn::GradBuffer> buffers;
     std::vector<double> sample_nll(batch, 0.0);
     std::vector<long long> sample_nodes(batch, 0);
+    std::vector<Phase1Sample> scratch(batch);  ///< one slot per batch lane
 
-    for (std::size_t start = 0; start < samples.size(); start += batch) {
-        const std::size_t count = std::min(batch, samples.size() - start);
+    for (std::size_t start = 0; start < sample_count; start += batch) {
+        const std::size_t count = std::min(batch, sample_count - start);
         buffers.assign(count, nn::GradBuffer{});
 
         // Per-sample gradient of the class-weighted mean NLL, computed with
         // `net`'s (master-synced) weights and captured into the sample's own
         // buffer — the unit the fixed-order reduction folds back in.
         const auto run_sample = [&](PolicyNetwork& net, std::size_t k) {
-            const TeacherSample& s = samples[start + k];
+            Phase1Sample& s = scratch[k];
+            load(start + k, s);
             const nn::Tensor logits =
-                net.forward(s.features, data.graphs[static_cast<std::size_t>(s.clip)]);
+                net.forward(*s.features, graphs[static_cast<std::size_t>(s.clip)]);
             const int n = logits.dim(0);
             nn::Tensor dlogits({n, rl::kNumActions});
             double nll = 0.0;
@@ -452,8 +486,8 @@ double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
                 const int act = s.actions[static_cast<std::size_t>(i)];
                 nll -= nn::log_prob(row_span, act);
                 // coef = -w/n: gradient DEscent on class-weighted mean NLL.
-                const float coef = -data.action_weight[static_cast<std::size_t>(act)] /
-                                   static_cast<float>(n);
+                const float coef =
+                    -action_weight[static_cast<std::size_t>(act)] / static_cast<float>(n);
                 const auto g = nn::policy_logit_grad(row_span, act, coef);
                 for (int a = 0; a < rl::kNumActions; ++a) {
                     dlogits.at(i, a) = g[static_cast<std::size_t>(a)];
@@ -486,6 +520,102 @@ double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
         optimizer_step();
     }
     return total_nll / static_cast<double>(std::max(1LL, total_nodes));
+}
+
+double CamoEngine::run_phase1_epoch(const Phase1Dataset& data) {
+    const std::vector<TeacherSample>& samples = data.samples;
+    return phase1_epoch_over(samples.size(), data.graphs, data.action_weight,
+                             [&](std::size_t idx, Phase1Sample& out) {
+                                 const TeacherSample& s = samples[idx];
+                                 out.clip = s.clip;
+                                 out.features = &s.features;
+                                 out.actions = std::span<const int>(s.actions);
+                             });
+}
+
+double CamoEngine::run_phase1_epoch(const Phase1Replay& data) {
+    if (data.store == nullptr) return 0.0;
+    const rl::TrajStoreReader& store = *data.store;
+    const auto dims = store.feature_dims();
+    const std::size_t numel = store.feature_numel();
+    // Sample index == store step index: trajectory step ranges tile the step
+    // table contiguously in append order (validated on open), and append
+    // order is the canonical job order — so replay visits samples in exactly
+    // the sequence collect_teacher_data gathered them.
+    return phase1_epoch_over(
+        store.step_count(), data.graphs, data.action_weight,
+        [&](std::size_t idx, Phase1Sample& out) {
+            const rl::TrajStoreReader::StepView sv = store.step(idx);
+            const rl::TrajStoreReader::StateView st = store.state(sv.state_id);
+            out.clip = st.clip_index;
+            const std::size_t n = st.offsets.size();
+            out.owned_features.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                nn::Tensor& t = out.owned_features[i];
+                if (t.numel() != numel) {
+                    t = nn::Tensor({static_cast<int>(dims[0]), static_cast<int>(dims[1]),
+                                    static_cast<int>(dims[2])});
+                }
+                std::copy_n(st.features.data() + i * numel, numel, t.data().data());
+            }
+            out.features = &out.owned_features;
+            out.owned_actions.assign(sv.actions.begin(), sv.actions.end());
+            out.actions = std::span<const int>(out.owned_actions);
+        });
+}
+
+Phase1Replay CamoEngine::make_phase1_replay(const rl::TrajStoreReader& store,
+                                            const std::vector<geo::SegmentedLayout>& clips) const {
+    if (store.feature_numel() == 0) {
+        throw std::invalid_argument(
+            "make_phase1_replay: store has no squish features (featureless collection) — "
+            "phase-1 replay needs per-step state encodings");
+    }
+    const auto dims = store.feature_dims();
+    const auto want = static_cast<std::uint32_t>(cfg_.squish.size);
+    if (dims[1] != want || dims[2] != want) {
+        throw std::invalid_argument("make_phase1_replay: store feature shape " +
+                                    std::to_string(dims[1]) + "x" + std::to_string(dims[2]) +
+                                    " does not match configured squish size " +
+                                    std::to_string(cfg_.squish.size));
+    }
+    // Every stored state must land on a clip we were handed, with a matching
+    // segment count — catches a store replayed against the wrong clip set
+    // even when the caller forgot to check dataset_tag.
+    for (std::uint64_t id = 0; id < store.state_count(); ++id) {
+        const rl::TrajStoreReader::StateView st = store.state(id);
+        if (st.clip_index < 0 || static_cast<std::size_t>(st.clip_index) >= clips.size()) {
+            throw std::invalid_argument("make_phase1_replay: state " + std::to_string(id) +
+                                        " references clip " + std::to_string(st.clip_index) +
+                                        " but only " + std::to_string(clips.size()) +
+                                        " clips were provided");
+        }
+        const auto segs = static_cast<std::size_t>(
+            clips[static_cast<std::size_t>(st.clip_index)].num_segments());
+        if (st.offsets.size() != segs) {
+            throw std::invalid_argument(
+                "make_phase1_replay: state " + std::to_string(id) + " has " +
+                std::to_string(st.offsets.size()) + " segments but clip " +
+                std::to_string(st.clip_index) + " has " + std::to_string(segs));
+        }
+    }
+
+    Phase1Replay replay;
+    replay.store = &store;
+    replay.graphs.reserve(clips.size());
+    for (const geo::SegmentedLayout& c : clips) {
+        replay.graphs.push_back(build_segment_graph(c, cfg_.graph_threshold_nm));
+    }
+    std::array<long long, rl::kNumActions> action_count{};
+    long long action_total = 0;
+    for (std::uint64_t i = 0; i < store.step_count(); ++i) {
+        for (std::uint8_t a : store.step(i).actions) {
+            ++action_count[a];
+            ++action_total;
+        }
+    }
+    replay.action_weight = action_weights_from_counts(action_count, action_total);
+    return replay;
 }
 
 double CamoEngine::run_phase2_episode(const std::vector<geo::SegmentedLayout>& clips,

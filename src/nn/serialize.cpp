@@ -40,6 +40,9 @@ bool load_params(const std::string& path, const std::vector<Parameter*>& params)
             for (float& v : vals) v = r.read_f32();
             values.push_back(std::move(vals));
         }
+        // Trailing bytes mean this is not the file save_params wrote —
+        // reject it under the same contract as a shape mismatch.
+        if (!r.ok() || !r.at_end()) return false;
         for (std::size_t i = 0; i < params.size(); ++i) {
             auto dst = params[i]->value.data();
             std::copy(values[i].begin(), values[i].end(), dst.begin());

@@ -1,0 +1,523 @@
+#include "rl/trajstore.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/file_io.hpp"
+
+namespace camo::rl {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+template <typename T>
+void append_raw(std::string& out, const T* data, std::size_t count) {
+    out.append(reinterpret_cast<const char*>(data), count * sizeof(T));
+}
+
+}  // namespace
+
+std::uint64_t store_payload_hash(std::span<const char> payload) {
+    return fnv1a(kFnvOffset, payload.data(), payload.size());
+}
+
+std::uint64_t state_key_hash(std::int32_t clip_index, std::span<const std::int32_t> offsets) {
+    std::uint64_t h = fnv1a(kFnvOffset, &clip_index, sizeof clip_index);
+    return fnv1a(h, offsets.data(), offsets.size() * sizeof(std::int32_t));
+}
+
+// ---- Writer ----------------------------------------------------------------
+
+TrajStoreWriter::TrajStoreWriter(std::string path, std::uint64_t dataset_tag)
+    : path_(std::move(path)), dataset_tag_(dataset_tag) {}
+
+std::uint64_t TrajStoreWriter::intern_state(std::int32_t clip_index, std::span<const int> offsets,
+                                            std::span<const nn::Tensor> features) {
+    // The Trajectory's int offsets are stored as i32; on every supported
+    // platform int IS 32-bit, but copy explicitly rather than alias.
+    std::vector<std::int32_t> off32(offsets.begin(), offsets.end());
+    const std::uint64_t key = state_key_hash(clip_index, off32);
+
+    auto& bucket = dedupe_[key];
+    for (const std::uint64_t id : bucket) {
+        const PackedState& s = states_[id];
+        if (s.clip_index != clip_index ||
+            s.num_segments != static_cast<std::int32_t>(off32.size())) {
+            continue;
+        }
+        if (std::memcmp(i32_heap_.data() + s.offsets_pos, off32.data(),
+                        off32.size() * sizeof(std::int32_t)) == 0) {
+            ++dedupe_hits_;
+            return id;
+        }
+    }
+
+    PackedState s;
+    s.clip_index = clip_index;
+    s.num_segments = static_cast<std::int32_t>(off32.size());
+    s.offsets_pos = i32_heap_.size();
+    s.key_hash = key;
+    i32_heap_.insert(i32_heap_.end(), off32.begin(), off32.end());
+
+    if (!features.empty()) {
+        if (features.size() != off32.size()) {
+            throw std::invalid_argument("TrajStoreWriter: one feature tensor per segment required");
+        }
+        const auto& shape = features.front().shape();
+        std::uint32_t dims[3] = {0, 0, 0};
+        if (shape.size() != 3) {
+            throw std::invalid_argument("TrajStoreWriter: feature tensors must be rank 3");
+        }
+        for (int d = 0; d < 3; ++d) {
+            dims[d] = static_cast<std::uint32_t>(shape[static_cast<std::size_t>(d)]);
+        }
+        // The first featureful state fixes the store-wide tensor shape; a
+        // featureful append into a store that already interned featureless
+        // states would leave those states without data, so reject it.
+        if (feature_dims_[0] == 0 && feature_dims_[1] == 0 && feature_dims_[2] == 0) {
+            if (!states_.empty()) {
+                throw std::invalid_argument(
+                    "TrajStoreWriter: featureful append into a featureless store");
+            }
+            feature_dims_[0] = dims[0];
+            feature_dims_[1] = dims[1];
+            feature_dims_[2] = dims[2];
+        }
+        if (dims[0] != feature_dims_[0] || dims[1] != feature_dims_[1] ||
+            dims[2] != feature_dims_[2]) {
+            throw std::invalid_argument("TrajStoreWriter: inconsistent feature tensor shape");
+        }
+        s.features_pos = f32_heap_.size();
+        for (const nn::Tensor& t : features) {
+            if (t.shape() != shape) {
+                throw std::invalid_argument("TrajStoreWriter: inconsistent feature tensor shape");
+            }
+            f32_heap_.insert(f32_heap_.end(), t.data().begin(), t.data().end());
+        }
+    } else if (feature_dims_[0] != 0 && !off32.empty()) {
+        throw std::invalid_argument(
+            "TrajStoreWriter: featureless append into a store holding features");
+    }
+
+    const std::uint64_t id = states_.size();
+    states_.push_back(s);
+    bucket.push_back(id);
+    return id;
+}
+
+void TrajStoreWriter::append(const Trajectory& traj,
+                             std::span<const std::span<const nn::Tensor>> step_features) {
+    // Validate the WHOLE trajectory before mutating any table or heap: a
+    // throwing append must leave the writer exactly as it was, so the caller
+    // can drop the bad record and keep collecting.
+    const bool featureful = !step_features.empty();
+    if (featureful && step_features.size() != traj.steps.size()) {
+        throw std::invalid_argument("TrajStoreWriter: step_features/steps size mismatch");
+    }
+    std::uint32_t want_dims[3] = {feature_dims_[0], feature_dims_[1], feature_dims_[2]};
+    for (std::size_t i = 0; i < traj.steps.size(); ++i) {
+        const StepRecord& rec = traj.steps[i];
+        if (rec.actions.size() != rec.offsets_before.size()) {
+            throw std::invalid_argument("TrajStoreWriter: offsets/actions length mismatch");
+        }
+        for (const int a : rec.actions) {
+            if (a < 0 || a >= kNumActions) {
+                throw std::invalid_argument("TrajStoreWriter: action index out of range");
+            }
+        }
+        if (featureful) {
+            const std::span<const nn::Tensor> feats = step_features[i];
+            if (feats.size() != rec.offsets_before.size()) {
+                throw std::invalid_argument(
+                    "TrajStoreWriter: one feature tensor per segment required");
+            }
+            if (!feats.empty() && want_dims[0] == 0 && want_dims[1] == 0 && want_dims[2] == 0 &&
+                !states_.empty()) {
+                throw std::invalid_argument(
+                    "TrajStoreWriter: featureful append into a featureless store");
+            }
+            for (const nn::Tensor& f : feats) {
+                const auto& shape = f.shape();
+                if (shape.size() != 3) {
+                    throw std::invalid_argument("TrajStoreWriter: feature tensors must be rank 3");
+                }
+                if (want_dims[0] == 0 && want_dims[1] == 0 && want_dims[2] == 0) {
+                    for (int d = 0; d < 3; ++d) {
+                        want_dims[d] =
+                            static_cast<std::uint32_t>(shape[static_cast<std::size_t>(d)]);
+                    }
+                }
+                if (static_cast<std::uint32_t>(shape[0]) != want_dims[0] ||
+                    static_cast<std::uint32_t>(shape[1]) != want_dims[1] ||
+                    static_cast<std::uint32_t>(shape[2]) != want_dims[2]) {
+                    throw std::invalid_argument(
+                        "TrajStoreWriter: inconsistent feature tensor shape");
+                }
+            }
+        } else if (feature_dims_[0] != 0 && !rec.offsets_before.empty()) {
+            throw std::invalid_argument(
+                "TrajStoreWriter: featureless append into a store holding features");
+        }
+    }
+
+    PackedTraj t;
+    t.clip_index = traj.clip_index;
+    t.initial_bias_nm = traj.initial_bias_nm;
+    t.step_begin = steps_.size();
+    t.step_count = static_cast<std::uint32_t>(traj.steps.size());
+    t.final_sum_abs_epe = traj.final_sum_abs_epe;
+    t.final_pvband = traj.final_pvband;
+    t.final_worst_epe = traj.final_worst_epe;
+    t.final_pv_band_exact = traj.final_pv_band_exact;
+    t.final_corner_pos = f64_heap_.size();
+    t.final_corner_count = static_cast<std::uint32_t>(traj.final_corner_epe.size());
+    f64_heap_.insert(f64_heap_.end(), traj.final_corner_epe.begin(), traj.final_corner_epe.end());
+
+    for (std::size_t i = 0; i < traj.steps.size(); ++i) {
+        const StepRecord& rec = traj.steps[i];
+        if (rec.actions.size() != rec.offsets_before.size()) {
+            throw std::invalid_argument("TrajStoreWriter: offsets/actions length mismatch");
+        }
+        PackedStep s;
+        s.state_id = intern_state(traj.clip_index, rec.offsets_before,
+                                  step_features.empty() ? std::span<const nn::Tensor>{}
+                                                        : step_features[i]);
+        s.actions_pos = u8_heap_.size();
+        for (const int a : rec.actions) {
+            if (a < 0 || a >= kNumActions) {
+                throw std::invalid_argument("TrajStoreWriter: action index out of range");
+            }
+            u8_heap_.push_back(static_cast<std::uint8_t>(a));
+        }
+        s.sum_abs_epe_before = rec.sum_abs_epe_before;
+        s.pvband_before = rec.pvband_before;
+        s.worst_epe_before = rec.worst_epe_before;
+        s.pv_band_exact_before = rec.pv_band_exact_before;
+        s.corner_pos = f64_heap_.size();
+        s.corner_count = static_cast<std::uint32_t>(rec.corner_epe_before.size());
+        f64_heap_.insert(f64_heap_.end(), rec.corner_epe_before.begin(),
+                         rec.corner_epe_before.end());
+        steps_.push_back(s);
+    }
+    trajs_.push_back(t);
+}
+
+std::uint64_t TrajStoreWriter::byte_size() const {
+    return sizeof(StoreHeader) + trajs_.size() * sizeof(PackedTraj) +
+           steps_.size() * sizeof(PackedStep) + states_.size() * sizeof(PackedState) +
+           f64_heap_.size() * sizeof(double) + f32_heap_.size() * sizeof(float) +
+           i32_heap_.size() * sizeof(std::int32_t) + u8_heap_.size() + sizeof(StoreFooter);
+}
+
+void TrajStoreWriter::flush() {
+    StoreHeader h;
+    h.magic = kStoreMagic;
+    h.version = kStoreVersion;
+    h.traj_count = trajs_.size();
+    h.step_count = steps_.size();
+    h.state_count = states_.size();
+    h.f64_count = f64_heap_.size();
+    h.f32_count = f32_heap_.size();
+    h.i32_count = i32_heap_.size();
+    h.u8_count = u8_heap_.size();
+    h.feature_dims[0] = feature_dims_[0];
+    h.feature_dims[1] = feature_dims_[1];
+    h.feature_dims[2] = feature_dims_[2];
+    h.dataset_tag = dataset_tag_;
+
+    std::string buf;
+    buf.reserve(byte_size());
+    append_raw(buf, &h, 1);
+    append_raw(buf, trajs_.data(), trajs_.size());
+    append_raw(buf, steps_.data(), steps_.size());
+    append_raw(buf, states_.data(), states_.size());
+    append_raw(buf, f64_heap_.data(), f64_heap_.size());
+    append_raw(buf, f32_heap_.data(), f32_heap_.size());
+    append_raw(buf, i32_heap_.data(), i32_heap_.size());
+    append_raw(buf, u8_heap_.data(), u8_heap_.size());
+
+    StoreFooter f;
+    f.magic = kStoreEndMagic;
+    f.payload_hash = store_payload_hash(buf);
+    append_raw(buf, &f, 1);
+
+    write_text_atomic(path_, buf);
+}
+
+// ---- Reader ----------------------------------------------------------------
+
+TrajStoreReader::TrajStoreReader(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw TrajStoreError("cannot open '" + path + "'", 0);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw TrajStoreError("cannot stat '" + path + "'", 0);
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    if (size_ < sizeof(StoreHeader) + sizeof(StoreFooter)) {
+        ::close(fd);
+        throw TrajStoreError("truncated header: file is " + std::to_string(size_) + " bytes",
+                             size_);
+    }
+    map_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map_ == MAP_FAILED) {
+        map_ = nullptr;
+        throw TrajStoreError("mmap failed for '" + path + "'", 0);
+    }
+
+    const char* base = static_cast<const char*>(map_);
+    header_ = reinterpret_cast<const StoreHeader*>(base);
+    try {
+        if (header_->magic != kStoreMagic) throw TrajStoreError("bad magic", 0);
+        if (header_->version != kStoreVersion) {
+            throw TrajStoreError("unsupported version " + std::to_string(header_->version), 4);
+        }
+        // Exact size check before touching any section: every count claims
+        // at least one byte per element, so a count beyond the file size is
+        // already invalid — that also makes the multiply-free overflow guard.
+        const StoreHeader& h = *header_;
+        const std::uint64_t counts[] = {h.traj_count, h.step_count, h.state_count,
+                                        h.f64_count,  h.f32_count,  h.i32_count,
+                                        h.u8_count};
+        for (const std::uint64_t c : counts) {
+            if (c > size_) throw TrajStoreError("section count exceeds file size", 0);
+        }
+        const std::uint64_t expected =
+            sizeof(StoreHeader) + h.traj_count * sizeof(PackedTraj) +
+            h.step_count * sizeof(PackedStep) + h.state_count * sizeof(PackedState) +
+            h.f64_count * sizeof(double) + h.f32_count * sizeof(float) +
+            h.i32_count * sizeof(std::int32_t) + h.u8_count + sizeof(StoreFooter);
+        if (size_ < expected) {
+            throw TrajStoreError("torn tail: file is " + std::to_string(size_) +
+                                     " bytes, sections claim " + std::to_string(expected),
+                                 size_);
+        }
+        if (size_ > expected) {
+            throw TrajStoreError("trailing bytes: file is " + std::to_string(size_) +
+                                     " bytes, sections claim " + std::to_string(expected),
+                                 expected);
+        }
+
+        std::uint64_t off = sizeof(StoreHeader);
+        trajs_ = reinterpret_cast<const PackedTraj*>(base + off);
+        off += h.traj_count * sizeof(PackedTraj);
+        steps_ = reinterpret_cast<const PackedStep*>(base + off);
+        off += h.step_count * sizeof(PackedStep);
+        states_ = reinterpret_cast<const PackedState*>(base + off);
+        off += h.state_count * sizeof(PackedState);
+        f64_heap_ = reinterpret_cast<const double*>(base + off);
+        off += h.f64_count * sizeof(double);
+        f32_heap_ = reinterpret_cast<const float*>(base + off);
+        off += h.f32_count * sizeof(float);
+        i32_heap_ = reinterpret_cast<const std::int32_t*>(base + off);
+        off += h.i32_count * sizeof(std::int32_t);
+        u8_heap_ = reinterpret_cast<const std::uint8_t*>(base + off);
+        off += h.u8_count;
+
+        const StoreFooter* footer = reinterpret_cast<const StoreFooter*>(base + off);
+        if (footer->magic != kStoreEndMagic) {
+            throw TrajStoreError("torn tail: bad end marker", off);
+        }
+        if (footer->payload_hash != store_payload_hash({base, off})) {
+            throw TrajStoreError("payload checksum mismatch", off + 8);
+        }
+
+        validate();
+    } catch (...) {
+        ::munmap(map_, size_);
+        map_ = nullptr;
+        throw;
+    }
+}
+
+void TrajStoreReader::validate() const {
+    const StoreHeader& h = *header_;
+    const std::uint64_t numel = feature_numel();
+    const char* base = static_cast<const char*>(map_);
+
+    for (std::uint64_t i = 0; i < h.state_count; ++i) {
+        const PackedState& s = states_[i];
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(reinterpret_cast<const char*>(&s) - base);
+        if (s.num_segments < 0) throw TrajStoreError("ragged state: negative segment count", off);
+        const auto n = static_cast<std::uint64_t>(s.num_segments);
+        if (s.offsets_pos > h.i32_count || n > h.i32_count - s.offsets_pos) {
+            throw TrajStoreError("ragged state: offsets out of heap bounds", off);
+        }
+        if (numel > 0) {
+            if (s.features_pos > h.f32_count || n * numel > h.f32_count - s.features_pos) {
+                throw TrajStoreError("ragged state: features out of heap bounds", off);
+            }
+        }
+        const std::uint64_t key = state_key_hash(
+            s.clip_index, {i32_heap_ + s.offsets_pos, static_cast<std::size_t>(s.num_segments)});
+        if (key != s.key_hash) {
+            throw TrajStoreError("dedupe index mismatch: state key hash does not match offsets",
+                                 off);
+        }
+    }
+
+    for (std::uint64_t i = 0; i < h.step_count; ++i) {
+        const PackedStep& s = steps_[i];
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(reinterpret_cast<const char*>(&s) - base);
+        if (s.state_id >= h.state_count) {
+            throw TrajStoreError("ragged step: state id out of range", off);
+        }
+        const auto n = static_cast<std::uint64_t>(states_[s.state_id].num_segments);
+        if (s.actions_pos > h.u8_count || n > h.u8_count - s.actions_pos) {
+            throw TrajStoreError("ragged step: actions out of heap bounds", off);
+        }
+        for (std::uint64_t a = 0; a < n; ++a) {
+            if (u8_heap_[s.actions_pos + a] >= kNumActions) {
+                throw TrajStoreError("ragged step: action index out of range", off);
+            }
+        }
+        if (s.corner_pos > h.f64_count || s.corner_count > h.f64_count - s.corner_pos) {
+            throw TrajStoreError("ragged step: corner range out of heap bounds", off);
+        }
+    }
+
+    std::uint64_t next_step = 0;
+    for (std::uint64_t i = 0; i < h.traj_count; ++i) {
+        const PackedTraj& t = trajs_[i];
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(reinterpret_cast<const char*>(&t) - base);
+        // Append-only invariant: trajectory step ranges tile the step table
+        // in order, so replay order is exactly append order.
+        if (t.step_begin != next_step || t.step_count > h.step_count - t.step_begin) {
+            throw TrajStoreError("ragged trajectory: step range is not contiguous", off);
+        }
+        next_step = t.step_begin + t.step_count;
+        if (t.final_corner_pos > h.f64_count ||
+            t.final_corner_count > h.f64_count - t.final_corner_pos) {
+            throw TrajStoreError("ragged trajectory: final corner range out of heap bounds", off);
+        }
+    }
+    if (next_step != h.step_count) {
+        throw TrajStoreError("ragged trajectory table: step table has orphan records",
+                             sizeof(StoreHeader));
+    }
+}
+
+TrajStoreReader::~TrajStoreReader() {
+    if (map_ != nullptr) ::munmap(map_, size_);
+}
+
+TrajStoreReader::TrajStoreReader(TrajStoreReader&& other) noexcept { *this = std::move(other); }
+
+TrajStoreReader& TrajStoreReader::operator=(TrajStoreReader&& other) noexcept {
+    if (this != &other) {
+        if (map_ != nullptr) ::munmap(map_, size_);
+        header_ = other.header_;
+        trajs_ = other.trajs_;
+        steps_ = other.steps_;
+        states_ = other.states_;
+        f64_heap_ = other.f64_heap_;
+        f32_heap_ = other.f32_heap_;
+        i32_heap_ = other.i32_heap_;
+        u8_heap_ = other.u8_heap_;
+        map_ = other.map_;
+        size_ = other.size_;
+        other.map_ = nullptr;
+        other.size_ = 0;
+        other.header_ = nullptr;
+    }
+    return *this;
+}
+
+std::array<std::uint32_t, 3> TrajStoreReader::feature_dims() const {
+    return {header_->feature_dims[0], header_->feature_dims[1], header_->feature_dims[2]};
+}
+
+std::uint64_t TrajStoreReader::feature_numel() const {
+    return static_cast<std::uint64_t>(header_->feature_dims[0]) * header_->feature_dims[1] *
+           header_->feature_dims[2];
+}
+
+TrajStoreReader::StateView TrajStoreReader::state(std::uint64_t id) const {
+    const PackedState& s = states_[id];
+    const auto n = static_cast<std::size_t>(s.num_segments);
+    StateView v;
+    v.clip_index = s.clip_index;
+    v.offsets = {i32_heap_ + s.offsets_pos, n};
+    const std::uint64_t numel = feature_numel();
+    if (numel > 0) v.features = {f32_heap_ + s.features_pos, n * numel};
+    return v;
+}
+
+TrajStoreReader::StepView TrajStoreReader::step(std::uint64_t i) const {
+    const PackedStep& s = steps_[i];
+    const auto n = static_cast<std::size_t>(states_[s.state_id].num_segments);
+    StepView v;
+    v.state_id = s.state_id;
+    v.actions = {u8_heap_ + s.actions_pos, n};
+    v.sum_abs_epe_before = s.sum_abs_epe_before;
+    v.pvband_before = s.pvband_before;
+    v.worst_epe_before = s.worst_epe_before;
+    v.pv_band_exact_before = s.pv_band_exact_before;
+    v.corner_epe_before = {f64_heap_ + s.corner_pos, s.corner_count};
+    return v;
+}
+
+TrajStoreReader::TrajView TrajStoreReader::traj(std::uint64_t i) const {
+    const PackedTraj& t = trajs_[i];
+    TrajView v;
+    v.clip_index = t.clip_index;
+    v.initial_bias_nm = t.initial_bias_nm;
+    v.step_begin = t.step_begin;
+    v.steps = t.step_count;
+    v.final_sum_abs_epe = t.final_sum_abs_epe;
+    v.final_pvband = t.final_pvband;
+    v.final_worst_epe = t.final_worst_epe;
+    v.final_pv_band_exact = t.final_pv_band_exact;
+    v.final_corner_epe = {f64_heap_ + t.final_corner_pos, t.final_corner_count};
+    return v;
+}
+
+Trajectory TrajStoreReader::decode(std::uint64_t i) const {
+    const TrajView t = traj(i);
+    Trajectory out;
+    out.clip_index = t.clip_index;
+    out.initial_bias_nm = t.initial_bias_nm;
+    out.final_sum_abs_epe = t.final_sum_abs_epe;
+    out.final_pvband = t.final_pvband;
+    out.final_worst_epe = t.final_worst_epe;
+    out.final_pv_band_exact = t.final_pv_band_exact;
+    out.final_corner_epe.assign(t.final_corner_epe.begin(), t.final_corner_epe.end());
+    out.steps.reserve(t.steps);
+    for (std::uint64_t k = 0; k < t.steps; ++k) {
+        const StepView s = step(t.step_begin + k);
+        const StateView st = state(s.state_id);
+        StepRecord rec;
+        rec.offsets_before.assign(st.offsets.begin(), st.offsets.end());
+        rec.actions.reserve(s.actions.size());
+        for (const std::uint8_t a : s.actions) rec.actions.push_back(a);
+        rec.sum_abs_epe_before = s.sum_abs_epe_before;
+        rec.pvband_before = s.pvband_before;
+        rec.worst_epe_before = s.worst_epe_before;
+        rec.pv_band_exact_before = s.pv_band_exact_before;
+        rec.corner_epe_before.assign(s.corner_epe_before.begin(), s.corner_epe_before.end());
+        out.steps.push_back(std::move(rec));
+    }
+    return out;
+}
+
+}  // namespace camo::rl

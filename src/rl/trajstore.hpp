@@ -1,0 +1,275 @@
+// Packed on-disk trajectory store: collect-once / replay-many teacher data.
+//
+// Teacher trajectories used to live only as transient in-memory objects, so
+// every training run paid the full collection cost and training scale was
+// capped at one process. The store decouples the two: N collectors append
+// trajectories (plus their squish-encoded per-step states) into one packed
+// binary file, and any number of trainers replay phase-1 minibatches
+// straight from a memory mapping — zero-copy, byte-identical to in-memory
+// training.
+//
+// File layout (version 1, all little-endian, every struct #pragma pack(1)):
+//
+//   StoreHeader                         magic 'CTRJ', version, section counts
+//   PackedTraj  [traj_count]            fixed-width trajectory records
+//   PackedStep  [step_count]            fixed-width step records
+//   PackedState [state_count]           deduped (clip, offsets) state table
+//   f64 heap    [f64_count]             per-corner |EPE| vectors
+//   f32 heap    [f32_count]             squish feature tensors
+//   i32 heap    [i32_count]             segment-offset vectors
+//   u8  heap    [u8_count]              action bytes (one per segment)
+//   StoreFooter                         end marker + FNV-1a payload hash
+//
+// Section order keeps every heap naturally aligned in the mapping (doubles
+// on 8, floats/ints on 4), so readers hand out spans over the raw bytes.
+//
+// Dedupe: steps reference states through a (clip_index, offsets)-keyed
+// table — the rule teacher revisits converged states constantly (with
+// early_exit off, a converged trajectory repeats its final offsets every
+// remaining step), so repeated squish encodings are stored exactly once.
+//
+// Atomicity / torn-tail contract: the writer buffers appended records and
+// each flush() publishes the ENTIRE store via write-to-tmp + atomic rename
+// (camo::write_text_atomic), so a reader never observes a partial chunk; a
+// crash loses at most the records appended since the last flush. On open
+// the reader verifies magic, version, exact section-derived file size, the
+// footer end marker and the payload hash, then bounds-checks every record's
+// heap references and re-derives every state's dedupe key — truncated,
+// torn, concatenated or bit-flipped files fail with a typed TrajStoreError
+// (reason + byte offset), never a misread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "rl/trajectory.hpp"
+
+namespace camo::rl {
+
+/// Typed parse/validation failure, in the spirit of layout::GdsParseError:
+/// carries the byte offset of the offending structure.
+class TrajStoreError : public std::runtime_error {
+public:
+    TrajStoreError(const std::string& what, std::uint64_t offset)
+        : std::runtime_error("trajstore: " + what + " (at byte " + std::to_string(offset) + ")"),
+          offset_(offset) {}
+
+    [[nodiscard]] std::uint64_t offset() const { return offset_; }
+
+private:
+    std::uint64_t offset_;
+};
+
+#pragma pack(push, 1)
+
+struct StoreHeader {
+    std::uint32_t magic = 0;    ///< kStoreMagic
+    std::uint32_t version = 0;  ///< kStoreVersion
+    std::uint64_t traj_count = 0;
+    std::uint64_t step_count = 0;
+    std::uint64_t state_count = 0;
+    std::uint64_t f64_count = 0;  ///< corner-|EPE| heap entries
+    std::uint64_t f32_count = 0;  ///< feature heap floats
+    std::uint64_t i32_count = 0;  ///< offset heap entries
+    std::uint64_t u8_count = 0;   ///< action heap bytes
+    /// Squish feature tensor shape shared by every state ({6, size, size});
+    /// all-zero in a featureless store (raw trajectories only, no replay).
+    std::uint32_t feature_dims[3] = {0, 0, 0};
+    /// Caller-chosen provenance hash of the clip set the store was collected
+    /// on (generator style, seed, clip count, ...). Replay validates it so a
+    /// store is never silently trained against the wrong clips.
+    std::uint64_t dataset_tag = 0;
+    std::uint32_t reserved = 0;
+};
+static_assert(sizeof(StoreHeader) == 88);
+
+/// One deduped mask state: the segment offsets and (optionally) the
+/// squish-encoded per-segment feature tensors observed at those offsets.
+struct PackedState {
+    std::int32_t clip_index = 0;
+    std::int32_t num_segments = 0;
+    std::uint64_t offsets_pos = 0;   ///< i32 heap index, length num_segments
+    std::uint64_t features_pos = 0;  ///< f32 heap index, num_segments * feature_numel
+    std::uint64_t key_hash = 0;      ///< state_key_hash(clip_index, offsets)
+};
+static_assert(sizeof(PackedState) == 32);
+
+struct PackedStep {
+    std::uint64_t state_id = 0;    ///< index into the state table
+    std::uint64_t actions_pos = 0; ///< u8 heap index, length = state.num_segments
+    double sum_abs_epe_before = 0.0;
+    double pvband_before = 0.0;
+    double worst_epe_before = 0.0;
+    double pv_band_exact_before = 0.0;
+    std::uint64_t corner_pos = 0;  ///< f64 heap index
+    std::uint32_t corner_count = 0;
+    std::uint32_t reserved = 0;
+};
+static_assert(sizeof(PackedStep) == 64);
+
+struct PackedTraj {
+    std::int32_t clip_index = 0;
+    std::int32_t initial_bias_nm = 0;
+    std::uint64_t step_begin = 0;  ///< index into the step table (contiguous)
+    std::uint32_t step_count = 0;
+    std::uint32_t reserved = 0;
+    double final_sum_abs_epe = 0.0;
+    double final_pvband = 0.0;
+    double final_worst_epe = 0.0;
+    double final_pv_band_exact = 0.0;
+    std::uint64_t final_corner_pos = 0;  ///< f64 heap index
+    std::uint32_t final_corner_count = 0;
+    std::uint32_t reserved2 = 0;
+};
+static_assert(sizeof(PackedTraj) == 72);
+
+struct StoreFooter {
+    std::uint32_t magic = 0;  ///< kStoreEndMagic — torn-tail sentinel
+    std::uint32_t reserved = 0;
+    std::uint64_t payload_hash = 0;  ///< store_payload_hash over [0, footer)
+};
+static_assert(sizeof(StoreFooter) == 16);
+
+#pragma pack(pop)
+
+inline constexpr std::uint32_t kStoreMagic = 0x4A525443U;     // "CTRJ"
+inline constexpr std::uint32_t kStoreEndMagic = 0x43545246U;  // "FRTC"
+inline constexpr std::uint32_t kStoreVersion = 1;
+
+/// FNV-1a 64 over a byte range; the footer seals the whole payload with it.
+/// Exposed so tests can re-seal deliberately corrupted stores and exercise
+/// the structural validators behind the checksum gate.
+[[nodiscard]] std::uint64_t store_payload_hash(std::span<const char> payload);
+
+/// Dedupe key of a mask state: FNV-1a over clip_index then the offsets.
+/// Stored per state and re-derived on open, so an index entry that no
+/// longer matches its heap data (bit rot, bad concatenation) is rejected.
+[[nodiscard]] std::uint64_t state_key_hash(std::int32_t clip_index,
+                                           std::span<const std::int32_t> offsets);
+
+/// Append-only store writer. Records accumulate in memory in append order
+/// (the caller is responsible for canonical clip-major / bias-minor order —
+/// CamoEngine::collect_teacher_data's gathered job order provides it, which
+/// is what makes the file bytes worker-count independent); flush() publishes
+/// everything appended so far as one complete, validated file via atomic
+/// rename. States are deduped on (clip_index, offsets) as they arrive.
+class TrajStoreWriter {
+public:
+    explicit TrajStoreWriter(std::string path, std::uint64_t dataset_tag = 0);
+
+    /// Append one trajectory. `step_features[t]` holds the per-segment
+    /// squish tensors of steps[t] (same tensor shape everywhere); pass an
+    /// empty span for a featureless store (no replay, raw records only).
+    /// Throws std::invalid_argument on malformed input (step/feature count
+    /// mismatch, offsets/actions length mismatch, inconsistent shapes).
+    void append(const Trajectory& traj,
+                std::span<const std::span<const nn::Tensor>> step_features = {});
+
+    /// Atomically publish all records appended so far (write tmp + rename).
+    /// Throws std::runtime_error on I/O failure.
+    void flush();
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] std::uint64_t trajectories() const { return trajs_.size(); }
+    [[nodiscard]] std::uint64_t steps() const { return steps_.size(); }
+    [[nodiscard]] std::uint64_t states() const { return states_.size(); }
+    /// Steps that reused an already-stored state.
+    [[nodiscard]] std::uint64_t dedupe_hits() const { return dedupe_hits_; }
+    /// Serialized size of the store as of the last append.
+    [[nodiscard]] std::uint64_t byte_size() const;
+
+private:
+    std::uint64_t intern_state(std::int32_t clip_index, std::span<const int> offsets,
+                               std::span<const nn::Tensor> features);
+
+    std::string path_;
+    std::uint64_t dataset_tag_ = 0;
+    std::uint32_t feature_dims_[3] = {0, 0, 0};
+    std::vector<PackedTraj> trajs_;
+    std::vector<PackedStep> steps_;
+    std::vector<PackedState> states_;
+    std::vector<double> f64_heap_;
+    std::vector<float> f32_heap_;
+    std::vector<std::int32_t> i32_heap_;
+    std::vector<std::uint8_t> u8_heap_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> dedupe_;  ///< hash -> state ids
+    std::uint64_t dedupe_hits_ = 0;
+};
+
+/// Memory-mapped zero-copy reader. The constructor maps the file and fully
+/// validates it (see the torn-tail contract above); accessors then return
+/// views straight into the mapping, valid for the reader's lifetime.
+class TrajStoreReader {
+public:
+    explicit TrajStoreReader(const std::string& path);  ///< throws TrajStoreError
+    ~TrajStoreReader();
+
+    TrajStoreReader(TrajStoreReader&&) noexcept;
+    TrajStoreReader& operator=(TrajStoreReader&&) noexcept;
+    TrajStoreReader(const TrajStoreReader&) = delete;
+    TrajStoreReader& operator=(const TrajStoreReader&) = delete;
+
+    [[nodiscard]] std::uint64_t traj_count() const { return header_->traj_count; }
+    [[nodiscard]] std::uint64_t step_count() const { return header_->step_count; }
+    [[nodiscard]] std::uint64_t state_count() const { return header_->state_count; }
+    [[nodiscard]] std::uint64_t dataset_tag() const { return header_->dataset_tag; }
+    /// {0,0,0} in a featureless store.
+    [[nodiscard]] std::array<std::uint32_t, 3> feature_dims() const;
+    [[nodiscard]] std::uint64_t feature_numel() const;
+    [[nodiscard]] std::uint64_t file_bytes() const { return size_; }
+
+    struct StateView {
+        std::int32_t clip_index = 0;
+        std::span<const std::int32_t> offsets;
+        std::span<const float> features;  ///< empty in a featureless store
+    };
+    struct StepView {
+        std::uint64_t state_id = 0;
+        std::span<const std::uint8_t> actions;
+        double sum_abs_epe_before = 0.0;
+        double pvband_before = 0.0;
+        double worst_epe_before = 0.0;
+        double pv_band_exact_before = 0.0;
+        std::span<const double> corner_epe_before;
+    };
+    struct TrajView {
+        std::int32_t clip_index = 0;
+        std::int32_t initial_bias_nm = 0;
+        std::uint64_t step_begin = 0;
+        std::uint32_t steps = 0;
+        double final_sum_abs_epe = 0.0;
+        double final_pvband = 0.0;
+        double final_worst_epe = 0.0;
+        double final_pv_band_exact = 0.0;
+        std::span<const double> final_corner_epe;
+    };
+
+    [[nodiscard]] StateView state(std::uint64_t id) const;
+    [[nodiscard]] StepView step(std::uint64_t i) const;
+    [[nodiscard]] TrajView traj(std::uint64_t i) const;
+
+    /// Full in-memory reconstruction of trajectory `i` (offsets copied back
+    /// from the deduped state table), inverse of TrajStoreWriter::append.
+    [[nodiscard]] Trajectory decode(std::uint64_t i) const;
+
+private:
+    void validate() const;
+
+    const StoreHeader* header_ = nullptr;
+    const PackedTraj* trajs_ = nullptr;
+    const PackedStep* steps_ = nullptr;
+    const PackedState* states_ = nullptr;
+    const double* f64_heap_ = nullptr;
+    const float* f32_heap_ = nullptr;
+    const std::int32_t* i32_heap_ = nullptr;
+    const std::uint8_t* u8_heap_ = nullptr;
+    void* map_ = nullptr;
+    std::uint64_t size_ = 0;
+};
+
+}  // namespace camo::rl

@@ -138,6 +138,53 @@ TEST(CliRobustness, ServeFlags) {
     expect_usage_exit("serve --no-such-flag");
 }
 
+TEST(CliRobustness, CollectFlags) {
+    expect_usage_exit("collect");  // --out is required
+    expect_usage_exit("collect --out s.ctrj --style bogus");
+    expect_usage_exit("collect --out s.ctrj --clips 0");
+    expect_usage_exit("collect --out s.ctrj --clips abc");
+    expect_usage_exit("collect --out s.ctrj --train-workers 1.5");
+    expect_usage_exit("collect --out s.ctrj --seed -1");
+    expect_usage_exit("collect --out s.ctrj --no-such-flag");
+    expect_usage_exit("collect --out s.ctrj --from-store x");  // train-only flag
+}
+
+TEST(CliRobustness, TrainFlags) {
+    expect_usage_exit("train");  // --from-store and --weights are required
+    expect_usage_exit("train --from-store s.ctrj");
+    expect_usage_exit("train --weights w.bin");
+    const std::string base = "train --from-store s.ctrj --weights w.bin ";
+    expect_usage_exit(base + "--style bogus");
+    expect_usage_exit(base + "--epochs 0");
+    expect_usage_exit(base + "--epochs five");
+    expect_usage_exit(base + "--clips -1");
+    expect_usage_exit(base + "--train-workers abc");
+    expect_usage_exit(base + "--seed 99999999999999999999999");
+    expect_usage_exit(base + "--no-such-flag");
+    expect_usage_exit(base + "--out x.ctrj");  // collect-only flag
+}
+
+/// Exit status of `pretrain <args>` (CAMO_PRETRAIN_PATH) with output discarded.
+int run_pretrain(const std::string& args) {
+    const std::string cmd = std::string(CAMO_PRETRAIN_PATH) + " " + args + " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1) << cmd;
+    EXPECT_TRUE(WIFEXITED(rc)) << "crashed (signal " << WTERMSIG(rc) << "): " << cmd;
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(CliRobustness, PretrainFlags) {
+    // atoi regression: garbage used to silently become 0 (= all hardware
+    // threads); now every malformed value is a diagnostic + exit 2.
+    EXPECT_EQ(run_pretrain("--train-workers abc"), 2);
+    EXPECT_EQ(run_pretrain("--train-workers 1.5"), 2);
+    EXPECT_EQ(run_pretrain("--train-workers 2x"), 2);
+    EXPECT_EQ(run_pretrain("--train-workers 99999999999999999999"), 2);
+    EXPECT_EQ(run_pretrain("--train-workers"), 2);  // missing value
+    EXPECT_EQ(run_pretrain("--log-level bogus"), 2);
+    EXPECT_EQ(run_pretrain("--no-such-flag"), 2);
+}
+
 TEST(CliRobustness, ChipgenHappyPathStillWorks) {
     const std::string out = testing::TempDir() + "cli_robustness_chip.gds";
     EXPECT_EQ(run_cli("chipgen --out " + out + " --cols 1 --rows 1"), 0);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "common/rng.hpp"
@@ -390,6 +391,23 @@ TEST(Serialize, RejectsShapeMismatch) {
     Linear c(5, 2, rng);
     save_params(path, a.params());
     EXPECT_FALSE(load_params(path, c.params()));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+    // A concatenated or truncated-then-appended weights file must not load:
+    // the stream has to end exactly where the last parameter does.
+    const std::string path = testing::TempDir() + "camo_net_trailing.bin";
+    Rng rng(17);
+    Linear a(3, 4, rng);
+    Linear b(3, 4, rng);
+    save_params(path, a.params());
+    {
+        std::ofstream app(path, std::ios::binary | std::ios::app);
+        const char junk[4] = {0, 1, 2, 3};
+        app.write(junk, sizeof junk);
+    }
+    EXPECT_FALSE(load_params(path, b.params()));
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,503 @@
+// Packed trajectory store suite (PR 10).
+//
+// Three layers of coverage:
+//  - format: round-trip fuzz over random trajectories (featureless and
+//    featureful), state dedupe, and a corrupt-file corpus in the spirit of
+//    the GDS parser corpus — every truncated / torn / bit-flipped / ragged
+//    variant must fail with a typed TrajStoreError, never misread.
+//  - determinism: collect_teacher_data's store sink writes byte-identical
+//    files at 1/2/8 train workers.
+//  - replay: phase-1 training streamed from the store produces weights
+//    byte-identical to in-memory training on the same collection.
+//
+// Corrupt-corpus technique: structural validators sit BEHIND the checksum
+// gate, so targeted corruptions re-seal the footer hash (store_payload_hash
+// is public exactly for this) after patching bytes — proving the validators
+// themselves catch the damage, not just the checksum.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/camo.hpp"
+#include "core/experiment.hpp"
+#include "layout/via_gen.hpp"
+#include "litho/simulator.hpp"
+#include "rl/trajstore.hpp"
+
+namespace camo::rl {
+namespace {
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Recompute the footer payload hash after a deliberate corruption, so the
+/// reader's structural validators (not the checksum) are what reject it.
+void reseal(std::string& bytes) {
+    ASSERT_GE(bytes.size(), sizeof(StoreFooter));
+    const std::size_t payload = bytes.size() - sizeof(StoreFooter);
+    const std::uint64_t h = store_payload_hash({bytes.data(), payload});
+    std::memcpy(bytes.data() + payload + offsetof(StoreFooter, payload_hash), &h, sizeof h);
+}
+
+void expect_rejected(const std::string& path, const std::string& bytes,
+                     const std::string& why_substr) {
+    write_file(path, bytes);
+    try {
+        TrajStoreReader reader(path);
+        FAIL() << "expected TrajStoreError (" << why_substr << ")";
+    } catch (const TrajStoreError& e) {
+        EXPECT_NE(std::string(e.what()).find(why_substr), std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+/// Deterministic random trajectory; `segments` fixes the per-step width
+/// (one state per step, offsets drawn in the teacher's plausible range).
+Trajectory random_trajectory(Rng& rng, int clip_index, int segments, int steps) {
+    Trajectory t;
+    t.clip_index = clip_index;
+    t.initial_bias_nm = static_cast<int>(rng.uniform_int(0, 6)) - 3;
+    t.final_sum_abs_epe = rng.uniform(0.0, 1.0);
+    t.final_pvband = rng.uniform(0.0, 1.0);
+    t.final_worst_epe = rng.uniform(0.0, 1.0);
+    t.final_pv_band_exact = rng.uniform(0.0, 1.0);
+    const int corners = static_cast<int>(rng.uniform_int(0, 3));
+    for (int c = 0; c < corners; ++c) t.final_corner_epe.push_back(rng.uniform(0.0, 1.0));
+    for (int s = 0; s < steps; ++s) {
+        StepRecord rec;
+        for (int i = 0; i < segments; ++i) {
+            rec.offsets_before.push_back(static_cast<int>(rng.uniform_int(0, 16)) - 8);
+            rec.actions.push_back(static_cast<int>(rng.uniform_int(0, kNumActions - 1)));
+        }
+        rec.sum_abs_epe_before = rng.uniform(0.0, 1.0);
+        rec.pvband_before = rng.uniform(0.0, 1.0);
+        rec.worst_epe_before = rng.uniform(0.0, 1.0);
+        rec.pv_band_exact_before = rng.uniform(0.0, 1.0);
+        for (int c = 0; c < corners; ++c) rec.corner_epe_before.push_back(rng.uniform(0.0, 1.0));
+        t.steps.push_back(std::move(rec));
+    }
+    return t;
+}
+
+void expect_same_trajectory(const Trajectory& a, const Trajectory& b) {
+    EXPECT_EQ(a.clip_index, b.clip_index);
+    EXPECT_EQ(a.initial_bias_nm, b.initial_bias_nm);
+    EXPECT_EQ(a.final_sum_abs_epe, b.final_sum_abs_epe);
+    EXPECT_EQ(a.final_pvband, b.final_pvband);
+    EXPECT_EQ(a.final_worst_epe, b.final_worst_epe);
+    EXPECT_EQ(a.final_pv_band_exact, b.final_pv_band_exact);
+    EXPECT_EQ(a.final_corner_epe, b.final_corner_epe);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t s = 0; s < a.steps.size(); ++s) {
+        EXPECT_EQ(a.steps[s].offsets_before, b.steps[s].offsets_before);
+        EXPECT_EQ(a.steps[s].actions, b.steps[s].actions);
+        EXPECT_EQ(a.steps[s].sum_abs_epe_before, b.steps[s].sum_abs_epe_before);
+        EXPECT_EQ(a.steps[s].pvband_before, b.steps[s].pvband_before);
+        EXPECT_EQ(a.steps[s].worst_epe_before, b.steps[s].worst_epe_before);
+        EXPECT_EQ(a.steps[s].pv_band_exact_before, b.steps[s].pv_band_exact_before);
+        EXPECT_EQ(a.steps[s].corner_epe_before, b.steps[s].corner_epe_before);
+    }
+}
+
+// ---- Format: round trip, dedupe, corruption --------------------------------
+
+TEST(TrajStore, RoundTripFuzzFeatureless) {
+    const std::string path = temp_path("trajstore_fuzz.ctrj");
+    Rng rng(101);
+    for (int round = 0; round < 5; ++round) {
+        TrajStoreWriter writer(path, 77);
+        std::vector<Trajectory> ref;
+        const int count = 1 + static_cast<int>(rng.uniform_int(0, 5));
+        for (int i = 0; i < count; ++i) {
+            const int segments = static_cast<int>(rng.uniform_int(0, 8));  // 0 is legal
+            const int steps = static_cast<int>(rng.uniform_int(0, 4));
+            ref.push_back(random_trajectory(rng, i, segments, steps));
+            writer.append(ref.back());
+        }
+        writer.flush();
+
+        TrajStoreReader reader(path);
+        EXPECT_EQ(reader.dataset_tag(), 77U);
+        EXPECT_EQ(reader.feature_numel(), 0U);
+        ASSERT_EQ(reader.traj_count(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            expect_same_trajectory(ref[i], reader.decode(i));
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TrajStore, RoundTripWithFeaturesIsExact) {
+    const std::string path = temp_path("trajstore_feat.ctrj");
+    Rng rng(102);
+    const int segments = 3;
+    Trajectory t = random_trajectory(rng, 0, segments, 2);
+    std::vector<std::vector<nn::Tensor>> feats(t.steps.size());
+    for (auto& step_feats : feats) {
+        for (int i = 0; i < segments; ++i) {
+            nn::Tensor f({2, 4, 4});
+            for (std::size_t k = 0; k < f.numel(); ++k) {
+                f.data()[k] = static_cast<float>(rng.uniform(0.0, 1.0));
+            }
+            step_feats.push_back(std::move(f));
+        }
+    }
+    TrajStoreWriter writer(path);
+    std::vector<std::span<const nn::Tensor>> spans(feats.begin(), feats.end());
+    writer.append(t, spans);
+    writer.flush();
+
+    TrajStoreReader reader(path);
+    EXPECT_EQ(reader.feature_dims(), (std::array<std::uint32_t, 3>{2, 4, 4}));
+    EXPECT_EQ(reader.feature_numel(), 32U);
+    expect_same_trajectory(t, reader.decode(0));
+    for (std::size_t s = 0; s < t.steps.size(); ++s) {
+        const auto view = reader.state(reader.step(s).state_id);
+        ASSERT_EQ(view.features.size(), segments * reader.feature_numel());
+        for (int i = 0; i < segments; ++i) {
+            // Feature floats must come back bit-exact — replay determinism
+            // depends on it.
+            EXPECT_EQ(std::memcmp(view.features.data() + i * reader.feature_numel(),
+                                  feats[s][static_cast<std::size_t>(i)].data().data(),
+                                  reader.feature_numel() * sizeof(float)),
+                      0);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TrajStore, DedupesRepeatedStates) {
+    const std::string path = temp_path("trajstore_dedupe.ctrj");
+    Trajectory t;
+    t.clip_index = 4;
+    for (int s = 0; s < 6; ++s) {
+        StepRecord rec;
+        rec.offsets_before = {1, -2, 3};  // identical state every step
+        rec.actions = {0, 2, 4};
+        t.steps.push_back(rec);
+    }
+    // A second trajectory revisiting the same offsets on the same clip.
+    TrajStoreWriter writer(path);
+    writer.append(t);
+    writer.append(t);
+    writer.flush();
+
+    EXPECT_EQ(writer.steps(), 12U);
+    EXPECT_EQ(writer.states(), 1U);
+    EXPECT_EQ(writer.dedupe_hits(), 11U);
+
+    TrajStoreReader reader(path);
+    EXPECT_EQ(reader.state_count(), 1U);
+    expect_same_trajectory(t, reader.decode(0));
+    expect_same_trajectory(t, reader.decode(1));
+
+    // Same offsets on a DIFFERENT clip is a different state.
+    Trajectory other = t;
+    other.clip_index = 5;
+    TrajStoreWriter writer2(path);
+    writer2.append(t);
+    writer2.append(other);
+    writer2.flush();
+    EXPECT_EQ(writer2.states(), 2U);
+    std::remove(path.c_str());
+}
+
+TEST(TrajStore, WriterRejectsMalformedInputWithoutMutating) {
+    const std::string path = temp_path("trajstore_reject.ctrj");
+    TrajStoreWriter writer(path);
+    Trajectory bad;
+    bad.clip_index = 0;
+    StepRecord rec;
+    rec.offsets_before = {1, 2};
+    rec.actions = {0};  // length mismatch
+    bad.steps.push_back(rec);
+    EXPECT_THROW(writer.append(bad), std::invalid_argument);
+
+    bad.steps[0].actions = {0, 9};  // action out of range
+    EXPECT_THROW(writer.append(bad), std::invalid_argument);
+
+    bad.steps[0].actions = {0, 1};
+    std::vector<nn::Tensor> one_feat;
+    one_feat.emplace_back(std::vector<int>{1, 2, 2});
+    const std::vector<std::span<const nn::Tensor>> spans = {one_feat};  // 1 != 2 segments
+    EXPECT_THROW(writer.append(bad, spans), std::invalid_argument);
+
+    // Append is transactional: the failed calls above must not have interned
+    // states or steps, so a good append still round-trips from pristine.
+    EXPECT_EQ(writer.trajectories(), 0U);
+    EXPECT_EQ(writer.steps(), 0U);
+    EXPECT_EQ(writer.states(), 0U);
+    writer.append(bad);  // now well-formed and featureless
+    writer.flush();
+    TrajStoreReader reader(path);
+    EXPECT_EQ(reader.traj_count(), 1U);
+    expect_same_trajectory(bad, reader.decode(0));
+    std::remove(path.c_str());
+}
+
+TEST(TrajStore, CorruptCorpusIsRejectedTyped) {
+    const std::string path = temp_path("trajstore_corrupt.ctrj");
+    Rng rng(103);
+    TrajStoreWriter writer(path, 9);
+    for (int i = 0; i < 3; ++i) writer.append(random_trajectory(rng, i, 4, 3));
+    writer.flush();
+    const std::string good = read_file(path);
+    ASSERT_GT(good.size(), sizeof(StoreHeader) + sizeof(StoreFooter));
+    {  // sanity: the pristine file opens
+        TrajStoreReader reader(path);
+        EXPECT_EQ(reader.traj_count(), 3U);
+    }
+
+    // Truncated header: too small to even hold header + footer.
+    expect_rejected(path, good.substr(0, 40), "truncated header");
+
+    // Torn tail: a flush that lost its last bytes.
+    expect_rejected(path, good.substr(0, good.size() - 7), "torn tail");
+
+    // Trailing bytes: two stores concatenated.
+    expect_rejected(path, good + good, "trailing bytes");
+
+    // Bad magic / unsupported version.
+    std::string bad = good;
+    bad[0] = 'X';
+    expect_rejected(path, bad, "bad magic");
+    bad = good;
+    const std::uint32_t v99 = 99;
+    std::memcpy(bad.data() + offsetof(StoreHeader, version), &v99, sizeof v99);
+    expect_rejected(path, bad, "unsupported version");
+
+    // Overwritten end marker (atomic-rename contract violated out-of-band).
+    bad = good;
+    bad[good.size() - sizeof(StoreFooter)] = '\0';
+    expect_rejected(path, bad, "torn tail: bad end marker");
+
+    // A flipped payload bit fails the checksum.
+    bad = good;
+    bad[sizeof(StoreHeader) + 11] ^= 0x20;
+    expect_rejected(path, bad, "payload checksum mismatch");
+
+    // ---- Structural corruption behind a re-sealed checksum ----
+
+    // Ragged trajectory: step range overlaps its neighbour.
+    bad = good;
+    const std::uint64_t begin7 = 7;
+    std::memcpy(bad.data() + sizeof(StoreHeader) + offsetof(PackedTraj, step_begin), &begin7,
+                sizeof begin7);
+    reseal(bad);
+    expect_rejected(path, bad, "ragged trajectory");
+
+    // Ragged step: actions_pos points past the u8 heap.
+    bad = good;
+    const std::size_t steps_base = sizeof(StoreHeader) + 3 * sizeof(PackedTraj);
+    const std::uint64_t huge = 1U << 20;
+    std::memcpy(bad.data() + steps_base + offsetof(PackedStep, actions_pos), &huge, sizeof huge);
+    reseal(bad);
+    expect_rejected(path, bad, "ragged step");
+
+    // Ragged step: state id beyond the state table.
+    bad = good;
+    std::memcpy(bad.data() + steps_base + offsetof(PackedStep, state_id), &huge, sizeof huge);
+    reseal(bad);
+    expect_rejected(path, bad, "ragged step: state id out of range");
+
+    // Ragged state: offsets beyond the i32 heap.
+    bad = good;
+    const std::size_t states_base = steps_base + 9 * sizeof(PackedStep);
+    std::memcpy(bad.data() + states_base + offsetof(PackedState, offsets_pos), &huge, sizeof huge);
+    reseal(bad);
+    expect_rejected(path, bad, "ragged state");
+
+    // Dedupe index mismatch: an offset value no longer matches the state's
+    // stored key hash (bit rot the checksum was re-sealed over). The i32
+    // heap sits right before the u8 heap and the footer.
+    bad = good;
+    StoreHeader h{};
+    std::memcpy(&h, good.data(), sizeof h);
+    ASSERT_EQ(h.u8_count, 9U * 4U);  // 9 steps x 4 segments
+    const std::size_t i32_off = good.size() - sizeof(StoreFooter) - h.u8_count -
+                                h.i32_count * sizeof(std::int32_t);
+    std::int32_t off0 = 0;
+    std::memcpy(&off0, bad.data() + i32_off, sizeof off0);
+    off0 += 1;
+    std::memcpy(bad.data() + i32_off, &off0, sizeof off0);
+    reseal(bad);
+    expect_rejected(path, bad, "dedupe index mismatch");
+
+    std::remove(path.c_str());
+}
+
+// ---- Determinism: collection sink and replay training ----------------------
+
+litho::LithoConfig test_litho_config() {
+    litho::LithoConfig cfg;
+    cfg.grid = 256;
+    cfg.pixel_nm = 4.0;
+    cfg.kernels_nominal = 6;
+    cfg.kernels_defocus = 5;
+    cfg.cache_dir = "";  // tests never touch the on-disk cache
+    return cfg;
+}
+
+std::vector<geo::SegmentedLayout> small_via_clips(int count) {
+    layout::ViaGenOptions gen;
+    gen.clip_nm = 1000;
+    gen.margin_nm = 200;
+    gen.min_spacing_nm = 120;
+    return core::fragment_via_clips(layout::via_batch_set(7, count, gen));
+}
+
+core::CamoConfig tiny_config() {
+    core::CamoConfig cfg;
+    cfg.policy.squish_size = 16;
+    cfg.policy.embed_dim = 32;
+    cfg.policy.rnn_hidden = 16;
+    cfg.policy.rnn_layers = 2;
+    cfg.policy.conv_base = 4;
+    cfg.squish.size = 16;
+    cfg.squish.window_nm = 500;
+    cfg.phase1_epochs = 2;
+    cfg.phase1_batch = 3;
+    cfg.teacher_steps = 2;
+    cfg.teacher_biases = {3, 0};
+    cfg.phase2_episodes = 0;
+    cfg.seed = 5;
+    return cfg;
+}
+
+opc::OpcOptions short_opc_options() {
+    opc::OpcOptions opt;
+    opt.max_iterations = 2;
+    opt.initial_bias_nm = 3;
+    return opt;
+}
+
+std::string collect_to_store(int train_workers, const std::string& name) {
+    const std::string path = temp_path(name);
+    core::CamoConfig cfg = tiny_config();
+    cfg.train_workers = train_workers;
+    core::CamoEngine engine(cfg);
+    litho::LithoSim sim(test_litho_config());
+    TrajStoreWriter writer(path, 1234);
+    engine.collect_teacher_data(small_via_clips(3), sim, short_opc_options(), &writer);
+    return path;
+}
+
+TEST(TrajStoreDeterminism, StoreBytesIndependentOfWorkerCount) {
+    const std::string p1 = collect_to_store(1, "trajstore_w1.ctrj");
+    const std::string p2 = collect_to_store(2, "trajstore_w2.ctrj");
+    const std::string p8 = collect_to_store(8, "trajstore_w8.ctrj");
+    const std::string b1 = read_file(p1);
+    ASSERT_FALSE(b1.empty());
+    EXPECT_EQ(b1, read_file(p2));
+    EXPECT_EQ(b1, read_file(p8));
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+    std::remove(p8.c_str());
+}
+
+TEST(TrajStoreDeterminism, StoreMatchesInMemoryDataset) {
+    const std::string path = temp_path("trajstore_match.ctrj");
+    core::CamoEngine engine(tiny_config());
+    litho::LithoSim sim(test_litho_config());
+    const auto clips = small_via_clips(3);
+    TrajStoreWriter writer(path);
+    const core::Phase1Dataset data =
+        engine.collect_teacher_data(clips, sim, short_opc_options(), &writer);
+
+    TrajStoreReader reader(path);
+    ASSERT_EQ(reader.traj_count(), data.trajectories.size());
+    std::uint64_t steps = 0;
+    for (std::size_t i = 0; i < data.trajectories.size(); ++i) {
+        expect_same_trajectory(data.trajectories[i], reader.decode(i));
+        steps += data.trajectories[i].steps.size();
+    }
+    // Sample order == step order: the replay path walks samples exactly as
+    // the in-memory dataset laid them out.
+    EXPECT_EQ(reader.step_count(), steps);
+    EXPECT_EQ(reader.step_count(), data.samples.size());
+    EXPECT_GT(reader.state_count(), 0U);
+    std::remove(path.c_str());
+}
+
+TEST(TrajStoreDeterminism, ReplayWeightsByteIdenticalToInMemory) {
+    const std::string store_path = temp_path("trajstore_replay.ctrj");
+    const auto clips = small_via_clips(3);
+    litho::LithoSim sim(test_litho_config());
+
+    // Path A: classic collect-and-train, 4 phase-1 epochs.
+    core::CamoEngine mem_engine(tiny_config());
+    TrajStoreWriter writer(store_path);
+    const core::Phase1Dataset data =
+        mem_engine.collect_teacher_data(clips, sim, short_opc_options(), &writer);
+    for (int e = 0; e < 4; ++e) mem_engine.run_phase1_epoch(data);
+
+    // Path B: fresh engine, replay the same epochs from the mapped store.
+    core::CamoEngine replay_engine(tiny_config());
+    TrajStoreReader reader(store_path);
+    const core::Phase1Replay replay = replay_engine.make_phase1_replay(reader, clips);
+    double replay_loss = 0.0;
+    for (int e = 0; e < 4; ++e) replay_loss = replay_engine.run_phase1_epoch(replay);
+    EXPECT_GT(replay_loss, 0.0);
+
+    const std::string mem_w = temp_path("trajstore_mem_w.bin");
+    const std::string rep_w = temp_path("trajstore_rep_w.bin");
+    mem_engine.save_weights(mem_w);
+    replay_engine.save_weights(rep_w);
+    const std::string a = read_file(mem_w);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, read_file(rep_w)) << "replay training diverged from in-memory training";
+
+    std::remove(store_path.c_str());
+    std::remove(mem_w.c_str());
+    std::remove(rep_w.c_str());
+}
+
+TEST(TrajStoreDeterminism, MakeReplayValidatesStoreAgainstClips) {
+    const std::string path = temp_path("trajstore_validate.ctrj");
+    const auto clips = small_via_clips(3);
+    core::CamoEngine engine(tiny_config());
+    litho::LithoSim sim(test_litho_config());
+    TrajStoreWriter writer(path);
+    engine.collect_teacher_data(clips, sim, short_opc_options(), &writer);
+    TrajStoreReader reader(path);
+
+    // Fewer clips than the store references.
+    const std::vector<geo::SegmentedLayout> too_few(clips.begin(), clips.begin() + 1);
+    EXPECT_THROW(engine.make_phase1_replay(reader, too_few), std::invalid_argument);
+
+    // A featureless store cannot feed phase-1 replay.
+    const std::string bare_path = temp_path("trajstore_bare.ctrj");
+    TrajStoreWriter bare(bare_path);
+    Rng rng(7);
+    bare.append(random_trajectory(rng, 0, 2, 1));
+    bare.flush();
+    TrajStoreReader bare_reader(bare_path);
+    EXPECT_THROW(engine.make_phase1_replay(bare_reader, clips), std::invalid_argument);
+
+    // Squish-size mismatch between store and engine config.
+    core::CamoConfig other_cfg = tiny_config();
+    other_cfg.policy.squish_size = 32;
+    other_cfg.squish.size = 32;
+    core::CamoEngine other(other_cfg);
+    EXPECT_THROW(other.make_phase1_replay(reader, clips), std::invalid_argument);
+
+    std::remove(path.c_str());
+    std::remove(bare_path.c_str());
+}
+
+}  // namespace
+}  // namespace camo::rl

@@ -8,7 +8,16 @@
 //   camo_cli shard [--in chip.gds | --scenario S --cols N --rows N] [--tile NM]
 //                  [--halo NM] [--verify-monolithic] [shard options]
 //   camo_cli serve [--requests N] [--clips N] [--queue-capacity N] [serve options]
+//   camo_cli collect --out store.ctrj [--style S] [--clips N] [collect options]
+//   camo_cli train --from-store store.ctrj --weights out.bin [train options]
 //   camo_cli --list-scenarios
+//
+// collect / train split teacher-data collection from phase-1 imitation
+// training through the packed trajectory store (src/rl/trajstore.hpp): N
+// collect runs can feed one trainer, and `train --from-store` needs no
+// lithography simulator at all. The store's canonical append order makes
+// `train --from-store` weights byte-identical to `train --in-memory` at any
+// --train-workers value.
 //
 // The streaming trio covers the full-chip path: chipgen writes a synthetic
 // multi-tile chip from a registered scenario generator, shard cuts it into
@@ -95,6 +104,7 @@
 #include "common/file_io.hpp"
 #include "common/logging.hpp"
 #include "common/parse.hpp"
+#include "common/timer.hpp"
 #include "core/experiment.hpp"
 #include "layout/gdsii.hpp"
 #include "layout/metal_gen.hpp"
@@ -104,6 +114,7 @@
 #include "opc/one_shot.hpp"
 #include "opc/rule_engine.hpp"
 #include "opc/sraf.hpp"
+#include "rl/trajstore.hpp"
 #include "runtime/batch.hpp"
 #include "scenario/comparer.hpp"
 #include "scenario/scenario.hpp"
@@ -1130,6 +1141,272 @@ int serve_main(int argc, char** argv) {
     }
 }
 
+// ---- collect / train: trajectory-store workflow -----------------------------
+// collect records rule-teacher trajectories (plus their squish-encoded
+// states) into a packed trajectory store; train replays phase-1 imitation
+// minibatches straight from the store's memory mapping and writes the
+// trained policy weights. The split lets N machines collect and one train;
+// `train --in-memory` runs the classic collect-and-train path with the same
+// configuration, so CI can byte-compare the two weight files.
+
+struct StoreCliOptions {
+    std::string style = "via";
+    int clips = 0;  // 0 = the style's full training set
+    int train_workers = 1;
+    int epochs = 0;  // 0 = config default (train only)
+    std::uint64_t seed = core::Experiment::kDatasetSeed;
+    std::string store_path;  ///< collect --out / train --from-store
+    std::string weights;     ///< train --weights
+    std::string stats_json;
+    bool in_memory = false;  ///< train: collect in-process instead of replaying
+    bool quiet = false;
+    ObsCliOptions obs;
+};
+
+/// Provenance hash of the clip set a store was collected on. Derived from
+/// everything build_store_clips depends on (plus the squish size, which
+/// fixes the feature shape) so replaying against differently-built clips
+/// fails loudly instead of training on mismatched data.
+std::uint64_t store_dataset_tag(const std::string& style, std::uint64_t seed, int clip_cap,
+                                int squish_size) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix_byte = [&](std::uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    };
+    const auto mix_u64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    for (char c : style) mix_byte(static_cast<std::uint8_t>(c));
+    mix_u64(seed);
+    mix_u64(static_cast<std::uint64_t>(clip_cap));
+    mix_u64(static_cast<std::uint64_t>(squish_size));
+    return h;
+}
+
+/// Deterministic clip set shared by collect and train: a pure function of
+/// (style, seed, cap) — never of worker counts or flag order.
+std::vector<geo::SegmentedLayout> build_store_clips(const std::string& style, std::uint64_t seed,
+                                                    int cap) {
+    if (style == "via") {
+        std::vector<layout::Clip> raw = layout::via_training_set(seed);
+        if (cap > 0 && static_cast<std::size_t>(cap) < raw.size()) {
+            raw.resize(static_cast<std::size_t>(cap));
+        }
+        return core::fragment_via_clips(raw);
+    }
+    std::vector<layout::Clip> raw = layout::metal_training_set(seed, cap > 0 ? cap : 8);
+    if (cap > 0 && static_cast<std::size_t>(cap) < raw.size()) {
+        raw.resize(static_cast<std::size_t>(cap));
+    }
+    return core::fragment_metal_clips(raw);
+}
+
+bool parse_store_args(int argc, char** argv, bool train_mode, StoreCliOptions& o) {
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](std::string& dst) {
+            if (i + 1 >= argc) return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (!train_mode && a == "--out" && next(v)) {
+            o.store_path = v;
+        } else if (train_mode && a == "--from-store" && next(v)) {
+            o.store_path = v;
+        } else if (train_mode && a == "--weights" && next(v)) {
+            o.weights = v;
+        } else if (train_mode && a == "--epochs" && next(v)) {
+            if (!flag_int_min("--epochs", v, 1, o.epochs)) return false;
+        } else if (train_mode && a == "--in-memory") {
+            o.in_memory = true;
+        } else if (a == "--style" && next(v)) {
+            o.style = v;
+        } else if (a == "--clips" && next(v)) {
+            if (!flag_int_min("--clips", v, 1, o.clips)) return false;
+        } else if (a == "--train-workers" && next(v)) {
+            if (!flag_int("--train-workers", v, o.train_workers)) return false;
+        } else if (a == "--seed" && next(v)) {
+            if (!flag_u64("--seed", v, o.seed)) return false;
+        } else if (a == "--stats-json" && next(v)) {
+            o.stats_json = v;
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--log-level" && next(v)) {
+            o.obs.log_level = v;
+        } else if (a == "--metrics-json" && next(v)) {
+            o.obs.metrics_json = v;
+        } else if (a == "--trace" && next(v)) {
+            o.obs.trace = v;
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", a.c_str());
+            return false;
+        }
+    }
+    if (o.style != "via" && o.style != "metal") {
+        std::fprintf(stderr, "--style: expected via or metal, got '%s'\n", o.style.c_str());
+        return false;
+    }
+    if (o.store_path.empty()) {
+        std::fprintf(stderr, train_mode ? "train: --from-store PATH is required\n"
+                                        : "collect: --out PATH is required\n");
+        return false;
+    }
+    if (train_mode && o.weights.empty()) {
+        std::fprintf(stderr, "train: --weights PATH is required\n");
+        return false;
+    }
+    return true;
+}
+
+void print_collect_usage() {
+    std::fprintf(stderr,
+                 "usage: camo_cli collect --out store.ctrj [--style via|metal] [--clips N]\n"
+                 "                [--train-workers N] [--seed S] [--stats-json PATH]\n"
+                 "                [--quiet] [--log-level L] [--metrics-json PATH]"
+                 " [--trace PATH]\n");
+}
+
+void print_train_usage() {
+    std::fprintf(stderr,
+                 "usage: camo_cli train --from-store store.ctrj --weights out.bin\n"
+                 "                [--style via|metal] [--clips N] [--epochs N]\n"
+                 "                [--train-workers N] [--seed S] [--in-memory]\n"
+                 "                [--stats-json PATH] [--quiet] [--log-level L]\n"
+                 "                [--metrics-json PATH] [--trace PATH]\n");
+}
+
+int collect_main(int argc, char** argv) {
+    StoreCliOptions cli;
+    if (!parse_store_args(argc, argv, /*train_mode=*/false, cli)) {
+        print_collect_usage();
+        return 2;
+    }
+    if (!apply_obs_options(cli.obs, cli.quiet)) return 2;
+    try {
+        core::CamoConfig cfg =
+            cli.style == "via" ? core::Experiment::via_camo_config()
+                               : core::Experiment::metal_camo_config();
+        cfg.train_workers = cli.train_workers;
+        const auto clips = build_store_clips(cli.style, cli.seed, cli.clips);
+        const std::uint64_t tag =
+            store_dataset_tag(cli.style, cli.seed, cli.clips, cfg.squish.size);
+
+        litho::LithoSim sim(core::Experiment::litho_config());
+        const opc::OpcOptions opt = cli.style == "via" ? core::Experiment::via_options()
+                                                       : core::Experiment::metal_options();
+        core::CamoEngine engine(cfg);
+        rl::TrajStoreWriter writer(cli.store_path, tag);
+        Timer timer;
+        engine.collect_teacher_data(clips, sim, opt, &writer);
+        const double dedupe_rate =
+            writer.steps() == 0
+                ? 0.0
+                : static_cast<double>(writer.dedupe_hits()) / static_cast<double>(writer.steps());
+        std::printf("collect: %llu trajectories, %llu steps, %llu states "
+                    "(%.0f%% deduped), %llu bytes -> %s (%.1fs)\n",
+                    static_cast<unsigned long long>(writer.trajectories()),
+                    static_cast<unsigned long long>(writer.steps()),
+                    static_cast<unsigned long long>(writer.states()), 100.0 * dedupe_rate,
+                    static_cast<unsigned long long>(writer.byte_size()), cli.store_path.c_str(),
+                    timer.seconds());
+        if (!cli.stats_json.empty()) {
+            std::string json = "{\n";
+            json += "  \"trajectories\": " + std::to_string(writer.trajectories()) + ",\n";
+            json += "  \"steps\": " + std::to_string(writer.steps()) + ",\n";
+            json += "  \"states\": " + std::to_string(writer.states()) + ",\n";
+            json += "  \"dedupe_hits\": " + std::to_string(writer.dedupe_hits()) + ",\n";
+            json += "  \"dedupe_rate\": " + std::to_string(dedupe_rate) + ",\n";
+            json += "  \"bytes\": " + std::to_string(writer.byte_size()) + ",\n";
+            json += "  \"clips\": " + std::to_string(clips.size()) + ",\n";
+            json += "  \"dataset_tag\": " + std::to_string(tag) + "\n}\n";
+            write_text_atomic(cli.stats_json, json);
+        }
+        write_obs_reports(cli.obs);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "collect failed: %s\n", e.what());
+        return 1;
+    }
+}
+
+int train_main(int argc, char** argv) {
+    StoreCliOptions cli;
+    if (!parse_store_args(argc, argv, /*train_mode=*/true, cli)) {
+        print_train_usage();
+        return 2;
+    }
+    if (!apply_obs_options(cli.obs, cli.quiet)) return 2;
+    try {
+        core::CamoConfig cfg =
+            cli.style == "via" ? core::Experiment::via_camo_config()
+                               : core::Experiment::metal_camo_config();
+        cfg.train_workers = cli.train_workers;
+        const int epochs = cli.epochs > 0 ? cli.epochs : cfg.phase1_epochs;
+        const std::uint64_t tag =
+            store_dataset_tag(cli.style, cli.seed, cli.clips, cfg.squish.size);
+
+        // Open the store before any expensive setup so a bad path or a torn
+        // file fails in milliseconds, not after clip generation.
+        std::unique_ptr<rl::TrajStoreReader> store;
+        if (!cli.in_memory) {
+            store = std::make_unique<rl::TrajStoreReader>(cli.store_path);
+            if (store->dataset_tag() != tag) {
+                std::fprintf(stderr,
+                             "train: store %s was collected on a different dataset "
+                             "(tag %llu, expected %llu for --style %s --seed %llu --clips %d)\n",
+                             cli.store_path.c_str(),
+                             static_cast<unsigned long long>(store->dataset_tag()),
+                             static_cast<unsigned long long>(tag), cli.style.c_str(),
+                             static_cast<unsigned long long>(cli.seed), cli.clips);
+                return 1;
+            }
+        }
+
+        const auto clips = build_store_clips(cli.style, cli.seed, cli.clips);
+        core::CamoEngine engine(cfg);
+        Timer timer;
+        double loss = 0.0;
+        if (cli.in_memory) {
+            litho::LithoSim sim(core::Experiment::litho_config());
+            const opc::OpcOptions opt = cli.style == "via" ? core::Experiment::via_options()
+                                                           : core::Experiment::metal_options();
+            const core::Phase1Dataset data = engine.collect_teacher_data(clips, sim, opt);
+            for (int e = 0; e < epochs; ++e) loss = engine.run_phase1_epoch(data);
+        } else {
+            // Replay path: no lithography simulator at all — training cost is
+            // pure policy forward/backward over the mapped store.
+            const core::Phase1Replay replay = engine.make_phase1_replay(*store, clips);
+            for (int e = 0; e < epochs; ++e) loss = engine.run_phase1_epoch(replay);
+        }
+        engine.save_weights(cli.weights);
+        std::printf("train: %d epochs over %llu steps (%s), final loss %.6f -> %s (%.1fs)\n",
+                    epochs,
+                    static_cast<unsigned long long>(store ? store->step_count() : 0ULL),
+                    cli.in_memory ? "in-memory" : "store replay", loss, cli.weights.c_str(),
+                    timer.seconds());
+        if (!cli.stats_json.empty()) {
+            std::string json = "{\n";
+            json += "  \"epochs\": " + std::to_string(epochs) + ",\n";
+            json += "  \"steps\": " +
+                    std::to_string(store ? store->step_count() : 0ULL) + ",\n";
+            json += "  \"mode\": \"" + std::string(cli.in_memory ? "in-memory" : "replay") +
+                    "\",\n";
+            json += "  \"final_loss\": " + std::to_string(loss) + "\n}\n";
+            write_text_atomic(cli.stats_json, json);
+        }
+        write_obs_reports(cli.obs);
+        return 0;
+    } catch (const rl::TrajStoreError& e) {
+        std::fprintf(stderr, "train: %s\n", e.what());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "train failed: %s\n", e.what());
+        return 1;
+    }
+}
+
 void print_usage() {
     std::fprintf(stderr,
                  "usage: camo_cli <subcommand> [options] | camo_cli --in ... --out ...\n"
@@ -1143,6 +1420,8 @@ void print_usage() {
                  "            stitch (--verify-monolithic checks the barrier path bitwise)\n"
                  "  serve     long-running service loop: queued requests with priority,\n"
                  "            deadlines and admission control over a warm scheduler\n"
+                 "  collect   record rule-teacher trajectories into a packed store\n"
+                 "  train     replay phase-1 training from a store and write weights\n"
                  "  --list-scenarios   print the registered scenarios\n"
                  "(no subcommand: single-clip GDSII mode; see --in/--out usage)\n");
 }
@@ -1156,6 +1435,8 @@ int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "chipgen") == 0) return chipgen_main(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "shard") == 0) return shard_main(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return serve_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "collect") == 0) return collect_main(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "train") == 0) return train_main(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "--list-scenarios") == 0) {
         print_scenarios();
         return 0;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "core/experiment.hpp"
 #include "obs/report.hpp"
@@ -46,7 +47,14 @@ int main(int argc, char** argv) {
     LogLevel level = LogLevel::kInfo;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--train-workers") == 0 && i + 1 < argc) {
-            train_workers = std::atoi(argv[++i]);
+            // Checked parse: atoi would turn garbage into 0 (= all hardware
+            // threads) and silently over-subscribe the machine.
+            const std::string v = argv[++i];
+            if (!camo::parse_int(v, train_workers)) {
+                std::fprintf(stderr, "--train-workers: expected an integer, got '%s'\n",
+                             v.c_str());
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
             metrics_json = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
